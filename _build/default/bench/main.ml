@@ -1,0 +1,155 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (printing the same rows/series the paper plots), then runs
+   Bechamel microbenchmarks of the core primitives.
+
+   Usage:
+     dune exec bench/main.exe                 # quick profile, everything
+     dune exec bench/main.exe -- fig4 fig5    # a subset
+     RAPID_PROFILE=full dune exec bench/main.exe   # paper-scale (slow) *)
+
+open Rapid_experiments
+
+let profile () =
+  match Sys.getenv_opt "RAPID_PROFILE" with
+  | Some "full" -> Params.Full
+  | Some "quick" | None -> Params.Quick
+  | Some other ->
+      Printf.eprintf "unknown RAPID_PROFILE=%S, using quick\n" other;
+      Params.Quick
+
+(* ------------------------------------------------------------------ *)
+(* Figure / table reproductions *)
+
+let run_artifacts params ids =
+  let items =
+    match ids with
+    | [] -> Catalog.all
+    | ids ->
+        List.filter_map
+          (fun id ->
+            match Catalog.find id with
+            | Some item -> Some item
+            | None ->
+                Printf.eprintf "unknown artifact %S (skipped)\n" id;
+                None)
+          ids
+  in
+  print_endline (Catalog.params_header params);
+  print_newline ();
+  List.iter
+    (fun (item : Catalog.item) ->
+      let t0 = Unix.gettimeofday () in
+      let rendered = item.Catalog.run params in
+      print_string rendered;
+      Printf.printf "  (%s took %.1fs)\n\n%!" item.Catalog.id
+        (Unix.gettimeofday () -. t0))
+    items
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the primitives underlying every figure *)
+
+let microbenchmarks () =
+  let open Bechamel in
+  let open Rapid_prelude in
+  let pqueue_test =
+    Test.make ~name:"pqueue push+pop 1k"
+      (Staged.stage (fun () ->
+           let q = Pqueue.create () in
+           for i = 0 to 999 do
+             Pqueue.push q (float_of_int ((i * 7919) mod 1000)) i
+           done;
+           let rec drain () = match Pqueue.pop q with Some _ -> drain () | None -> () in
+           drain ()))
+  in
+  let estimate_test =
+    Test.make ~name:"estimate-delay Eq.9 (8 holders)"
+      (Staged.stage (fun () ->
+           let rate = ref 0.0 in
+           for j = 1 to 8 do
+             rate :=
+               !rate
+               +. Rapid_core.Estimate_delay.rate_of_holder
+                    ~meeting_time:(float_of_int (60 * j))
+                    ~n_meet:j
+           done;
+           ignore (Rapid_core.Estimate_delay.expected_delay ~rate:!rate)))
+  in
+  let matrix = Rapid_core.Meeting_matrix.create ~num_nodes:40 in
+  let rng = Rng.create 5 in
+  let () =
+    for _ = 1 to 400 do
+      let a = Rng.int rng 40 in
+      let b = (a + 1 + Rng.int rng 39) mod 40 in
+      if a <> b then
+        Rapid_core.Meeting_matrix.observe matrix ~now:(Rng.float rng *. 1e4) ~a ~b
+    done
+  in
+  let closure_test =
+    Test.make ~name:"meeting-matrix 3-hop closure (40 nodes)"
+      (Staged.stage (fun () ->
+           (* Invalidate then query to force a closure rebuild. *)
+           Rapid_core.Meeting_matrix.observe matrix ~now:1e9 ~a:0 ~b:1;
+           ignore (Rapid_core.Meeting_matrix.expected_meeting_time matrix 2 3)))
+  in
+  let simplex_test =
+    Test.make ~name:"simplex 10x12 LP"
+      (Staged.stage (fun () ->
+           let open Rapid_lp in
+           let p = Lp_problem.create ~num_vars:12 in
+           Lp_problem.set_objective p (List.init 12 (fun i -> (i, -1.0 -. float_of_int (i mod 3))));
+           for r = 0 to 9 do
+             Lp_problem.add_constraint p
+               (List.init 12 (fun i -> (i, float_of_int (((r * i) mod 5) + 1))))
+               Lp_problem.Le 50.0
+           done;
+           ignore (Simplex.solve p)))
+  in
+  let convolve_test =
+    Test.make ~name:"discrete-distribution convolution (400 cells)"
+      (Staged.stage (fun () ->
+           let d = Dist.Discrete.of_exponential ~dt:0.1 ~cells:400 ~mean:5.0 in
+           ignore (Dist.Discrete.convolve d d)))
+  in
+  let engine_test =
+    let trace =
+      Rapid_mobility.Mobility.exponential (Rng.create 3) ~num_nodes:8
+        ~mean_inter_meeting:60.0 ~duration:600.0 ~opportunity_bytes:10_240
+    in
+    let workload =
+      Rapid_trace.Workload.generate (Rng.create 4) ~trace
+        ~pkts_per_hour_per_dest:60.0 ~size:1024 ()
+    in
+    Test.make ~name:"engine: RAPID over 600s/8-node scenario"
+      (Staged.stage (fun () ->
+           ignore
+             (Rapid_sim.Engine.run
+                ~protocol:
+                  (Rapid_core.Rapid.make_default Rapid_core.Metric.Average_delay)
+                ~trace ~workload ())))
+  in
+  let tests =
+    Test.make_grouped ~name:"primitives"
+      [ pqueue_test; estimate_test; closure_test; simplex_test; convolve_test;
+        engine_test ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  print_endline "== MICROBENCHMARKS (monotonic clock, ns/run) ==";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-46s %12.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-46s (no estimate)\n" name)
+    results
+
+let () =
+  let ids = List.tl (Array.to_list Sys.argv) in
+  let params = Params.get (profile ()) in
+  run_artifacts params ids;
+  microbenchmarks ()

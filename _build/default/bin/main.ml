@@ -1,0 +1,279 @@
+(* rapid — command-line driver for the RAPID reproduction.
+
+   Subcommands:
+     list                      enumerate reproducible figures/tables
+     figure -i fig4 [...]      reproduce one artifact
+     run [...]                 one simulation, one protocol, printed report
+     trace [...]               generate synthetic DieselNet days to files
+     hardness                  run the appendix constructions *)
+
+open Cmdliner
+open Rapid_experiments
+
+let profile_conv =
+  let parse = function
+    | "quick" -> Ok Params.Quick
+    | "full" -> Ok Params.Full
+    | s -> Error (`Msg (Printf.sprintf "unknown profile %S (quick|full)" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt
+      (match p with Params.Quick -> "quick" | Params.Full -> "full")
+  in
+  Arg.conv (parse, print)
+
+let profile_arg =
+  Arg.(
+    value
+    & opt profile_conv Params.Quick
+    & info [ "p"; "profile" ] ~docv:"PROFILE"
+        ~doc:"Experiment profile: quick (scaled, default) or full (paper scale).")
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let doc = "List every reproducible table and figure." in
+  let run () =
+    List.iter
+      (fun (i : Catalog.item) -> Printf.printf "%-8s %s\n" i.Catalog.id i.Catalog.title)
+      Catalog.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let figure_cmd =
+  let doc = "Reproduce one figure or table from the paper." in
+  let id_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "i"; "id" ] ~docv:"ID" ~doc:"Artifact id, e.g. fig4 or table3.")
+  in
+  let run profile id =
+    match Catalog.find id with
+    | None ->
+        Printf.eprintf "unknown artifact %S; try `rapid list`\n" id;
+        exit 1
+    | Some item ->
+        let params = Params.get profile in
+        print_endline (Catalog.params_header params);
+        print_newline ();
+        print_string (item.Catalog.run params)
+  in
+  Cmd.v (Cmd.info "figure" ~doc) Term.(const run $ profile_arg $ id_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let protocol_conv metric =
+  let open Rapid_core in
+  function
+  | "rapid" -> Ok (Runners.rapid metric)
+  | "rapid-global" ->
+      Ok
+        (Runners.rapid_with ~label:"RAPID(global)"
+           {
+             (Rapid.default_params metric) with
+             Rapid.channel = Control_channel.Instant_global;
+           })
+  | "rapid-local" ->
+      Ok
+        (Runners.rapid_with ~label:"RAPID(local)"
+           {
+             (Rapid.default_params metric) with
+             Rapid.channel = Control_channel.Local_only;
+           })
+  | "maxprop" -> Ok Runners.maxprop
+  | "spraywait" -> Ok Runners.spray_wait
+  | "prophet" -> Ok Runners.prophet
+  | "random" -> Ok Runners.random
+  | "random-acks" -> Ok Runners.random_acks
+  | "epidemic" ->
+      Ok
+        {
+          Runners.label = "Epidemic";
+          cache_id = "epidemic";
+          make = (fun () -> Rapid_routing.Epidemic.make ());
+        }
+  | "direct" ->
+      Ok
+        { Runners.label = "Direct"; cache_id = "direct";
+          make = (fun () -> Rapid_routing.Direct.make ()) }
+  | s -> Error (Printf.sprintf "unknown protocol %S" s)
+
+let metric_of_string = function
+  | "avg" -> Ok Rapid_core.Metric.Average_delay
+  | "max" -> Ok Rapid_core.Metric.Maximum_delay
+  | "deadline" -> Ok Rapid_core.Metric.Missed_deadlines
+  | s -> Error (Printf.sprintf "unknown metric %S (avg|max|deadline)" s)
+
+let run_cmd =
+  let doc = "Run one protocol over synthetic DieselNet days and print the report." in
+  let proto_arg =
+    Arg.(
+      value & opt string "rapid"
+      & info [ "protocol" ] ~docv:"NAME"
+          ~doc:
+            "rapid | rapid-global | rapid-local | maxprop | spraywait | \
+             prophet | random | random-acks | epidemic | direct")
+  in
+  let metric_arg =
+    Arg.(
+      value & opt string "avg"
+      & info [ "metric" ] ~docv:"METRIC" ~doc:"RAPID metric: avg | max | deadline.")
+  in
+  let load_arg =
+    Arg.(
+      value & opt float 6.0
+      & info [ "load" ] ~docv:"PKTS" ~doc:"Packets per hour per destination.")
+  in
+  let trace_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Run on a contact trace file instead of synthetic days.")
+  in
+  let run profile proto metric load trace_file =
+    match metric_of_string metric with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok metric -> (
+        match protocol_conv metric proto with
+        | Error e ->
+            prerr_endline e;
+            exit 1
+        | Ok spec -> (
+            let params = Params.get profile in
+            match trace_file with
+            | Some path ->
+                let trace = Rapid_trace.Trace_io.load path in
+                let rng = Rapid_prelude.Rng.create params.Params.base_seed in
+                let workload =
+                  Rapid_trace.Workload.generate rng ~trace
+                    ~pkts_per_hour_per_dest:load
+                    ~size:params.Params.trace_packet_bytes
+                    ~lifetime:params.Params.trace_deadline ()
+                in
+                let report =
+                  Rapid_sim.Engine.run ~protocol:(spec.Runners.make ()) ~trace
+                    ~workload ()
+                in
+                Format.printf "%s: %a@." spec.Runners.label
+                  Rapid_sim.Metrics.pp_report report
+            | None ->
+                let point = Runners.run_trace_point ~params ~protocol:spec ~load () in
+                List.iteri
+                  (fun day r ->
+                    Format.printf "day %d %s: %a@." day spec.Runners.label
+                      Rapid_sim.Metrics.pp_report r)
+                  point))
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ profile_arg $ proto_arg $ metric_arg $ load_arg $ trace_file_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let doc = "Generate synthetic DieselNet contact traces to files." in
+  let days_arg =
+    Arg.(value & opt int 5 & info [ "days" ] ~docv:"N" ~doc:"Number of days.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "traces"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Output directory (created if needed).")
+  in
+  let run profile days seed out =
+    let params = Params.get profile in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    List.iteri
+      (fun d trace ->
+        let path = Filename.concat out (Printf.sprintf "day-%02d.trace" d) in
+        Rapid_trace.Trace_io.save path trace;
+        Format.printf "%s: %a@." path Rapid_trace.Trace.pp_summary trace)
+      (Rapid_trace.Dieselnet.days ~params:params.Params.dieselnet ~seed ~n:days ())
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ profile_arg $ days_arg $ seed_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let ttest_cmd =
+  let doc =
+    "Paired t-test of per-pair delays between two protocols (the paper's \
+     §6.2.1 methodology)."
+  in
+  let proto a default =
+    Arg.(
+      value & opt string default
+      & info [ a ] ~docv:"NAME" ~doc:"Protocol (see `run --protocol`).")
+  in
+  let load_arg =
+    Arg.(
+      value & opt float 12.0
+      & info [ "load" ] ~docv:"PKTS" ~doc:"Packets per hour per destination.")
+  in
+  let run profile a b load =
+    let metric = Rapid_core.Metric.Average_delay in
+    match (protocol_conv metric a, protocol_conv metric b) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok sa, Ok sb ->
+        let params = Params.get profile in
+        let result = Pair_ttest.compare_protocols ~params ~a:sa ~b:sb ~load in
+        print_string
+          (Pair_ttest.render ~a_label:sa.Runners.label ~b_label:sb.Runners.label
+             ~load result)
+  in
+  Cmd.v (Cmd.info "ttest" ~doc)
+    Term.(const run $ profile_arg $ proto "a" "rapid" $ proto "b" "maxprop" $ load_arg)
+
+let hardness_cmd =
+  let doc = "Exercise the appendix hardness constructions." in
+  let run () =
+    let open Rapid_hardness in
+    Printf.printf "Theorem 1(a): online ALG vs adversary (n = 16)\n";
+    List.iter
+      (fun (name, alg) ->
+        let o = Online_adversary.run ~n:16 ~alg in
+        Printf.printf "  ALG=%-12s delivered %d/16; ADV delivered %d/16\n" name
+          o.Online_adversary.alg_delivered o.Online_adversary.adv_delivered)
+      [
+        ("spread", Online_adversary.spread);
+        ("flood-first", Online_adversary.replicate_first);
+        ("modulo-4", Online_adversary.greedy_modulo 4);
+      ];
+    Printf.printf "\nTheorem 1(b): gadget delivery-rate bound i/(3i-1)\n";
+    List.iter
+      (fun i ->
+        Printf.printf "  depth %-3d -> ALG rate <= %.4f\n" i (Gadget.depth_ratio i))
+      [ 1; 2; 3; 10; 100 ];
+    Printf.printf "\nTheorem 2: EDP reduction on the diamond DAG\n";
+    let diamond =
+      { Edp_reduction.num_vertices = 4; edges = [ (0, 1); (1, 3); (0, 2); (2, 3) ] }
+    in
+    let pairs = [ (0, 3); (0, 3); (0, 3) ] in
+    let edp = Edp_reduction.max_edge_disjoint_paths diamond ~pairs in
+    let trace, workload = Edp_reduction.to_dtn diamond ~pairs in
+    let dtn = Edp_reduction.max_deliveries_brute trace workload in
+    let ilp =
+      Rapid_routing.Optimal.evaluate ~objective:Rapid_routing.Optimal.Max_deliveries
+        ~trace ~workload ()
+    in
+    Printf.printf
+      "  max edge-disjoint paths = %d; DTN max deliveries (brute) = %d; ILP = %d\n"
+      edp dtn ilp.Rapid_routing.Optimal.delivered
+  in
+  Cmd.v (Cmd.info "hardness" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "RAPID: DTN routing as a resource allocation problem (reproduction)" in
+  let info = Cmd.info "rapid" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; figure_cmd; run_cmd; trace_cmd; ttest_cmd; hardness_cmd ]))

@@ -1,0 +1,1 @@
+examples/delay_estimation.ml: Dag_delay Dist Format List Rapid_core Rapid_prelude

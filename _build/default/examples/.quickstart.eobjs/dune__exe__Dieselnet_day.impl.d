@@ -1,0 +1,1 @@
+examples/dieselnet_day.ml: Dieselnet Engine Filename Format List Metrics Rapid_core Rapid_prelude Rapid_routing Rapid_sim Rapid_trace Rng Sys Trace Trace_io Workload

@@ -1,0 +1,1 @@
+examples/dieselnet_day.mli:

@@ -1,0 +1,1 @@
+examples/news_deadline.ml: Dist Engine Float Format List Metric Metrics Rapid Rapid_core Rapid_mobility Rapid_prelude Rapid_routing Rapid_sim Rapid_trace Rng Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Format List Metric Metrics Rapid Rapid_core Rapid_mobility Rapid_prelude Rapid_routing Rapid_sim Rapid_trace Rng Trace Workload

@@ -1,0 +1,39 @@
+(* Appendix C, executable: how much does Estimate-Delay's independence
+   assumption cost?
+
+   Reconstructs the paper's Figure 2 scenario — replicas of packets a, b
+   and d queued at nodes W, X, Y (all destined to Z) — and compares the
+   idealized dependency-graph estimator (dag_delay) with the
+   vertical-edges-only approximation RAPID actually ships (Estimate-Delay
+   under unit-size transfers).
+
+   Run with: dune exec examples/delay_estimation.exe *)
+
+open Rapid_prelude
+open Rapid_core
+
+let () =
+  (* Node ids: 0 = W, 1 = X, 2 = Y; destination Z is implicit. Queues are
+     ordered oldest-first (delivery order), consistently across nodes. *)
+  let queues = [ (0, [ "a" ]); (1, [ "a"; "b" ]); (2, [ "d"; "b" ]); (3, [ "d" ]) ] in
+  let mean_of = function
+    | 0 -> 1.0 (* W meets Z quickly *)
+    | 1 -> 4.0 (* X is slow *)
+    | 2 -> 5.0 (* Y is slower *)
+    | _ -> 1.5
+  in
+  let meeting n = Dist.Discrete.of_exponential ~dt:0.02 ~cells:3000 ~mean:(mean_of n) in
+  Format.printf
+    "Queues (head first): W=[a]  X=[a;b]  Y=[d;b]  V=[d];  E[M_WZ]=1 E[M_XZ]=4 E[M_YZ]=5 E[M_VZ]=1.5@.@.";
+  Format.printf "%-8s %18s %24s@." "packet" "dag_delay mean" "vertical-only (Estimate-Delay)";
+  List.iter
+    (fun label ->
+      let full = Dag_delay.estimate ~queues ~meeting label in
+      let vert = Dag_delay.vertical_only ~queues ~meeting label in
+      Format.printf "%-8s %18.3f %24.3f@." label (Dist.Discrete.mean full)
+        (Dist.Discrete.mean vert))
+    [ "a"; "b"; "d" ];
+  Format.printf
+    "@.Packet b benefits from the non-vertical edges: W delivering a@\n\
+     unblocks b at X, which Estimate-Delay cannot see — the appendix's@\n\
+     point that the independence assumption inflates delay estimates.@."

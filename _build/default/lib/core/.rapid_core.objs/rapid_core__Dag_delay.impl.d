@@ -1,0 +1,1 @@
+lib/core/dag_delay.ml: Dist Hashtbl List Option Printf Rapid_prelude

@@ -1,0 +1,1 @@
+lib/core/dag_delay.mli: Rapid_prelude

@@ -1,0 +1,1 @@
+lib/core/estimate_delay.ml: Buffer Float List Packet Rapid_sim

@@ -1,0 +1,1 @@
+lib/core/estimate_delay.mli: Rapid_sim

@@ -1,0 +1,1 @@
+lib/core/meeting_matrix.ml: Array Float Moving_average Rapid_prelude Stats

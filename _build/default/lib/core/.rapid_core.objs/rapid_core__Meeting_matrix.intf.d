@@ -1,0 +1,1 @@
+lib/core/meeting_matrix.mli:

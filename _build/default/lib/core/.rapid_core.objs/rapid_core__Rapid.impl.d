@@ -1,0 +1,1 @@
+lib/core/rapid.ml: Array Buffer Control_channel Env Estimate_delay Float Hashtbl Int List Meeting_matrix Metric Moving_average Option Packet Printf Protocol Ranking Rapid_prelude Rapid_sim Replica_db

@@ -1,0 +1,1 @@
+lib/core/rapid.mli: Control_channel Metric Rapid_sim

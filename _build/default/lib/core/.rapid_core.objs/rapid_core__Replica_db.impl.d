@@ -1,0 +1,1 @@
+lib/core/replica_db.ml: Float Hashtbl Int List Option Packet Rapid_sim

@@ -1,0 +1,1 @@
+lib/core/replica_db.mli: Rapid_sim

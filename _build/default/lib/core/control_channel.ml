@@ -1,0 +1,6 @@
+type t = In_band | Instant_global | Local_only
+
+let to_string = function
+  | In_band -> "in-band"
+  | Instant_global -> "global"
+  | Local_only -> "local"

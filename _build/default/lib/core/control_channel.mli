@@ -1,0 +1,17 @@
+(** RAPID's control-channel operating modes.
+
+    §4.2 describes the default delayed {!In_band} channel: nodes spend a
+    slice of every transfer opportunity exchanging acknowledgments,
+    meeting-time tables, and per-packet replica metadata (only entries
+    changed since the last exchange with that peer). §6.2.3 evaluates an
+    {!Instant_global} channel — an oracle upper bound modelling a hybrid
+    DTN with a long-range low-bandwidth radio — and §6.2.6 an ablated
+    {!Local_only} channel where nodes describe only packets in their own
+    buffers. *)
+
+type t =
+  | In_band  (** Delayed, charged against each transfer opportunity. *)
+  | Instant_global  (** Free, instantaneous, exact global view (§6.2.3). *)
+  | Local_only  (** Metadata restricted to the node's own buffer (§6.2.6). *)
+
+val to_string : t -> string

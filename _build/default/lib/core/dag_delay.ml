@@ -1,0 +1,80 @@
+open Rapid_prelude
+
+type queues = (int * string list) list
+
+(* Replicas of each label: (node, predecessor label option). *)
+let replicas_of queues =
+  let tbl : (string, (int * string option) list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (node, labels) ->
+      let rec walk pred = function
+        | [] -> ()
+        | label :: rest ->
+            let cur = Option.value (Hashtbl.find_opt tbl label) ~default:[] in
+            Hashtbl.replace tbl label ((node, pred) :: cur);
+            walk (Some label) rest
+      in
+      walk None labels)
+    queues;
+  tbl
+
+let estimate ~queues ~meeting label =
+  let replicas = replicas_of queues in
+  let memo : (string, Dist.Discrete.t) Hashtbl.t = Hashtbl.create 16 in
+  let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec d label =
+    match Hashtbl.find_opt memo label with
+    | Some dist -> dist
+    | None ->
+        if Hashtbl.mem in_progress label then
+          invalid_arg
+            (Printf.sprintf
+               "Dag_delay.estimate: cyclic dependency through %S (queues are \
+                not consistently ordered)"
+               label);
+        Hashtbl.replace in_progress label ();
+        let reps =
+          match Hashtbl.find_opt replicas label with
+          | Some reps -> reps
+          | None -> raise Not_found
+        in
+        let per_replica =
+          List.map
+            (fun (node, pred) ->
+              let e_n = meeting node in
+              match pred with
+              | None -> e_n
+              | Some pred_label -> Dist.Discrete.convolve (d pred_label) e_n)
+            reps
+        in
+        let dist = Dist.Discrete.minimum_list per_replica in
+        Hashtbl.remove in_progress label;
+        Hashtbl.replace memo label dist;
+        dist
+  in
+  d label
+
+let vertical_only ~queues ~meeting label =
+  let positions =
+    List.filter_map
+      (fun (node, labels) ->
+        Option.map
+          (fun pos -> (node, pos))
+          (List.find_index (fun l -> l = label) labels))
+      queues
+  in
+  match positions with
+  | [] -> raise Not_found
+  | _ ->
+      let per_replica =
+        List.map
+          (fun (node, pos) ->
+            let e_n = meeting node in
+            let rec self_convolve acc k =
+              if k = 0 then acc
+              else self_convolve (Dist.Discrete.convolve acc e_n) (k - 1)
+            in
+            self_convolve e_n pos)
+          positions
+      in
+      Dist.Discrete.minimum_list per_replica

@@ -1,0 +1,46 @@
+(** Appendix C: delay estimation over the full dependency graph.
+
+    Estimate-Delay (§4.1) ignores "non-vertical" dependencies between the
+    delay distributions of packets buffered at different nodes. This module
+    implements the idealized [dag_delay] procedure, which honours them:
+
+    {v
+    d'(p_j) = d(succ(p_j)) ⊕ e_node(p_j)      (e_n for queue heads)
+    d(p)    = min_j d'(p_j)
+    v}
+
+    where ⊕ is distribution convolution and e_n is node n's meeting-delay
+    distribution to the common destination. It assumes unit-sized transfer
+    opportunities and packets (each meeting delivers exactly the queue
+    head), exactly as in the appendix, and requires a global control
+    channel — which is why RAPID's implementation uses Estimate-Delay
+    instead; we provide both so the approximation gap is measurable
+    ({!vertical_only} reproduces Estimate-Delay on the same inputs).
+
+    Distribution grids come from the supplied meeting distributions (all
+    must share one [dt]). Queues must be consistently ordered by a global
+    key (the paper sorts every queue by time-since-creation), which
+    guarantees the dependency graph is acyclic; a cycle raises
+    [Invalid_argument]. *)
+
+type queues = (int * string list) list
+(** Per DTN node: the queue of packet labels destined to the common
+    destination, head (next to be delivered) first. The same label in
+    several queues denotes replicas. *)
+
+val estimate :
+  queues:queues ->
+  meeting:(int -> Rapid_prelude.Dist.Discrete.t) ->
+  string ->
+  Rapid_prelude.Dist.Discrete.t
+(** Full dependency-graph delay distribution of the labelled packet.
+    [meeting n] is e_n. Raises [Not_found] for an unknown label. *)
+
+val vertical_only :
+  queues:queues ->
+  meeting:(int -> Rapid_prelude.Dist.Discrete.t) ->
+  string ->
+  Rapid_prelude.Dist.Discrete.t
+(** The Estimate-Delay approximation on the same inputs: a replica at
+    position k (0-based) waits for k+1 independent meetings of its own
+    node, i.e. d'(p_j) = e_n^{⊕(k+1)}; d(p) = min_j d'(p_j). *)

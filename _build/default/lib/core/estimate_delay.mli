@@ -1,0 +1,35 @@
+(** Algorithm Estimate-Delay (§4.1) under the exponential approximation.
+
+    A node needs, per packet i destined to Z:
+    - per believed replica holder j: the expected direct inter-meeting time
+      E(M_jZ) and the number of meetings n_j(i) = ⌈b_j(i)/B_j⌉ that j
+      needs with Z before i's turn comes (buffer position over expected
+      transfer size, Algorithm 2 steps 1–4);
+    - the exponential approximation (§4.1.1 / Eq. 9):
+        A(i) = [ Σ_j 1 / (E(M_jZ) · n_j(i)) ]⁻¹
+        P(a(i) < t) = 1 − exp(−R·t) with R = Σ_j 1/(E(M_jZ)·n_j(i)).
+
+    [rate_of_holder] returns one summand of R; combine with {!expected_delay}
+    / {!delivery_prob_within}. *)
+
+val n_meetings :
+  entries:Rapid_sim.Buffer.entry list ->
+  packet:Rapid_sim.Packet.t ->
+  avg_transfer_bytes:float ->
+  int
+(** Meetings holder needs with the destination to deliver [packet] directly:
+    sort the holder's packets destined to [packet.dst] oldest-first (the
+    direct-delivery order of Protocol rapid step 2, i.e. descending T(i)),
+    sum the sizes up to and including [packet], divide by the expected
+    transfer size, round up; at least 1. [entries] is the holder's buffer;
+    [packet] need not be in it (the would-be position is used), duplicates
+    are handled. *)
+
+val rate_of_holder : meeting_time:float -> n_meet:int -> float
+(** 1/(E·n); 0 when E is infinite (holder never meets the destination). *)
+
+val expected_delay : rate:float -> float
+(** A(i) = 1/R; [infinity] when R = 0. *)
+
+val delivery_prob_within : rate:float -> horizon:float -> float
+(** P(a(i) < horizon) = 1 − e^{−R·horizon}; 0 for non-positive horizon. *)

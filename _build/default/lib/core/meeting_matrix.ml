@@ -1,0 +1,98 @@
+open Rapid_prelude
+
+type t = {
+  n : int;
+  gaps : Moving_average.Cumulative.t array array;  (* upper triangle used *)
+  last_meeting : float array array;
+  mutable updates : int;
+  mutable closure : float array array option;  (* cached h-hop estimate *)
+  mutable closure_h : int;
+}
+
+let create ~num_nodes =
+  {
+    n = num_nodes;
+    gaps =
+      Array.init num_nodes (fun _ ->
+          Array.init num_nodes (fun _ -> Moving_average.Cumulative.create ()));
+    last_meeting = Array.init num_nodes (fun _ -> Array.make num_nodes nan);
+    updates = 0;
+    closure = None;
+    closure_h = 0;
+  }
+
+let key a b = if a < b then (a, b) else (b, a)
+
+let observe t ~now ~a ~b =
+  if a = b then invalid_arg "Meeting_matrix.observe: self-meeting";
+  let x, y = key a b in
+  let last = t.last_meeting.(x).(y) in
+  let gap = if Float.is_nan last then now else now -. last in
+  (* A zero gap (two meetings at the same instant) carries no information
+     about the meeting process; the average must stay positive. *)
+  if gap > 0.0 then Moving_average.Cumulative.add t.gaps.(x).(y) gap;
+  t.last_meeting.(x).(y) <- now;
+  t.updates <- t.updates + 1;
+  t.closure <- None
+
+let direct_mean t a b =
+  if a = b then Some 0.0
+  else begin
+    let x, y = key a b in
+    Moving_average.Cumulative.value t.gaps.(x).(y)
+  end
+
+let compute_closure t ~h =
+  let n = t.n in
+  let d1 =
+    Array.init n (fun a ->
+        Array.init n (fun b ->
+            if a = b then 0.0
+            else match direct_mean t a b with Some v -> v | None -> infinity))
+  in
+  (* dk.(a).(b): cheapest expected time using at most k hops. *)
+  let extend prev =
+    Array.init n (fun a ->
+        Array.init n (fun b ->
+            if a = b then 0.0
+            else begin
+              let best = ref prev.(a).(b) in
+              for y = 0 to n - 1 do
+                if y <> a && y <> b then begin
+                  let via = d1.(a).(y) +. prev.(y).(b) in
+                  if via < !best then best := via
+                end
+              done;
+              !best
+            end))
+  in
+  let rec go acc k = if k >= h then acc else go (extend acc) (k + 1) in
+  go d1 1
+
+let expected_meeting_time ?(h = 3) t a b =
+  if a = b then 0.0
+  else begin
+    let closure =
+      match t.closure with
+      | Some c when t.closure_h = h -> c
+      | Some _ | None ->
+          let c = compute_closure t ~h in
+          t.closure <- Some c;
+          t.closure_h <- h;
+          c
+    in
+    closure.(a).(b)
+  end
+
+let updates_count t = t.updates
+
+let global_mean t =
+  let w = Stats.Welford.create () in
+  for a = 0 to t.n - 1 do
+    for b = a + 1 to t.n - 1 do
+      match Moving_average.Cumulative.value t.gaps.(a).(b) with
+      | Some v -> Stats.Welford.add w v
+      | None -> ()
+    done
+  done;
+  if Stats.Welford.count w = 0 then None else Some (Stats.Welford.mean w)

@@ -1,0 +1,8 @@
+type t = Average_delay | Missed_deadlines | Maximum_delay
+
+let to_string = function
+  | Average_delay -> "avg-delay"
+  | Missed_deadlines -> "deadline"
+  | Maximum_delay -> "max-delay"
+
+let all = [ Average_delay; Missed_deadlines; Maximum_delay ]

@@ -1,0 +1,24 @@
+(** The administrator-specified routing metrics RAPID optimizes (§3.5).
+
+    Table 2 glossary, used throughout this library:
+    - D(i): packet i's expected delay = T(i) + A(i)
+    - T(i): time since creation of i
+    - a(i): random remaining time to deliver i
+    - A(i): expected remaining time, E[a(i)]
+    - L(i): packet lifetime (deadline relative to creation)
+    - M_XZ: random inter-meeting time between nodes X and Z *)
+
+type t =
+  | Average_delay
+      (** Metric 1 (Eq. 1): U_i = −D(i); replicate the packet whose
+          replication most reduces expected delay per byte. *)
+  | Missed_deadlines
+      (** Metric 2 (Eq. 2): U_i = P(a(i) < L(i) − T(i)) when the deadline
+          is still ahead, 0 once missed. *)
+  | Maximum_delay
+      (** Metric 3 (Eq. 3): U_i = −D(i) only for the packet with the
+          largest expected delay in the buffer; recomputed after each
+          replication (work conservation, §3.5.3). *)
+
+val to_string : t -> string
+val all : t list

@@ -1,0 +1,613 @@
+open Rapid_prelude
+open Rapid_sim
+
+type params = {
+  metric : Metric.t;
+  channel : Control_channel.t;
+  use_acks : bool;
+  ack_entry_bytes : int;
+  table_entry_bytes : int;
+  packet_entry_bytes : int;
+  h_hops : int;
+  meta_self_cap_frac : float;
+}
+
+let default_params metric =
+  {
+    metric;
+    channel = Control_channel.In_band;
+    use_acks = true;
+    ack_entry_bytes = 8;
+    table_entry_bytes = 12;
+    packet_entry_bytes = 20;
+    h_hops = 3;
+    meta_self_cap_frac = 0.08;
+  }
+
+(* Stand-in for an infinite expected delay when ordering improvements:
+   replicating a packet nobody can currently deliver dominates any finite
+   improvement. *)
+let big_delay = 1e15
+
+let make params : Protocol.packed =
+  (module struct
+    type t = {
+      env : Env.t;
+      ranking : Ranking.t;
+      acks : Protocol.Ack_store.t;
+      matrix : Meeting_matrix.t;
+      (* Expected transfer-opportunity bytes per pair and globally
+         (Algorithm 2 step 3). *)
+      pair_transfer : Moving_average.Cumulative.t array array;
+      global_transfer : Moving_average.Cumulative.t;
+      (* Per-node believed replica locations; [truth] is ground truth,
+         maintained from first-hand events, read only by the
+         instant-global channel. *)
+      dbs : Replica_db.t array;
+      truth : Replica_db.t;
+      last_meta_exchange : float array array;
+      (* meet_count.(x): meetings x has participated in; last_table_sync
+         tracks the counter at the last exchange with each peer, pricing
+         the "expected meeting times with nodes" row delta (§4.2). *)
+      meet_count : int array;
+      last_table_sync : int array array;
+      (* Per-contact cache of buffer position indexes (cleared each
+         contact): transfers would otherwise rescan the receiver's buffer
+         per packet. Entries go slightly stale within a contact; the next
+         contact's refresh corrects them. *)
+      contact_indexes :
+        (int, (int, (float * int * int) array * int array) Hashtbl.t) Hashtbl.t;
+    }
+
+    let name =
+      Printf.sprintf "RAPID(%s%s%s)"
+        (Metric.to_string params.metric)
+        (match params.channel with
+        | Control_channel.In_band -> ""
+        | c -> "," ^ Control_channel.to_string c)
+        (if params.use_acks then "" else ",no-acks")
+
+    let create env =
+      let n = env.Env.num_nodes in
+      {
+        env;
+        ranking = Ranking.create ();
+        acks = Protocol.Ack_store.create ~num_nodes:n;
+        matrix = Meeting_matrix.create ~num_nodes:n;
+        pair_transfer =
+          Array.init n (fun _ ->
+              Array.init n (fun _ -> Moving_average.Cumulative.create ()));
+        global_transfer = Moving_average.Cumulative.create ();
+        dbs = Array.init n (fun _ -> Replica_db.create ());
+        truth = Replica_db.create ();
+        last_meta_exchange = Array.init n (fun _ -> Array.make n neg_infinity);
+        meet_count = Array.make n 0;
+        last_table_sync = Array.init n (fun _ -> Array.make n 0);
+        contact_indexes = Hashtbl.create 4;
+      }
+
+    (* -------------------------------------------------------------- *)
+    (* Estimation helpers *)
+
+    let view t node =
+      match params.channel with
+      | Control_channel.Instant_global -> t.truth
+      | Control_channel.In_band | Control_channel.Local_only -> t.dbs.(node)
+
+    (* B_j: expected transfer opportunity between [holder] and [dst]. *)
+    let b_avg t ~holder ~dst =
+      let x, y = if holder < dst then (holder, dst) else (dst, holder) in
+      match Moving_average.Cumulative.value t.pair_transfer.(x).(y) with
+      | Some v -> v
+      | None ->
+          Moving_average.Cumulative.value_or t.global_transfer ~default:1e6
+
+    (* "When two nodes never meet, even via three intermediate nodes, we
+       set the expected inter-meeting time to infinity" (§4.1.2): an
+       infinite estimate yields a zero delivery rate and hence zero
+       marginal utility, so RAPID does not replicate toward destinations
+       it has no evidence of reaching. *)
+    let meeting_time t a b =
+      Meeting_matrix.expected_meeting_time ~h:params.h_hops t.matrix a b
+
+    (* n_j(i) for a single packet, without sorting the buffer: only the
+       bytes of same-destination packets ahead in delivery order matter. *)
+    let n_meet_at t ~node ~(packet : Packet.t) =
+      let dst = packet.Packet.dst in
+      let before (p : Packet.t) =
+        p.Packet.created < packet.Packet.created
+        || (p.Packet.created = packet.Packet.created
+           && p.Packet.id < packet.Packet.id)
+      in
+      let bytes =
+        Buffer.fold_unordered t.env.Env.buffers.(node) ~init:0
+          ~f:(fun acc (e : Buffer.entry) ->
+            let p = e.packet in
+            if p.Packet.dst = dst && p.Packet.id <> packet.Packet.id && before p
+            then acc + p.Packet.size
+            else acc)
+      in
+      let avg = Float.max 1.0 (b_avg t ~holder:node ~dst) in
+      max 1
+        (int_of_float
+           (Float.ceil (float_of_int (bytes + packet.Packet.size) /. avg)))
+
+    (* Total delivery rate R over the believed holders of [packet] as seen
+       by [observer] (Eq. 9 summation). *)
+    let believed_rate t ~observer ~(packet : Packet.t) =
+      let db = view t observer in
+      let dst = packet.Packet.dst in
+      Replica_db.fold_holders db ~packet_id:packet.Packet.id ~init:0.0
+        ~f:(fun acc holder_id (h : Replica_db.holder) ->
+          acc
+          +. Estimate_delay.rate_of_holder
+               ~meeting_time:(meeting_time t holder_id dst)
+               ~n_meet:h.Replica_db.n_meet)
+
+    (* Per-destination index over a node's buffer: entries sorted in
+       delivery order (created, then id) with byte prefix sums, so the
+       would-be queue position of any packet is a binary search instead of
+       a buffer scan per candidate. *)
+    let position_index entries =
+      let by_dst : (int, (float * int * int) list ref) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      List.iter
+        (fun (e : Buffer.entry) ->
+          let p = e.packet in
+          let cell =
+            match Hashtbl.find_opt by_dst p.Packet.dst with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.replace by_dst p.Packet.dst c;
+                c
+          in
+          cell := (p.Packet.created, p.Packet.id, p.Packet.size) :: !cell)
+        entries;
+      let index = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun dst cell ->
+          let arr = Array.of_list !cell in
+          Array.sort compare arr;
+          let prefix = Array.make (Array.length arr + 1) 0 in
+          Array.iteri
+            (fun i (_, _, size) -> prefix.(i + 1) <- prefix.(i) + size)
+            arr;
+          Hashtbl.replace index dst (arr, prefix))
+        by_dst;
+      index
+
+    (* Bytes queued ahead of [packet] (strictly earlier in delivery order,
+       excluding the packet itself) at the node the index describes. *)
+    let bytes_before index (packet : Packet.t) =
+      match Hashtbl.find_opt index packet.Packet.dst with
+      | None -> 0
+      | Some (arr, prefix) ->
+          let key = (packet.Packet.created, packet.Packet.id, min_int) in
+          let lo = ref 0 and hi = ref (Array.length arr) in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if compare arr.(mid) key < 0 then lo := mid + 1 else hi := mid
+          done;
+          prefix.(!lo)
+
+    let n_meet_from_index t ~node index (packet : Packet.t) =
+      let b = bytes_before index packet in
+      let avg =
+        Float.max 1.0 (b_avg t ~holder:node ~dst:packet.Packet.dst)
+      in
+      max 1
+        (int_of_float
+           (Float.ceil (float_of_int (b + packet.Packet.size) /. avg)))
+
+    (* Current believed rate and the rate the receiver would add, from the
+       sender's knowledge (the deciding node is the sender, §3.4). The
+       receiver is not currently a holder (the candidate filter checked its
+       buffer), so any stale holder entry for it is excluded from the
+       baseline — otherwise its rate would be counted twice. *)
+    let marginal t ~sender ~receiver ~recv_index ~(packet : Packet.t) =
+      let r = believed_rate t ~observer:sender ~packet in
+      let r =
+        match
+          Replica_db.find_holder (view t sender) ~packet_id:packet.Packet.id
+            ~holder_id:receiver
+        with
+        | Some stale ->
+            Float.max 0.0
+              (r
+              -. Estimate_delay.rate_of_holder
+                   ~meeting_time:(meeting_time t receiver packet.Packet.dst)
+                   ~n_meet:stale.Replica_db.n_meet)
+        | None -> r
+      in
+      let n_recv = n_meet_from_index t ~node:receiver recv_index packet in
+      let r_recv =
+        Estimate_delay.rate_of_holder
+          ~meeting_time:(meeting_time t receiver packet.Packet.dst)
+          ~n_meet:n_recv
+      in
+      (r, r_recv)
+
+    let delay_improvement ~r ~r_recv =
+      let a = Estimate_delay.expected_delay ~rate:r in
+      let a' = Estimate_delay.expected_delay ~rate:(r +. r_recv) in
+      if not (Float.is_finite a') then 0.0
+      else if not (Float.is_finite a) then big_delay -. a'
+      else a -. a'
+
+    let on_created t ~now (p : Packet.t) =
+      let n = n_meet_at t ~node:p.Packet.src ~packet:p in
+      Replica_db.set_holder t.truth ~packet:p ~holder_id:p.Packet.src ~n_meet:n
+        ~now;
+      Replica_db.set_holder t.dbs.(p.Packet.src) ~packet:p
+        ~holder_id:p.Packet.src ~n_meet:n ~now
+
+    (* -------------------------------------------------------------- *)
+    (* Selection: ranking per direction *)
+
+    let direct_order t ~now entries =
+      ignore t;
+      let by_age (x : Buffer.entry) (y : Buffer.entry) =
+        match Float.compare x.packet.Packet.created y.packet.Packet.created with
+        | 0 -> Int.compare x.packet.Packet.id y.packet.Packet.id
+        | n -> n
+      in
+      match params.metric with
+      | Metric.Average_delay | Metric.Maximum_delay -> List.sort by_age entries
+      | Metric.Missed_deadlines ->
+          (* Alive packets by nearest deadline, then the expired ones. *)
+          let alive, dead =
+            List.partition
+              (fun (e : Buffer.entry) ->
+                not (Packet.missed_deadline e.packet ~now))
+              entries
+          in
+          let by_deadline (x : Buffer.entry) (y : Buffer.entry) =
+            match (x.packet.Packet.deadline, y.packet.Packet.deadline) with
+            | Some dx, Some dy -> (
+                match Float.compare dx dy with 0 -> by_age x y | n -> n)
+            | Some _, None -> -1
+            | None, Some _ -> 1
+            | None, None -> by_age x y
+          in
+          List.sort by_deadline alive @ List.sort by_age dead
+
+    let cached_index t node =
+      match Hashtbl.find_opt t.contact_indexes node with
+      | Some idx -> idx
+      | None ->
+          let idx = position_index (Env.buffered_entries t.env node) in
+          Hashtbl.replace t.contact_indexes node idx;
+          idx
+
+    let rank t ~now ~sender ~receiver =
+      let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
+      let direct, rest = Protocol.split_direct ~receiver candidates in
+      let recv_index = cached_index t receiver in
+      let scored =
+        List.filter_map
+          (fun (e : Buffer.entry) ->
+            let p = e.packet in
+            let r, r_recv = marginal t ~sender ~receiver ~recv_index ~packet:p in
+            if r_recv <= 0.0 then None
+            else begin
+              let delta =
+                match params.metric with
+                | Metric.Average_delay | Metric.Maximum_delay ->
+                    delay_improvement ~r ~r_recv
+                | Metric.Missed_deadlines -> (
+                    match Packet.remaining_lifetime p ~now with
+                    | None -> delay_improvement ~r ~r_recv
+                    | Some rem ->
+                        Estimate_delay.delivery_prob_within ~rate:(r +. r_recv)
+                          ~horizon:rem
+                        -. Estimate_delay.delivery_prob_within ~rate:r
+                             ~horizon:rem)
+              in
+              if delta <= 0.0 then None
+              else begin
+                let per_byte = delta /. float_of_int p.Packet.size in
+                (* Expected delay D(i), the metric-3 ranking key. *)
+                let a = Estimate_delay.expected_delay ~rate:r in
+                let d =
+                  Packet.age p ~now +. Float.min a big_delay
+                in
+                Some (p, per_byte, d)
+              end
+            end)
+          rest
+      in
+      let ordered =
+        match params.metric with
+        | Metric.Average_delay | Metric.Missed_deadlines ->
+            List.sort
+              (fun (px, sx, _) (py, sy, _) ->
+                match Float.compare sy sx with
+                | 0 -> Int.compare px.Packet.id py.Packet.id
+                | n -> n)
+              scored
+        | Metric.Maximum_delay ->
+            (* Work conservation: serve highest expected delay first;
+               replication only changes the served packet's own D(i), so a
+               static descending order is equivalent within one contact. *)
+            List.sort
+              (fun (px, _, dx) (py, _, dy) ->
+                match Float.compare dy dx with
+                | 0 -> Int.compare px.Packet.id py.Packet.id
+                | n -> n)
+              scored
+      in
+      List.map (fun (e : Buffer.entry) -> e.packet) (direct_order t ~now direct)
+      @ List.map (fun (p, _, _) -> p) ordered
+
+    (* -------------------------------------------------------------- *)
+    (* Control channel *)
+
+    let refresh_own t ~now node =
+      (* Re-estimate n_meet for every buffered packet, but only mark an
+         entry changed when the estimate moved — "the node only sends
+         information about packets whose information changed since the
+         last exchange" (§4.2). *)
+      let entries = Env.buffered_entries t.env node in
+      let index = position_index entries in
+      List.iter
+        (fun (e : Buffer.entry) ->
+          let p = e.packet in
+          let n = n_meet_from_index t ~node index p in
+          let unchanged =
+            match
+              Replica_db.find_holder t.dbs.(node) ~packet_id:p.Packet.id
+                ~holder_id:node
+            with
+            | Some h ->
+                let old = h.Replica_db.n_meet in
+                (* Hysteresis: deep-queue jitter (17 <-> 18 meetings) barely
+                   moves the estimate but would flood the channel; small
+                   n changes matter and are always shipped. *)
+                old = n || (old > 3 && abs (old - n) < 2)
+            | None -> false
+          in
+          if not unchanged then begin
+            Replica_db.set_holder t.truth ~packet:p ~holder_id:node ~n_meet:n
+              ~now;
+            Replica_db.set_holder t.dbs.(node) ~packet:p ~holder_id:node
+              ~n_meet:n ~now
+          end)
+        entries
+
+    let purge_delivered_instantly t ~node =
+      (* Instant-global acknowledgments: any buffered copy of an
+         already-delivered packet is cleared on the spot. *)
+      let buffer = t.env.Env.buffers.(node) in
+      let victims =
+        List.filter
+          (fun (e : Buffer.entry) ->
+            Env.is_delivered t.env e.packet.Packet.id)
+          (Env.buffered_entries t.env node)
+      in
+      List.iter
+        (fun (e : Buffer.entry) ->
+          match Buffer.remove buffer e.packet.Packet.id with
+          | Some _ ->
+              t.env.Env.ack_purges <- t.env.Env.ack_purges + 1;
+              Replica_db.remove_packet t.truth ~packet_id:e.packet.Packet.id
+          | None -> ())
+        victims
+
+    (* Ship [sender]'s metadata delta to [receiver], oldest entries first so
+       a budget cut leaves the remainder eligible next time. Returns bytes
+       spent. *)
+    let send_delta t ~now ~sender ~receiver ~entry_budget =
+      let since = t.last_meta_exchange.(sender).(receiver) in
+      let delta =
+        List.rev (Replica_db.entries_since t.dbs.(sender) since)
+        |> List.filter (fun (e : Replica_db.entry) ->
+               match params.channel with
+               | Control_channel.Local_only ->
+                   (* Only packets currently in the sender's own buffer. *)
+                   Rapid_sim.Buffer.mem
+                     t.env.Env.buffers.(sender)
+                     e.Replica_db.packet.Packet.id
+               | Control_channel.In_band -> true
+               | Control_channel.Instant_global -> false)
+      in
+      let sent = ref 0 in
+      let budget_left = ref entry_budget in
+      let rec ship = function
+        | [] -> t.last_meta_exchange.(sender).(receiver) <- now
+        | (e : Replica_db.entry) :: rest ->
+            if !budget_left <= 0 then begin
+              (* The remainder stays pending: rewind the watermark to just
+                 before the oldest unsent entry. *)
+              let oldest =
+                List.fold_left
+                  (fun acc (u : Replica_db.entry) ->
+                    Float.min acc u.Replica_db.holder.Replica_db.updated_at)
+                  e.Replica_db.holder.Replica_db.updated_at rest
+              in
+              t.last_meta_exchange.(sender).(receiver) <- oldest -. 1e-9
+            end
+            else begin
+              incr sent;
+              decr budget_left;
+              ignore
+                (Replica_db.merge t.dbs.(receiver) ~packet:e.Replica_db.packet
+                   ~holder_id:e.Replica_db.holder_id ~holder:e.Replica_db.holder);
+              ship rest
+            end
+      in
+      ship delta;
+      !sent * params.packet_entry_bytes
+
+    let on_contact t ~now ~a ~b ~budget ~meta_budget =
+      Ranking.begin_contact t.ranking;
+      Hashtbl.reset t.contact_indexes;
+      Meeting_matrix.observe t.matrix ~now ~a ~b;
+      t.meet_count.(a) <- t.meet_count.(a) + 1;
+      t.meet_count.(b) <- t.meet_count.(b) + 1;
+      let x, y = if a < b then (a, b) else (b, a) in
+      Moving_average.Cumulative.add t.pair_transfer.(x).(y) (float_of_int budget);
+      Moving_average.Cumulative.add t.global_transfer (float_of_int budget);
+      refresh_own t ~now a;
+      refresh_own t ~now b;
+      let bytes = ref 0 in
+      (* Metadata can never exceed the transfer opportunity; absent an
+         administrator cap (Fig. 8), RAPID limits itself to a fraction of
+         the opportunity so gossip cannot starve data under churn. *)
+      let cap =
+        match meta_budget with
+        | Some m -> min m budget
+        | None ->
+            int_of_float (params.meta_self_cap_frac *. float_of_int budget)
+      in
+      let remaining () = cap - !bytes in
+      (match params.channel with
+      | Control_channel.Instant_global ->
+          purge_delivered_instantly t ~node:a;
+          purge_delivered_instantly t ~node:b
+      | Control_channel.In_band | Control_channel.Local_only ->
+          (* 1. Acknowledgments (highest priority). *)
+          if params.use_acks && remaining () >= params.ack_entry_bytes then begin
+            let fresh = Protocol.Ack_store.exchange t.acks ~a ~b in
+            let purge node =
+              Protocol.Ack_store.purge t.acks t.env ~node ~on_purge:(fun p ->
+                  Replica_db.remove_packet t.dbs.(node)
+                    ~packet_id:p.Packet.id;
+                  Replica_db.remove_holder t.truth ~packet_id:p.Packet.id
+                    ~holder_id:node)
+            in
+            purge a;
+            purge b;
+            bytes := !bytes + (fresh * params.ack_entry_bytes)
+          end;
+          (* 2. Meeting-time table deltas: each side ships the cells of its
+             own row that changed since it last synced with this peer (a
+             row has at most n-1 cells). *)
+          let row_cells x y =
+            min (t.env.Env.num_nodes - 1)
+              (t.meet_count.(x) - t.last_table_sync.(x).(y))
+          in
+          let cells = row_cells a b + row_cells b a in
+          let table_bytes = cells * params.table_entry_bytes in
+          let table_bytes = min table_bytes (max 0 (remaining ())) in
+          bytes := !bytes + table_bytes;
+          t.last_table_sync.(a).(b) <- t.meet_count.(a);
+          t.last_table_sync.(b).(a) <- t.meet_count.(b);
+          (* 3. Replica metadata deltas, split evenly across directions. *)
+          let entry_budget_total = max 0 (remaining ()) / params.packet_entry_bytes in
+          let half = (entry_budget_total + 1) / 2 in
+          let spent_ab =
+            send_delta t ~now ~sender:a ~receiver:b ~entry_budget:half
+          in
+          bytes := !bytes + spent_ab;
+          let rest_budget =
+            entry_budget_total - (spent_ab / params.packet_entry_bytes)
+          in
+          bytes :=
+            !bytes
+            + send_delta t ~now ~sender:b ~receiver:a ~entry_budget:rest_budget);
+      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~now ~sender:a ~receiver:b);
+      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~now ~sender:b ~receiver:a);
+      !bytes
+
+    let next_packet t ~now:_ ~sender ~receiver ~budget =
+      Ranking.next t.ranking t.env ~sender ~receiver ~budget
+
+    let on_transfer t ~now ~sender ~receiver (p : Packet.t) ~delivered =
+      let id = p.Packet.id in
+      if delivered then begin
+        if params.use_acks then begin
+          Protocol.Ack_store.learn t.acks ~node:sender ~packet_id:id;
+          Protocol.Ack_store.learn t.acks ~node:receiver ~packet_id:id
+        end;
+        Replica_db.remove_packet t.truth ~packet_id:id;
+        Replica_db.remove_packet t.dbs.(sender) ~packet_id:id;
+        Replica_db.remove_packet t.dbs.(receiver) ~packet_id:id
+      end
+      else begin
+        let n = n_meet_from_index t ~node:receiver (cached_index t receiver) p in
+        Replica_db.set_holder t.truth ~packet:p ~holder_id:receiver ~n_meet:n ~now;
+        List.iter
+          (fun node ->
+            Replica_db.set_holder t.dbs.(node) ~packet:p ~holder_id:receiver
+              ~n_meet:n ~now)
+          [ sender; receiver ]
+      end
+
+    (* -------------------------------------------------------------- *)
+    (* Storage adaptation (§3.4): lowest-utility first; a source never
+       deletes its own unacknowledged packet. *)
+
+    let drop_candidate t ~now ~node ~incoming =
+      (* Foreign replicas are evicted before anything else; a source's own
+         packets are protected (§3.4) — except that a source creating a new
+         packet may replace its own lowest-utility one (the alternative
+         would deadlock a full source buffer forever). *)
+      let all = Env.buffered_entries t.env node in
+      let foreign =
+        List.filter (fun (e : Buffer.entry) -> e.packet.Packet.src <> node) all
+      in
+      let entries =
+        match foreign with
+        | _ :: _ -> foreign
+        | [] -> if incoming.Packet.src = node then all else []
+      in
+      (* Marginal utility of the local copy: how much does losing THIS
+         replica hurt the packet's expected metric contribution? A copy
+         whose packet is well replicated elsewhere (or can never reach its
+         destination) costs little — those go first, per byte. *)
+      let local_loss (p : Packet.t) =
+        let r = believed_rate t ~observer:node ~packet:p in
+        let r_self =
+          match
+            Replica_db.find_holder t.dbs.(node) ~packet_id:p.Packet.id
+              ~holder_id:node
+          with
+          | Some h ->
+              Estimate_delay.rate_of_holder
+                ~meeting_time:(meeting_time t node p.Packet.dst)
+                ~n_meet:h.Replica_db.n_meet
+          | None -> 0.0
+        in
+        let without = Float.max 0.0 (r -. r_self) in
+        match params.metric with
+        | Metric.Average_delay | Metric.Maximum_delay ->
+            let a = Estimate_delay.expected_delay ~rate:r in
+            let a' = Estimate_delay.expected_delay ~rate:without in
+            if not (Float.is_finite a) then 0.0
+            else if not (Float.is_finite a') then big_delay -. a
+            else a' -. a
+        | Metric.Missed_deadlines -> (
+            match Packet.remaining_lifetime p ~now with
+            | Some rem when rem <= 0.0 -> 0.0 (* dead: worthless, drop first *)
+            | Some rem ->
+                Estimate_delay.delivery_prob_within ~rate:r ~horizon:rem
+                -. Estimate_delay.delivery_prob_within ~rate:without
+                     ~horizon:rem
+            | None ->
+                let a = Estimate_delay.expected_delay ~rate:r in
+                let a' = Estimate_delay.expected_delay ~rate:without in
+                if not (Float.is_finite a) then 0.0
+                else if not (Float.is_finite a') then big_delay -. a
+                else a' -. a)
+      in
+      let cheapest =
+        List.fold_left
+          (fun acc (e : Buffer.entry) ->
+            let p = e.packet in
+            let s = local_loss p /. float_of_int p.Packet.size in
+            match acc with
+            | Some (_, bs) when bs <= s -> acc
+            | _ -> Some (p, s))
+          None entries
+      in
+      Option.map fst cheapest
+
+    let on_dropped t ~now:_ ~node (p : Packet.t) =
+      Replica_db.remove_holder t.truth ~packet_id:p.Packet.id ~holder_id:node;
+      Replica_db.remove_holder t.dbs.(node) ~packet_id:p.Packet.id
+        ~holder_id:node
+  end : Protocol.S)
+
+let make_default metric = make (default_params metric)

@@ -1,0 +1,118 @@
+open Rapid_sim
+
+type holder = { n_meet : int; updated_at : float }
+type entry = { packet : Packet.t; holder_id : int; holder : holder }
+
+type record = { packet : Packet.t; holders : (int, holder) Hashtbl.t }
+
+type t = {
+  records : (int, record) Hashtbl.t;
+  (* Update log, newest first: (log time, packet id, holder id). Lets
+     [entries_since] walk only the recent tail instead of scanning every
+     record. Log times are clamped to be non-increasing from the head
+     (gossip can carry old origin timestamps); emission re-checks the
+     entry's real [updated_at], so clamping can only widen the walk, never
+     lose an entry. Superseded or deleted entries are filtered during the
+     walk. *)
+  mutable log : (float * int * int) list;
+  mutable log_newest : float;
+  mutable log_len : int;
+}
+
+(* Bound on log length: beyond it the oldest deltas are discarded, so a
+   peer that has not exchanged for a very long time receives a truncated
+   (bounded-staleness) delta instead of the full history. This keeps
+   memory and per-contact work proportional to recent activity. *)
+let max_log = 8_000
+
+let create () =
+  { records = Hashtbl.create 256; log = []; log_newest = neg_infinity;
+    log_len = 0 }
+
+let log_update t ~time ~packet_id ~holder_id =
+  let time = Float.max time t.log_newest in
+  t.log_newest <- time;
+  t.log <- (time, packet_id, holder_id) :: t.log;
+  t.log_len <- t.log_len + 1;
+  if t.log_len > 2 * max_log then begin
+    (* Amortized truncation: keep the newest half. *)
+    t.log <- List.filteri (fun i _ -> i < max_log) t.log;
+    t.log_len <- max_log
+  end
+
+let record_of t (packet : Packet.t) =
+  match Hashtbl.find_opt t.records packet.Packet.id with
+  | Some r -> r
+  | None ->
+      let r = { packet; holders = Hashtbl.create 4 } in
+      Hashtbl.replace t.records packet.Packet.id r;
+      r
+
+let set_holder t ~packet ~holder_id ~n_meet ~now =
+  let r = record_of t packet in
+  Hashtbl.replace r.holders holder_id { n_meet; updated_at = now };
+  log_update t ~time:now ~packet_id:packet.Packet.id ~holder_id
+
+let merge t ~packet ~holder_id ~holder =
+  let r = record_of t packet in
+  match Hashtbl.find_opt r.holders holder_id with
+  | Some existing when existing.updated_at >= holder.updated_at -> false
+  | Some _ | None ->
+      Hashtbl.replace r.holders holder_id holder;
+      log_update t ~time:holder.updated_at ~packet_id:packet.Packet.id ~holder_id;
+      true
+
+let remove_holder t ~packet_id ~holder_id =
+  match Hashtbl.find_opt t.records packet_id with
+  | None -> ()
+  | Some r ->
+      Hashtbl.remove r.holders holder_id;
+      if Hashtbl.length r.holders = 0 then Hashtbl.remove t.records packet_id
+
+let remove_packet t ~packet_id = Hashtbl.remove t.records packet_id
+
+let holders t ~packet_id =
+  match Hashtbl.find_opt t.records packet_id with
+  | None -> []
+  | Some r ->
+      Hashtbl.fold (fun id h acc -> (id, h) :: acc) r.holders []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let fold_holders t ~packet_id ~init ~f =
+  match Hashtbl.find_opt t.records packet_id with
+  | None -> init
+  | Some r -> Hashtbl.fold (fun id h acc -> f acc id h) r.holders init
+
+let find_holder t ~packet_id ~holder_id =
+  match Hashtbl.find_opt t.records packet_id with
+  | None -> None
+  | Some r -> Hashtbl.find_opt r.holders holder_id
+
+let known_packet t ~packet_id =
+  Option.map (fun r -> r.packet) (Hashtbl.find_opt t.records packet_id)
+
+let entries_since t threshold =
+  let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec walk acc = function
+    | [] -> acc
+    | (time, _, _) :: _ when time <= threshold -> acc
+    | (_, packet_id, holder_id) :: rest ->
+        if Hashtbl.mem seen (packet_id, holder_id) then walk acc rest
+        else begin
+          Hashtbl.replace seen (packet_id, holder_id) ();
+          match Hashtbl.find_opt t.records packet_id with
+          | None -> walk acc rest (* forgotten (acked) *)
+          | Some r -> (
+              match Hashtbl.find_opt r.holders holder_id with
+              | Some holder when holder.updated_at > threshold ->
+                  walk ({ packet = r.packet; holder_id; holder } :: acc) rest
+              | Some _ | None -> walk acc rest)
+        end
+  in
+  (* Log order is newest-first up to the clamping of gossip timestamps —
+     close enough for the control channel, which only needs "roughly
+     newest first" (truncation fairness), not a total order. *)
+  List.rev (walk [] t.log)
+
+let size t =
+  Hashtbl.fold (fun _ r acc -> acc + Hashtbl.length r.holders) t.records 0

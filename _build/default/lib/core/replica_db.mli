@@ -1,0 +1,62 @@
+(** A node's view of where packet replicas live (§4.2).
+
+    "For each encountered packet i, rapid maintains a list of nodes that
+    carry the replica of i, and for each replica, an estimated time for
+    direct delivery" — here represented by the holder's meeting count
+    n_j(i) (its buffer position over its expected transfer size), which
+    combined with the meeting matrix yields the direct-delivery estimate.
+
+    Entries are timestamped so the in-band control channel can ship only
+    what changed since the last exchange with a given peer, and so that a
+    receiver merges only strictly fresher information (stale gossip never
+    overwrites newer observations). *)
+
+type holder = { n_meet : int; updated_at : float }
+
+type entry = {
+  packet : Rapid_sim.Packet.t;
+  holder_id : int;
+  holder : holder;
+}
+
+type t
+
+val create : unit -> t
+
+val set_holder :
+  t -> packet:Rapid_sim.Packet.t -> holder_id:int -> n_meet:int -> now:float -> unit
+(** First-hand knowledge: records/overwrites unconditionally. *)
+
+val merge :
+  t -> packet:Rapid_sim.Packet.t -> holder_id:int -> holder:holder -> bool
+(** Gossip: applied only if strictly fresher than what is known; returns
+    whether it was applied. *)
+
+val remove_holder : t -> packet_id:int -> holder_id:int -> unit
+(** Local knowledge of a drop; removals are not gossiped (the resulting
+    staleness at other nodes is the imprecision §4.2 accepts). *)
+
+val remove_packet : t -> packet_id:int -> unit
+(** Forget the packet entirely (ack received: "metadata for delivered
+    packets is deleted when an ack is received"). *)
+
+val holders : t -> packet_id:int -> (int * holder) list
+(** Sorted by holder id. *)
+
+val find_holder : t -> packet_id:int -> holder_id:int -> holder option
+
+val fold_holders :
+  t -> packet_id:int -> init:'a -> f:('a -> int -> holder -> 'a) -> 'a
+(** Fold over a packet's holders without sorting (hot path; iteration
+    order is deterministic for a given update sequence). *)
+
+val known_packet : t -> packet_id:int -> Rapid_sim.Packet.t option
+
+val entries_since : t -> float -> entry list
+(** Holder entries with [updated_at > threshold], approximately newest
+    first — the delta the control channel ships. The retained history is
+    bounded (several thousand updates): peers that have not exchanged for
+    a very long time receive a truncated, bounded-staleness delta. *)
+
+val size : t -> int
+(** Total holder entries stored. *)

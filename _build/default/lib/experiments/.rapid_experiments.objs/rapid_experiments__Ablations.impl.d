@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Control_channel Engine List Metric Metrics Params Printf Rapid Rapid_core Rapid_routing Rapid_sim Runners Stdlib

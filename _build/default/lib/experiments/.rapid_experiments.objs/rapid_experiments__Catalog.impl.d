@@ -1,0 +1,1 @@
+lib/experiments/catalog.ml: Ablations Deployment Fig_components Fig_fairness Fig_global Fig_metadata Fig_optimal Fig_synthetic Fig_trace_load List Params Printf Rapid_trace Series String

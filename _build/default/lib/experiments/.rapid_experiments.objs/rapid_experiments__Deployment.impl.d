@@ -1,0 +1,1 @@
+lib/experiments/deployment.ml: Array Dieselnet Engine List Metric Metrics Params Printf Rapid Rapid_core Rapid_prelude Rapid_sim Rapid_trace Rng Runners Series Stats String Trace

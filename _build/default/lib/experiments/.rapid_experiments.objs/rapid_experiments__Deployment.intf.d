@@ -1,0 +1,1 @@
+lib/experiments/deployment.mli: Params Series

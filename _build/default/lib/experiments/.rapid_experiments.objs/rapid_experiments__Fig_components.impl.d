@@ -1,0 +1,1 @@
+lib/experiments/fig_components.ml: Control_channel List Metric Metrics Params Rapid Rapid_core Rapid_sim Runners Series

@@ -1,0 +1,1 @@
+lib/experiments/fig_components.mli: Params Series

@@ -1,0 +1,1 @@
+lib/experiments/fig_fairness.ml: Array Engine Float List Metric Metrics Option Params Printf Rapid Rapid_core Rapid_prelude Rapid_sim Rapid_trace Rng Runners Series Stats Trace Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig_global.mli: Params Series

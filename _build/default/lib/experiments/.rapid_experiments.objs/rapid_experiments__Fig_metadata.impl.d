@@ -1,0 +1,1 @@
+lib/experiments/fig_metadata.ml: List Metrics Params Printf Rapid_core Rapid_sim Runners Series

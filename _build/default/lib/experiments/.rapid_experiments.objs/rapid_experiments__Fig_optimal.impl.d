@@ -1,0 +1,1 @@
+lib/experiments/fig_optimal.ml: Array Contact Control_channel Engine List Metric Metrics Params Printf Rapid Rapid_core Rapid_prelude Rapid_routing Rapid_sim Rapid_trace Runners Series Trace

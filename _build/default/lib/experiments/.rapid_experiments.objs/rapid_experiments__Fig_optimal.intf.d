@@ -1,0 +1,1 @@
+lib/experiments/fig_optimal.mli: Params Series

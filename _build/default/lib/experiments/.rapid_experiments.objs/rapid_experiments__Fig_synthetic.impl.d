@@ -1,0 +1,1 @@
+lib/experiments/fig_synthetic.ml: Hashtbl List Metric Metrics Params Rapid_core Rapid_sim Runners Series

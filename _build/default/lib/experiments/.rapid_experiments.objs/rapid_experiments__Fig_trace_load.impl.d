@@ -1,0 +1,1 @@
+lib/experiments/fig_trace_load.ml: List Metrics Params Rapid_core Rapid_sim Runners Series

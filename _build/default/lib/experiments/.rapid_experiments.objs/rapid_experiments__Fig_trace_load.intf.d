@@ -1,0 +1,1 @@
+lib/experiments/fig_trace_load.mli: Params Series

@@ -1,0 +1,1 @@
+lib/experiments/pair_ttest.ml: Array Hashtbl List Metrics Printf Rapid_prelude Rapid_sim Runners Stats

@@ -1,0 +1,1 @@
+lib/experiments/pair_ttest.mli: Params Rapid_prelude Runners

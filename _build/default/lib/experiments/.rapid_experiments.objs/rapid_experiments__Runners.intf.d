@@ -1,0 +1,1 @@
+lib/experiments/runners.mli: Params Rapid_core Rapid_sim Rapid_trace

@@ -1,0 +1,1 @@
+lib/experiments/series.ml: Buffer Format List Printf String

@@ -1,0 +1,12 @@
+(** Ablation study for the design choices DESIGN.md calls out (not a paper
+    figure): each RAPID knob is varied in isolation on the trace scenario
+    at a moderate load, and the oracle single-copy forwarder (P2) is run
+    for contrast.
+
+    Knobs: transitive meeting-estimate depth h (1/2/3), acknowledgments
+    on/off, in-band metadata self-cap (2/8/20%), and the control-channel
+    mode (in-band / local-only / instant-global). *)
+
+val run : Params.t -> string
+(** Rendered table: variant, delivery rate, avg delay, within-deadline,
+    metadata/data. *)

@@ -1,0 +1,66 @@
+type item = { id : string; title : string; run : Params.t -> string }
+
+let series id title f = { id; title; run = (fun p -> Series.render (f p)) }
+
+let all =
+  [
+    {
+      id = "table3";
+      title = "Deployment daily statistics";
+      run = (fun p -> Deployment.render_table3 (Deployment.table3 p));
+    };
+    series "fig3" "Validation: real vs simulation" Deployment.fig3;
+    series "fig4" "Trace: average delay" Fig_trace_load.fig4;
+    series "fig5" "Trace: delivery rate" Fig_trace_load.fig5;
+    series "fig6" "Trace: max delay" Fig_trace_load.fig6;
+    series "fig7" "Trace: delivery within deadline" Fig_trace_load.fig7;
+    series "fig8" "Trace: control channel benefit" Fig_metadata.fig8;
+    series "fig9" "Trace: channel utilization" Fig_metadata.fig9;
+    series "fig10" "Trace: global channel, avg delay" Fig_global.fig10;
+    series "fig11" "Trace: global channel, delivery rate" Fig_global.fig11;
+    series "fig12" "Trace: global channel, within deadline" Fig_global.fig12;
+    series "fig13" "Trace: comparison with Optimal" Fig_optimal.fig13;
+    series "fig14" "Trace: RAPID components" Fig_components.fig14;
+    series "fig15" "Trace: fairness CDF" Fig_fairness.fig15;
+    series "fig16" "Powerlaw: avg delay" Fig_synthetic.fig16;
+    series "fig17" "Powerlaw: max delay" Fig_synthetic.fig17;
+    series "fig18" "Powerlaw: within deadline" Fig_synthetic.fig18;
+    series "fig19" "Powerlaw: avg delay vs buffer" Fig_synthetic.fig19;
+    series "fig20" "Powerlaw: max delay vs buffer" Fig_synthetic.fig20;
+    series "fig21" "Powerlaw: within deadline vs buffer" Fig_synthetic.fig21;
+    series "fig22" "Exponential: avg delay" Fig_synthetic.fig22;
+    series "fig23" "Exponential: max delay" Fig_synthetic.fig23;
+    series "fig24" "Exponential: within deadline" Fig_synthetic.fig24;
+    {
+      id = "ablations";
+      title = "RAPID design-knob ablations (not a paper figure)";
+      run = Ablations.run;
+    };
+  ]
+
+let find id = List.find_opt (fun i -> i.id = id) all
+
+let params_header (p : Params.t) =
+  let dn = p.Params.dieselnet in
+  String.concat "\n"
+    [
+      Printf.sprintf "profile: %s"
+        (match p.Params.profile with Params.Quick -> "quick" | Params.Full -> "full");
+      Printf.sprintf
+        "trace: fleet=%d scheduled~%d day=%.1fh meetings/day~%.0f contact~%.0fKB days=%d loads=%s deadline=%.0fmin"
+        dn.Rapid_trace.Dieselnet.fleet_size dn.Rapid_trace.Dieselnet.mean_scheduled
+        (dn.Rapid_trace.Dieselnet.day_seconds /. 3600.0)
+        dn.Rapid_trace.Dieselnet.meetings_per_day
+        (dn.Rapid_trace.Dieselnet.mean_contact_bytes /. 1e3)
+        p.Params.days
+        (String.concat "," (List.map (Printf.sprintf "%g") p.Params.trace_loads))
+        (p.Params.trace_deadline /. 60.0);
+      Printf.sprintf
+        "synthetic: nodes=%d duration=%.0fs meet~%.0fs opp=%dKB buffer=%dKB pkt=%dB deadline=%.0fs loads=%s runs=%d"
+        p.Params.syn_nodes p.Params.syn_duration p.Params.syn_mean_inter_meeting
+        (p.Params.syn_opportunity_bytes / 1024)
+        (p.Params.syn_buffer_bytes / 1024)
+        p.Params.syn_packet_bytes p.Params.syn_deadline
+        (String.concat "," (List.map (Printf.sprintf "%g") p.Params.syn_loads))
+        p.Params.syn_runs;
+    ]

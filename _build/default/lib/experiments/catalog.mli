@@ -1,0 +1,16 @@
+(** Registry of every reproduced artifact, keyed by paper id ("fig4",
+    "table3", ...), used by both the CLI and the bench harness. *)
+
+type item = {
+  id : string;
+  title : string;
+  run : Params.t -> string;  (** Render the paper-style rows/series. *)
+}
+
+val all : item list
+(** In paper order: table3, fig3, fig4 ... fig24. *)
+
+val find : string -> item option
+
+val params_header : Params.t -> string
+(** Table-4-style parameter banner printed before a batch of runs. *)

@@ -1,0 +1,6 @@
+(** Figure 14: value of each RAPID component, cumulatively from Random
+    (§6.2.6): Random, Random with flooded acks, RAPID-local (metadata about
+    the node's own buffer only), and full RAPID, on the trace, metric =
+    average delay. *)
+
+val fig14 : Params.t -> Series.t

@@ -1,0 +1,68 @@
+open Rapid_prelude
+open Rapid_trace
+open Rapid_sim
+open Rapid_core
+
+(* Jain index over the delays of one parallel batch (packets created
+   exactly at the batch instant), following the paper's per-flow delay
+   comparison: delivered packets' delays are compared; a batch with fewer
+   than two deliveries contributes nothing. *)
+let batch_index (report : Metrics.report) ~batch_time =
+  let ds =
+    Array.to_list report.Metrics.outcomes
+    |> List.filter_map (fun (_, created, delivered_at) ->
+           if created <> batch_time then None
+           else Option.map (fun at -> at -. created) delivered_at)
+    |> Array.of_list
+  in
+  if Array.length ds < 2 then None else Some (Stats.jain_index ds)
+
+let fig15 (params : Params.t) =
+  let batches = [ 20; 30 ] in
+  let batch_fracs = [ 0.1; 0.2; 0.3; 0.4; 0.5 ] in
+  let indices n =
+    List.concat
+      (List.init params.Params.days (fun day ->
+           let trace = Runners.trace_day ~params ~day in
+           let rng = Rng.create ((params.Params.base_seed * 131) + day) in
+           let ats =
+             List.map (fun f -> trace.Trace.duration *. f) batch_fracs
+           in
+           let batches =
+             List.concat_map
+               (fun at ->
+                 Workload.parallel_batch rng ~trace ~n ~at
+                   ~size:params.Params.trace_packet_bytes ())
+               ats
+           in
+           (* Heavy background load so the parallel flows contend (§6.2.5
+              uses 60 packets per hour per node). *)
+           let background =
+             Runners.trace_workload ~params ~trace ~load:30.0 ~day
+           in
+           let workload =
+             List.sort
+               (fun (a : Workload.spec) b -> Float.compare a.created b.created)
+               (batches @ background)
+           in
+           let report =
+             Engine.run
+               ~options:
+                 { Engine.default_options with seed = params.Params.base_seed + day }
+               ~protocol:(Rapid.make_default Metric.Average_delay)
+               ~trace ~workload ()
+           in
+           List.filter_map (fun at -> batch_index report ~batch_time:at) ats))
+  in
+  let lines =
+    List.map
+      (fun n ->
+        let idx = Array.of_list (indices n) in
+        {
+          Series.label = Printf.sprintf "%d parallel" n;
+          points = Stats.cdf_points idx;
+        })
+      batches
+  in
+  Series.make ~id:"fig15" ~title:"Trace: Jain fairness index CDF"
+    ~x_label:"fairness index" ~y_label:"CDF over days" lines

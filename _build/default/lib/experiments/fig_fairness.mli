@@ -1,0 +1,7 @@
+(** Figure 15: fairness of RAPID's allocation to parallel flows (§6.2.5).
+
+    20 / 30 packets are created simultaneously between random pairs on top
+    of a heavy background load; the CDF of Jain's fairness index over the
+    delays of each parallel batch is reported (index 1 = perfectly fair). *)
+
+val fig15 : Params.t -> Series.t

@@ -1,0 +1,10 @@
+(** Figures 10–12: the default delayed in-band control channel versus an
+    instant global (oracle / hybrid-DTN) channel, on the trace.
+
+    - Fig. 10: average delay (metric = Eq. 1);
+    - Fig. 11: delivery rate (same runs);
+    - Fig. 12: fraction delivered within deadline (metric = Eq. 2). *)
+
+val fig10 : Params.t -> Series.t
+val fig11 : Params.t -> Series.t
+val fig12 : Params.t -> Series.t

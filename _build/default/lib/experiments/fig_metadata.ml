@@ -1,0 +1,53 @@
+open Rapid_sim
+
+let fig8 params =
+  let caps = [ 0.0; 0.01; 0.05; 0.1; 0.2; 0.35 ] in
+  let loads =
+    (* "6, 12 and 20 packets per hour per node" *)
+    match params.Params.trace_loads with
+    | _ :: _ -> [ 6.0; 12.0; 20.0 ]
+    | [] -> [ 6.0 ]
+  in
+  let protocol = Runners.rapid Rapid_core.Metric.Average_delay in
+  let lines =
+    List.map
+      (fun load ->
+        let points =
+          List.map
+            (fun cap ->
+              let point =
+                Runners.run_trace_point ~params ~protocol ~load
+                  ~meta_cap_frac:cap ()
+              in
+              ( cap,
+                Runners.mean_of point (fun r -> r.Metrics.avg_delay /. 60.0) ))
+            caps
+        in
+        { Series.label = Printf.sprintf "load %g/h" load; points })
+      loads
+  in
+  Series.make ~id:"fig8" ~title:"Trace: benefit of the control channel"
+    ~x_label:"metadata cap (frac of bw)" ~y_label:"avg delay (min)" lines
+
+let fig9 params =
+  let loads = params.Params.trace_loads @ [ 60.0; 75.0 ] in
+  let protocol = Runners.rapid Rapid_core.Metric.Average_delay in
+  let runs =
+    List.map
+      (fun load ->
+        (load, Runners.run_trace_point ~params ~protocol ~load ()))
+      loads
+  in
+  let line label extract =
+    {
+      Series.label;
+      points = List.map (fun (l, pt) -> (l, Runners.mean_of pt extract)) runs;
+    }
+  in
+  Series.make ~id:"fig9" ~title:"Trace: channel utilization under load"
+    ~x_label:"pkts/hr/dest" ~y_label:"fraction"
+    [
+      line "meta/data" (fun r -> r.Metrics.metadata_frac_data);
+      line "utilization" (fun r -> r.Metrics.utilization);
+      line "delivery rate" (fun r -> r.Metrics.delivery_rate);
+    ]

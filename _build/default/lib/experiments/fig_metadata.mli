@@ -1,0 +1,11 @@
+(** Figures 8–9: control-channel cost/benefit on the trace.
+
+    - Fig. 8: average delay as the metadata budget is capped at a fraction
+      of each transfer opportunity (0–35%), for three loads — performance
+      improves as the cap is lifted (§6.2.2);
+    - Fig. 9: pushing the load up, channel utilization, delivery rate and
+      metadata-to-data ratio per load — the network stays under-utilized
+      while delivery drops (bottleneck links). *)
+
+val fig8 : Params.t -> Series.t
+val fig9 : Params.t -> Series.t

@@ -1,0 +1,12 @@
+(** Figure 13: RAPID (in-band and instant-global channels) and MaxProp
+    against Optimal at small loads, on the trace.
+
+    "Our ILP objective function minimizes delay of all packets, where the
+    delay of undelivered packets is set to the time the packet spent in
+    the system" — so the y-value is {!Rapid_sim.Metrics.report.avg_delay_all}.
+    Optimal runs on a reduced slice of each day (the ILP's size guard;
+    smaller instances solve exactly, larger ones fall back to the
+    contention-free bound, which is optimistic for Optimal — noted in the
+    series output). *)
+
+val fig13 : Params.t -> Series.t

@@ -1,0 +1,22 @@
+(** Figures 16–24: synthetic-mobility comparisons (Table 4 parameters).
+
+    Power-law mobility, increasing load: Fig. 16 (avg delay, Eq. 1),
+    Fig. 17 (max delay, Eq. 3), Fig. 18 (delivered within deadline, Eq. 2).
+
+    Power-law mobility, varying per-node buffer at fixed load:
+    Fig. 19 (avg delay), Fig. 20 (max delay), Fig. 21 (within deadline).
+
+    Exponential mobility, increasing load: Figs. 22–24 (same metrics).
+
+    RAPID runs with the metric matching each figure; the incidental
+    baselines (MaxProp, Spray-and-Wait, Random) are metric-agnostic. *)
+
+val fig16 : Params.t -> Series.t
+val fig17 : Params.t -> Series.t
+val fig18 : Params.t -> Series.t
+val fig19 : Params.t -> Series.t
+val fig20 : Params.t -> Series.t
+val fig21 : Params.t -> Series.t
+val fig22 : Params.t -> Series.t
+val fig23 : Params.t -> Series.t
+val fig24 : Params.t -> Series.t

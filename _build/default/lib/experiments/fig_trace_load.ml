@@ -1,0 +1,62 @@
+open Rapid_sim
+
+let sweep ~params ~metric ~extract =
+  let protocols = Runners.comparison_set metric in
+  List.map
+    (fun (p : Runners.protocol_spec) ->
+      let points =
+        List.map
+          (fun load ->
+            let point = Runners.run_trace_point ~params ~protocol:p ~load () in
+            (load, Runners.mean_of point extract))
+          params.Params.trace_loads
+      in
+      { Series.label = p.Runners.label; points })
+    protocols
+
+let minutes s = s /. 60.0
+
+let fig4_and_5 params =
+  let protocols = Runners.comparison_set Rapid_core.Metric.Average_delay in
+  let runs =
+    List.map
+      (fun (p : Runners.protocol_spec) ->
+        ( p.Runners.label,
+          List.map
+            (fun load ->
+              (load, Runners.run_trace_point ~params ~protocol:p ~load ()))
+            params.Params.trace_loads ))
+      protocols
+  in
+  let line extract (label, pts) =
+    {
+      Series.label;
+      points = List.map (fun (load, pt) -> (load, Runners.mean_of pt extract)) pts;
+    }
+  in
+  let fig4 =
+    Series.make ~id:"fig4" ~title:"Trace: average delay vs load"
+      ~x_label:"pkts/hr/dest" ~y_label:"avg delay (min)"
+      (List.map (line (fun r -> minutes r.Metrics.avg_delay)) runs)
+  in
+  let fig5 =
+    Series.make ~id:"fig5" ~title:"Trace: delivery rate vs load"
+      ~x_label:"pkts/hr/dest" ~y_label:"fraction delivered"
+      (List.map (line (fun r -> r.Metrics.delivery_rate)) runs)
+  in
+  (fig4, fig5)
+
+let fig4 params = fst (fig4_and_5 params)
+let fig5 params = snd (fig4_and_5 params)
+
+let fig6 params =
+  Series.make ~id:"fig6" ~title:"Trace: max delay vs load"
+    ~x_label:"pkts/hr/dest" ~y_label:"max delay (min)"
+    (sweep ~params ~metric:Rapid_core.Metric.Maximum_delay
+       ~extract:(fun r -> minutes r.Metrics.max_delay))
+
+let fig7 params =
+  Series.make ~id:"fig7" ~title:"Trace: delivery within deadline vs load"
+    ~x_label:"pkts/hr/dest" ~y_label:"fraction within deadline"
+    (sweep ~params ~metric:Rapid_core.Metric.Missed_deadlines
+       ~extract:(fun r -> r.Metrics.within_deadline_rate))

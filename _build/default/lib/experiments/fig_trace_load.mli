@@ -1,0 +1,15 @@
+(** Figures 4–7: trace-driven comparison of RAPID, MaxProp, Spray-and-Wait
+    and Random across loads (packets/hour/destination).
+
+    - Fig. 4: average delay of delivered packets (RAPID metric = Eq. 1);
+    - Fig. 5: delivery rate (same runs as Fig. 4);
+    - Fig. 6: maximum delay (RAPID metric = Eq. 3);
+    - Fig. 7: fraction delivered within the deadline (RAPID metric = Eq. 2). *)
+
+val fig4 : Params.t -> Series.t
+val fig5 : Params.t -> Series.t
+val fig6 : Params.t -> Series.t
+val fig7 : Params.t -> Series.t
+
+val fig4_and_5 : Params.t -> Series.t * Series.t
+(** One pass producing both (they share runs in the paper too). *)

@@ -1,0 +1,71 @@
+open Rapid_prelude
+open Rapid_sim
+
+type result = {
+  pairs : int;
+  mean_a : float;
+  mean_b : float;
+  t : Stats.t_test;
+}
+
+(* Mean delay per (src, dst) pair pooled across a point's days. *)
+let pair_means (point : Runners.point) =
+  let tbl : (int * int, float list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Metrics.report) ->
+      Array.iter
+        (fun (key, delays) ->
+          if Array.length delays > 0 then begin
+            let cell =
+              match Hashtbl.find_opt tbl key with
+              | Some c -> c
+              | None ->
+                  let c = ref [] in
+                  Hashtbl.replace tbl key c;
+                  c
+            in
+            cell := Array.to_list delays @ !cell
+          end)
+        r.Metrics.pair_delays)
+    point;
+  tbl
+
+let compare_protocols ~params ~a ~b ~load =
+  let pa = pair_means (Runners.run_trace_point ~params ~protocol:a ~load ()) in
+  let pb = pair_means (Runners.run_trace_point ~params ~protocol:b ~load ()) in
+  let paired =
+    Hashtbl.fold
+      (fun key da acc ->
+        match Hashtbl.find_opt pb key with
+        | Some db -> (Stats.mean !da, Stats.mean !db) :: acc
+        | None -> acc)
+      pa []
+  in
+  if List.length paired < 2 then None
+  else begin
+    let xs = Array.of_list (List.map fst paired) in
+    let ys = Array.of_list (List.map snd paired) in
+    Some
+      {
+        pairs = Array.length xs;
+        mean_a = (Stats.summarize_array xs).Stats.mean;
+        mean_b = (Stats.summarize_array ys).Stats.mean;
+        t = Stats.paired_t_test xs ys;
+      }
+  end
+
+let render ~a_label ~b_label ~load = function
+  | None ->
+      Printf.sprintf
+        "paired t-test %s vs %s at load %g: not enough common pairs\n" a_label
+        b_label load
+  | Some r ->
+      Printf.sprintf
+        "paired t-test over %d (src,dst) pairs at load %g:\n\
+        \  %-12s mean pair delay %8.1f s\n\
+        \  %-12s mean pair delay %8.1f s\n\
+        \  t = %.3f (df %.0f), two-sided p = %.2g -> %s\n"
+        r.pairs load a_label r.mean_a b_label r.mean_b r.t.Stats.t_stat
+        r.t.Stats.df r.t.Stats.p_value
+        (if r.t.Stats.p_value < 0.05 then "difference is significant"
+         else "difference is not significant")

@@ -1,0 +1,27 @@
+(** The paper's statistical comparison (§6.2.1): "we performed a paired
+    t-test to compare the average delay of every source-destination pair
+    using rapid to the average delay of the same source-destination pair
+    using MaxProp ... we found p-values always less than 0.0005".
+
+    Two protocols are run over the same trace days and workloads; each
+    (src, dst) pair delivered by both contributes one paired observation
+    (its mean delay under each protocol), and the two-sided paired t-test
+    decides whether the difference in means is significant. *)
+
+type result = {
+  pairs : int;  (** Paired (src, dst) observations. *)
+  mean_a : float;  (** Mean per-pair delay under protocol A, seconds. *)
+  mean_b : float;
+  t : Rapid_prelude.Stats.t_test;
+}
+
+val compare_protocols :
+  params:Params.t ->
+  a:Runners.protocol_spec ->
+  b:Runners.protocol_spec ->
+  load:float ->
+  result option
+(** [None] when fewer than two pairs were delivered by both protocols. *)
+
+val render :
+  a_label:string -> b_label:string -> load:float -> result option -> string

@@ -1,0 +1,41 @@
+(** Experiment parameterization (the paper's Table 4) with two profiles.
+
+    The paper's full evaluation replays 58 DieselNet days, 10–30 runs per
+    point, loads to 40 packets/hour/destination (up to ~260k packets per
+    simulated day at the top end). That is hours of CPU; the [Quick]
+    profile (the default for `bench/main.exe`) reproduces every figure's
+    shape on a scaled trace — fewer scheduled buses, shorter days, fewer
+    replications — while [Full] approaches the paper's scale. Either way
+    the workload model, protocols, and metrics are identical; only trace
+    scale and repetition counts change. *)
+
+type profile = Quick | Full
+
+type t = {
+  profile : profile;
+  (* Trace-driven experiments (Figs. 4–15, Table 3, Fig. 3). *)
+  dieselnet : Rapid_trace.Dieselnet.params;
+  days : int;  (** Trace days averaged per point (paper: 58). *)
+  trace_loads : float list;  (** Packets/hour/destination (paper: 1–40). *)
+  trace_packet_bytes : int;  (** Paper: 1 KB. *)
+  trace_deadline : float;  (** Paper: 2.7 h. *)
+  trace_buffer_bytes : int option;  (** Paper: 40 GB, i.e. effectively none. *)
+  (* Synthetic-mobility experiments (Figs. 16–24), Table 4 column 1. *)
+  syn_nodes : int;
+  syn_duration : float;
+  syn_mean_inter_meeting : float;
+  syn_opportunity_bytes : int;
+  syn_buffer_bytes : int;
+  syn_packet_bytes : int;
+  syn_deadline : float;
+  syn_loads : float list;  (** Packets per 50 s per destination (10–80). *)
+  syn_buffers : int list;  (** Buffer sweep for Figs. 19–21 (10–280 KB). *)
+  syn_runs : int;  (** Seeds averaged per point (paper: 10). *)
+  base_seed : int;
+}
+
+val get : profile -> t
+
+val syn_pair_rate_per_hour : t -> float -> float
+(** Convert a Table-4 load (packets per 50 s per destination) into this
+    workload generator's packets/hour per ordered (src, dst) pair. *)

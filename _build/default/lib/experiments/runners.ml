@@ -1,0 +1,152 @@
+open Rapid_prelude
+open Rapid_trace
+open Rapid_sim
+open Rapid_core
+
+type protocol_spec = {
+  label : string;
+  cache_id : string;
+  make : unit -> Protocol.packed;
+}
+
+let rapid_cache_id (p : Rapid.params) =
+  Printf.sprintf "rapid:%s:%s:%b:%g"
+    (Metric.to_string p.Rapid.metric)
+    (Control_channel.to_string p.Rapid.channel)
+    p.Rapid.use_acks p.Rapid.meta_self_cap_frac
+
+let rapid metric =
+  let params = Rapid.default_params metric in
+  {
+    label = "RAPID";
+    cache_id = rapid_cache_id params;
+    make = (fun () -> Rapid.make params);
+  }
+
+let rapid_with ?label params =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> "RAPID(" ^ Control_channel.to_string params.Rapid.channel ^ ")"
+  in
+  { label; cache_id = rapid_cache_id params; make = (fun () -> Rapid.make params) }
+
+let maxprop =
+  { label = "MaxProp"; cache_id = "maxprop";
+    make = (fun () -> Rapid_routing.Maxprop.make ()) }
+
+let spray_wait =
+  { label = "SprayWait"; cache_id = "spraywait12";
+    make = (fun () -> Rapid_routing.Spray_wait.make ~l:12 ()) }
+
+let prophet =
+  { label = "Prophet"; cache_id = "prophet";
+    make = (fun () -> Rapid_routing.Prophet.make ()) }
+
+let random =
+  { label = "Random"; cache_id = "random";
+    make = (fun () -> Rapid_routing.Random_protocol.make ()) }
+
+let random_acks =
+  {
+    label = "Random+acks";
+    cache_id = "random-acks";
+    make = (fun () -> Rapid_routing.Random_protocol.make ~with_acks:true ());
+  }
+
+let comparison_set metric = [ rapid metric; maxprop; spray_wait; random ]
+
+type point = Metrics.report list
+
+let mean_of point f = Stats.mean (List.map f point)
+
+let trace_day ~(params : Params.t) ~day =
+  Dieselnet.day ~params:params.Params.dieselnet ~seed:params.Params.base_seed
+    ~day ()
+
+let trace_workload ~(params : Params.t) ~trace ~load ~day =
+  let rng = Rng.create ((params.Params.base_seed * 65537) + day) in
+  Workload.generate rng ~trace ~pkts_per_hour_per_dest:load
+    ~size:params.Params.trace_packet_bytes
+    ~lifetime:params.Params.trace_deadline ()
+
+let trace_point_cache : (string, Metrics.report list) Hashtbl.t =
+  Hashtbl.create 64
+
+let run_trace_point_uncached ~(params : Params.t) ~protocol ~load
+    ~meta_cap_frac ~buffer_bytes ~deployment_noise =
+  List.init params.Params.days (fun day ->
+      let trace = trace_day ~params ~day in
+      let trace =
+        if deployment_noise then begin
+          let rng = Rng.create ((params.Params.base_seed * 31) + day) in
+          Dieselnet.with_deployment_noise rng trace
+        end
+        else trace
+      in
+      let workload = trace_workload ~params ~trace ~load ~day in
+      Engine.run
+        ~options:
+          { Engine.buffer_bytes; meta_cap_frac; seed = params.Params.base_seed + day }
+        ~protocol:(protocol.make ()) ~trace ~workload ())
+
+let run_trace_point ~(params : Params.t) ~protocol ~load ?meta_cap_frac
+    ?buffer_bytes ?(deployment_noise = false) () =
+  let buffer_bytes =
+    match buffer_bytes with
+    | Some b -> b
+    | None -> params.Params.trace_buffer_bytes
+  in
+  let key =
+    Printf.sprintf "%s|%g|%s|%s|%b|%d" protocol.cache_id load
+      (match meta_cap_frac with None -> "-" | Some f -> string_of_float f)
+      (match buffer_bytes with None -> "-" | Some b -> string_of_int b)
+      deployment_noise params.Params.days
+  in
+  match Hashtbl.find_opt trace_point_cache key with
+  | Some pt -> pt
+  | None ->
+      let pt =
+        run_trace_point_uncached ~params ~protocol ~load ~meta_cap_frac
+          ~buffer_bytes ~deployment_noise
+      in
+      Hashtbl.replace trace_point_cache key pt;
+      pt
+
+let run_synthetic_point ~(params : Params.t) ~protocol ~mobility ~load
+    ?buffer_bytes () =
+  let buffer_bytes =
+    Option.value buffer_bytes ~default:params.Params.syn_buffer_bytes
+  in
+  List.init params.Params.syn_runs (fun run ->
+      let seed = params.Params.base_seed + (1000 * run) in
+      let rng = Rng.create seed in
+      let trace =
+        match mobility with
+        | `Powerlaw ->
+            Rapid_mobility.Mobility.powerlaw rng
+              ~num_nodes:params.Params.syn_nodes
+              ~mean_inter_meeting:params.Params.syn_mean_inter_meeting
+              ~duration:params.Params.syn_duration
+              ~opportunity_bytes:params.Params.syn_opportunity_bytes ()
+        | `Exponential ->
+            Rapid_mobility.Mobility.exponential rng
+              ~num_nodes:params.Params.syn_nodes
+              ~mean_inter_meeting:params.Params.syn_mean_inter_meeting
+              ~duration:params.Params.syn_duration
+              ~opportunity_bytes:params.Params.syn_opportunity_bytes
+      in
+      let workload =
+        Workload.generate rng ~trace
+          ~pkts_per_hour_per_dest:(Params.syn_pair_rate_per_hour params load)
+          ~size:params.Params.syn_packet_bytes
+          ~lifetime:params.Params.syn_deadline ()
+      in
+      Engine.run
+        ~options:
+          {
+            Engine.buffer_bytes = Some buffer_bytes;
+            meta_cap_frac = None;
+            seed;
+          }
+        ~protocol:(protocol.make ()) ~trace ~workload ())

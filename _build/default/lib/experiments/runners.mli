@@ -1,0 +1,64 @@
+(** Shared machinery for the figure reproductions: protocol zoo, workload
+    construction, and averaging over trace days / seeds. *)
+
+type protocol_spec = {
+  label : string;  (** Line label in the rendered figure. *)
+  cache_id : string;
+      (** Distinct per protocol *configuration* (metric, channel, acks):
+          identical (cache_id, workload) trace points are computed once per
+          process, so figures sharing baselines do not re-run them. *)
+  make : unit -> Rapid_sim.Protocol.packed;
+}
+
+val rapid : Rapid_core.Metric.t -> protocol_spec
+val rapid_with :
+  ?label:string -> Rapid_core.Rapid.params -> protocol_spec
+val maxprop : protocol_spec
+val spray_wait : protocol_spec
+val prophet : protocol_spec
+val random : protocol_spec
+val random_acks : protocol_spec
+
+val comparison_set : Rapid_core.Metric.t -> protocol_spec list
+(** RAPID (with the given metric), MaxProp, Spray-and-Wait, Random — the
+    four lines of Figs. 4–7 and 16–24. *)
+
+type point = Rapid_sim.Metrics.report list
+(** One report per day/seed replication. *)
+
+val mean_of : point -> (Rapid_sim.Metrics.report -> float) -> float
+
+val run_trace_point :
+  params:Params.t ->
+  protocol:protocol_spec ->
+  load:float ->
+  ?meta_cap_frac:float ->
+  ?buffer_bytes:int option ->
+  ?deployment_noise:bool ->
+  unit ->
+  point
+(** Run the protocol over the profile's DieselNet days at the given load
+    (packets/hour/destination), with the profile's packet size, deadline
+    and buffers. *)
+
+val run_synthetic_point :
+  params:Params.t ->
+  protocol:protocol_spec ->
+  mobility:[ `Powerlaw | `Exponential ] ->
+  load:float ->
+  ?buffer_bytes:int ->
+  unit ->
+  point
+(** Run the profile's Table-4 synthetic scenario over [syn_runs] seeds;
+    [load] is packets per 50 s per destination. *)
+
+val trace_day :
+  params:Params.t -> day:int -> Rapid_trace.Trace.t
+(** Day [day] of the profile's DieselNet (seeded deterministically). *)
+
+val trace_workload :
+  params:Params.t ->
+  trace:Rapid_trace.Trace.t ->
+  load:float ->
+  day:int ->
+  Rapid_trace.Workload.spec list

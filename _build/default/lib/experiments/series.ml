@@ -1,0 +1,74 @@
+type line = { label : string; points : (float * float) list }
+
+type t = {
+  id : string;
+  title : string;
+  x_label : string;
+  y_label : string;
+  lines : line list;
+  notes : string list;
+}
+
+let make ~id ~title ~x_label ~y_label ?(notes = []) lines =
+  { id; title; x_label; y_label; lines; notes }
+
+let xs t =
+  List.concat_map (fun l -> List.map fst l.points) t.lines
+  |> List.sort_uniq compare
+
+let value_at line x =
+  List.assoc_opt x line.points
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "== %s: %s ==\n" (String.uppercase_ascii t.id) t.title);
+  let col_w =
+    List.fold_left (fun acc l -> max acc (String.length l.label)) 10 t.lines + 2
+  in
+  let xw = max 10 (String.length t.x_label) + 2 in
+  Buffer.add_string buf (Printf.sprintf "%-*s" xw t.x_label);
+  List.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf "%*s" col_w l.label))
+    t.lines;
+  Buffer.add_string buf (Printf.sprintf "   [%s]\n" t.y_label);
+  List.iter
+    (fun x ->
+      Buffer.add_string buf (Printf.sprintf "%-*.3g" xw x);
+      List.iter
+        (fun l ->
+          match value_at l x with
+          | Some y -> Buffer.add_string buf (Printf.sprintf "%*.4g" col_w y)
+          | None -> Buffer.add_string buf (Printf.sprintf "%*s" col_w "-"))
+        t.lines;
+      Buffer.add_char buf '\n')
+    (xs t);
+  List.iter
+    (fun note -> Buffer.add_string buf (Printf.sprintf "  note: %s\n" note))
+    t.notes;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (render t)
+
+let find_line t label = List.find_opt (fun l -> l.label = label) t.lines
+
+let crossover t ~a ~b =
+  match (find_line t a, find_line t b) with
+  | Some la, Some lb ->
+      let rec scan = function
+        | [] -> None
+        | x :: rest -> (
+            match (value_at la x, value_at lb x) with
+            | Some ya, Some yb when ya > yb -> Some x
+            | _ -> scan rest)
+      in
+      scan (xs t)
+  | _ -> None
+
+let ratio_at t ~a ~b ~x =
+  match (find_line t a, find_line t b) with
+  | Some la, Some lb -> (
+      match (value_at la x, value_at lb x) with
+      | Some ya, Some yb when yb <> 0.0 -> Some (ya /. yb)
+      | _ -> None)
+  | _ -> None

@@ -1,0 +1,30 @@
+(** Result container for one reproduced figure or table: named lines of
+    (x, y) points plus free-form note rows, with a plain-text renderer that
+    prints the same rows/series the paper plots. *)
+
+type line = { label : string; points : (float * float) list }
+
+type t = {
+  id : string;  (** e.g. "fig4". *)
+  title : string;
+  x_label : string;
+  y_label : string;
+  lines : line list;
+  notes : string list;
+}
+
+val make :
+  id:string -> title:string -> x_label:string -> y_label:string ->
+  ?notes:string list -> line list -> t
+
+val render : t -> string
+(** Aligned table: one row per x, one column per line. *)
+
+val pp : Format.formatter -> t -> unit
+
+val crossover : t -> a:string -> b:string -> float option
+(** Smallest x at which line [a]'s y exceeds line [b]'s (used to report
+    where protocols cross in EXPERIMENTS.md). *)
+
+val ratio_at : t -> a:string -> b:string -> x:float -> float option
+(** y_a / y_b at the given x, when both lines have that point. *)

@@ -1,0 +1,1 @@
+lib/hardness/edp_reduction.ml: Array Contact Fun Hashtbl Int List Option Queue Rapid_trace Stdlib Trace Workload

@@ -1,0 +1,1 @@
+lib/hardness/edp_reduction.mli: Rapid_trace

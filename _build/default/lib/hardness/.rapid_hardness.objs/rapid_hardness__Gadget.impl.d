@@ -1,0 +1,1 @@
+lib/hardness/gadget.ml:

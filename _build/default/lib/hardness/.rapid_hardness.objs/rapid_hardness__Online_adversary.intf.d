@@ -1,0 +1,1 @@
+lib/hardness/online_adversary.mli:

@@ -1,0 +1,190 @@
+open Rapid_trace
+
+type dag = { num_vertices : int; edges : (int * int) list }
+
+let topo_order dag =
+  let n = dag.num_vertices in
+  let indeg = Array.make n 0 in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Edp_reduction: vertex out of range";
+      indeg.(v) <- indeg.(v) + 1;
+      adj.(u) <- v :: adj.(u))
+    dag.edges;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      adj.(u)
+  done;
+  let order = List.rev !order in
+  if List.length order <> n then None else Some order
+
+let is_dag dag = Option.is_some (topo_order dag)
+
+let label_edges dag =
+  match topo_order dag with
+  | None -> invalid_arg "Edp_reduction.label_edges: graph has a cycle"
+  | Some order ->
+      let pos = Array.make dag.num_vertices 0 in
+      List.iteri (fun i v -> pos.(v) <- i) order;
+      (* Labelling all edges out of earlier vertices first guarantees
+         l(e_in) < l(e_out) along any path. *)
+      let sorted =
+        List.stable_sort
+          (fun (u1, _) (u2, _) -> Int.compare pos.(u1) pos.(u2))
+          dag.edges
+      in
+      List.mapi (fun i (u, v) -> (u, v, i + 1)) sorted
+
+let to_dtn dag ~pairs =
+  let labelled = label_edges dag in
+  (* The paper's model has *directed* transfer opportunities; our contacts
+     are symmetric. Enforce direction with a relay vertex per edge: edge
+     (u, v) labelled l becomes contacts (u, w) at 2l and (w, v) at 2l+1.
+     Traversing backwards would need (v, w) at 2l+1 followed by (w, u) at
+     2l — not time-respecting — so only u -> v is usable, and each original
+     edge still carries at most one unit packet. *)
+  let num_relays = List.length labelled in
+  let num_nodes = dag.num_vertices + num_relays in
+  let contacts =
+    List.concat
+      (List.mapi
+         (fun i (u, v, l) ->
+           let w = dag.num_vertices + i in
+           [
+             Contact.make ~time:(float_of_int (2 * l)) ~a:u ~b:w ~bytes:1;
+             Contact.make ~time:(float_of_int ((2 * l) + 1)) ~a:w ~b:v ~bytes:1;
+           ])
+         labelled)
+  in
+  let horizon = float_of_int ((2 * (List.length labelled + 1)) + 1) in
+  let trace =
+    Trace.create ~num_nodes ~duration:horizon
+      ~active:(List.init dag.num_vertices Fun.id)
+      contacts
+  in
+  let workload =
+    List.map
+      (fun (s, t) ->
+        { Workload.src = s; dst = t; size = 1; created = 0.0; deadline = None })
+      pairs
+  in
+  (trace, workload)
+
+(* All directed paths from s to t as edge index sets. *)
+let paths_between dag ~edge_ids s t =
+  let adj = Array.make dag.num_vertices [] in
+  List.iteri
+    (fun idx (u, v) -> adj.(u) <- (v, idx) :: adj.(u))
+    edge_ids;
+  let results = ref [] in
+  let rec dfs u used path =
+    if u = t then results := path :: !results
+    else
+      List.iter
+        (fun (v, idx) ->
+          if not (List.mem idx used) then dfs v (idx :: used) (idx :: path))
+        adj.(u)
+  in
+  dfs s [] [];
+  !results
+
+let max_edge_disjoint_paths dag ~pairs =
+  let edge_ids = dag.edges in
+  let all_paths =
+    List.map (fun (s, t) -> paths_between dag ~edge_ids s t) pairs
+  in
+  (* Backtrack over pairs: for each, either skip it or use one of its paths
+     disjoint from already-used edges. *)
+  let rec go best pairs_paths used count =
+    match pairs_paths with
+    | [] -> max best count
+    | paths :: rest ->
+        let best = go best rest used count in
+        List.fold_left
+          (fun best path ->
+            if List.exists (fun e -> List.mem e used) path then best
+            else go best rest (path @ used) (count + 1))
+          best paths
+  in
+  go 0 all_paths [] 0
+
+let max_deliveries_brute (trace : Trace.t) workload =
+  (* State: packet -> set of holders (replication allowed; it never helps
+     with unit opportunities, but brute force should not assume that).
+     Each contact moves at most one unit packet in one direction. *)
+  let packets = Array.of_list workload in
+  let np = Array.length packets in
+  let contacts = trace.Trace.contacts in
+  let nc = Array.length contacts in
+  (* holders: np arrays of int sets, encoded as bit masks over nodes.
+     Memoized on (contact index, holder masks) — many interleavings reach
+     the same state. *)
+  let memo : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let key ci holders =
+    let b = Stdlib.Buffer.create 32 in
+    Stdlib.Buffer.add_string b (string_of_int ci);
+    Array.iter
+      (fun m ->
+        Stdlib.Buffer.add_char b ',';
+        Stdlib.Buffer.add_string b (string_of_int m))
+      holders;
+    Stdlib.Buffer.contents b
+  in
+  let rec explore ci holders =
+    if ci = nc then begin
+      let count = ref 0 in
+      Array.iteri
+        (fun pi mask ->
+          if mask land (1 lsl packets.(pi).Workload.dst) <> 0 then incr count)
+        holders;
+      !count
+    end
+    else begin
+      let k = key ci holders in
+      match Hashtbl.find_opt memo k with
+      | Some v -> v
+      | None ->
+          let v = explore_raw ci holders in
+          Hashtbl.replace memo k v;
+          v
+    end
+  and explore_raw ci holders =
+    begin
+      let c = contacts.(ci) in
+      (* Option 0: carry nothing. *)
+      let best = ref (explore (ci + 1) holders) in
+      (* Option: replicate packet pi across the contact (either way). *)
+      for pi = 0 to np - 1 do
+        if packets.(pi).Workload.created <= c.Contact.time then begin
+          let mask = holders.(pi) in
+          let try_dir from_ to_ =
+            if mask land (1 lsl from_) <> 0 && mask land (1 lsl to_) = 0 then begin
+              let holders' = Array.copy holders in
+              holders'.(pi) <- mask lor (1 lsl to_);
+              let r = explore (ci + 1) holders' in
+              if r > !best then best := r
+            end
+          in
+          try_dir c.Contact.a c.Contact.b;
+          try_dir c.Contact.b c.Contact.a
+        end
+      done;
+      !best
+    end
+  in
+  let holders =
+    Array.map (fun (p : Workload.spec) -> 1 lsl p.Workload.src) packets
+  in
+  explore 0 holders

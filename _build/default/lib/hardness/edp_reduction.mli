@@ -1,0 +1,42 @@
+(** Theorem 2: the polynomial-time reduction from edge-disjoint paths
+    (EDP) in a DAG to the DTN routing problem, plus brute-force oracles
+    for validating it on small instances.
+
+    Edges are labelled so that labels strictly increase along any path
+    (topological edge labelling); edge e = (u, v) with label l becomes the
+    unit-size transfer opportunity (u, v, 1 byte, time l); each
+    source–destination pair becomes a unit packet created at time 0.
+    A set of k edge-disjoint paths exists iff k packets are deliverable —
+    so maximizing deliveries is NP-hard and inherits EDP's Ω(n^{1/2−ε})
+    approximation lower bound. *)
+
+type dag = {
+  num_vertices : int;
+  edges : (int * int) list;  (** Directed (u, v); must be acyclic. *)
+}
+
+val is_dag : dag -> bool
+
+val label_edges : dag -> (int * int * int) list
+(** [(u, v, label)] with distinct labels, increasing along every path.
+    Raises [Invalid_argument] on a cyclic input. *)
+
+val to_dtn :
+  dag ->
+  pairs:(int * int) list ->
+  Rapid_trace.Trace.t * Rapid_trace.Workload.spec list
+(** The reduction. DAG vertices keep their ids; since the paper's model
+    uses {e directed} transfer opportunities while our contacts are
+    symmetric, each edge (u, v) with label l is realized as a relay vertex
+    w with contacts (u, w) at 2l and (w, v) at 2l+1 — usable only in the
+    u→v direction and by a single unit packet, preserving the
+    equivalence. *)
+
+val max_edge_disjoint_paths : dag -> pairs:(int * int) list -> int
+(** Brute-force EDP oracle (exponential; small instances only). Paths must
+    respect edge direction; each pair contributes at most one path. *)
+
+val max_deliveries_brute :
+  Rapid_trace.Trace.t -> Rapid_trace.Workload.spec list -> int
+(** Brute-force optimal delivery count for unit packets over unit
+    opportunities (exponential; small instances only). *)

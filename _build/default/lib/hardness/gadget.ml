@@ -1,0 +1,38 @@
+type alg_choice = Straight | Crossed | Replicate_p1
+
+type outcome = {
+  alg_delivered : int;
+  adv_delivered : int;
+  total_packets : int;
+}
+
+let basic_gadget choice =
+  (* After T1, ADV creates p2' at the intermediary ALG used for p1 (destined
+     to v2) and p1' at the one used for p2 (destined to v1). Each T2 meeting
+     carries one unit packet, so each intermediary delivers exactly one of
+     its two packets; the injected packet and the carried one contend.
+
+     ALG keeps one per intermediary: at v1' it holds {p1, p2'} and the T2
+     meeting reaches v1 — only p1 is deliverable there; at v2' it holds
+     {p2, p1'} and reaches v2 — only p2 is deliverable. The injected
+     packets p1'/p2' sit at intermediaries whose T2 meeting goes to the
+     wrong destination, so ALG delivers 2 of 4.
+
+     Under Crossed the carried packets are at the wrong intermediaries and
+     the injected ones are at the right ones: still 2 of 4. Replicating p1
+     on both edges drops p2 immediately; ADV then attaches a fresh gadget
+     per replica, and ALG again salvages at most half.
+
+     ADV, playing the opposite placement, delivers all 4 (Lemma 4). *)
+  let alg_delivered =
+    match choice with Straight -> 2 | Crossed -> 2 | Replicate_p1 -> 2
+  in
+  { alg_delivered; adv_delivered = 4; total_packets = 4 }
+
+let depth_ratio i =
+  if i <= 0 then invalid_arg "Gadget.depth_ratio: depth must be positive";
+  float_of_int i /. float_of_int ((3 * i) - 1)
+
+let packets_at_depth i =
+  if i <= 0 then invalid_arg "Gadget.packets_at_depth: depth must be positive";
+  (3 * i) + 1

@@ -1,0 +1,32 @@
+(** Executable construction for Theorem 1(b).
+
+    ALG knows the meeting schedule but not the workload. The basic gadget:
+    node A holds p1 (→ v1) and p2 (→ v2); unit meetings (A, v1') and
+    (A, v2') at T1, then (v1', v1) and (v2', v2) at T2. Whatever ALG does
+    at T1, ADV injects one new packet at each intermediary so that ALG
+    must drop half the packets at T2, while ADV (choosing the opposite
+    placement) delivers everything (Lemma 4).
+
+    Composing gadgets to depth i limits ALG's delivery rate to
+    i/(3i − 1) → 1/3. *)
+
+type alg_choice =
+  | Straight  (** p1 → v1', p2 → v2'. *)
+  | Crossed  (** p1 → v2', p2 → v1'. *)
+  | Replicate_p1  (** p1 to both intermediaries; p2 dropped at A. *)
+
+type outcome = {
+  alg_delivered : int;
+  adv_delivered : int;
+  total_packets : int;
+}
+
+val basic_gadget : alg_choice -> outcome
+(** Lemma 4: ALG delivers at most half; ADV delivers all 4 packets. *)
+
+val depth_ratio : int -> float
+(** The delivery-rate bound i/(3i − 1) ADV forces at composition depth i;
+    [depth_ratio 1 = 1/2], limit 1/3. *)
+
+val packets_at_depth : int -> int
+(** Total packets ADV creates in a depth-i composition: 3i + 1. *)

@@ -1,0 +1,60 @@
+type alg = n:int -> int array
+
+type outcome = {
+  n : int;
+  alg_delivered : int;
+  adv_delivered : int;
+  mapping : int array;
+}
+
+let generate_y ~assignment =
+  let n = Array.length assignment in
+  let y = Array.make n (-1) in
+  (* carries.(j) = packet at u_j; X(p_i) = { j | carries.(j) = i }. *)
+  for i = 0 to n - 1 do
+    (* Line 3: find the smallest unmapped u_j NOT carrying p_i. *)
+    let found = ref (-1) in
+    (try
+       for j = 0 to n - 1 do
+         if y.(j) = -1 && assignment.(j) <> i then begin
+           found := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !found >= 0 then y.(!found) <- i
+    else begin
+      (* Line 6: any unmapped u_j (executed at most once — Lemma 1). *)
+      let j = ref 0 in
+      while y.(!j) <> -1 do
+        incr j
+      done;
+      y.(!j) <- i
+    end
+  done;
+  y
+
+let run ~n ~alg =
+  if n <= 0 then invalid_arg "Online_adversary.run: n must be positive";
+  let assignment = alg ~n in
+  if Array.length assignment <> n then
+    invalid_arg "Online_adversary.run: assignment must have length n";
+  Array.iter
+    (fun p ->
+      if p < -1 || p >= n then
+        invalid_arg "Online_adversary.run: packet index out of range")
+    assignment;
+  let y = generate_y ~assignment in
+  (* ALG delivers p_i iff some intermediary carrying p_i is mapped to v_i. *)
+  let delivered = Array.make n false in
+  Array.iteri
+    (fun j dest -> if assignment.(j) = dest && dest >= 0 then delivered.(dest) <- true)
+    y;
+  let alg_delivered = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 delivered in
+  (* ADV routes p_i through Y⁻¹(v_i): always deliverable since Y is a
+     bijection. *)
+  { n; alg_delivered; adv_delivered = n; mapping = y }
+
+let replicate_first ~n = Array.make n 0
+let spread ~n = Array.init n Fun.id
+let greedy_modulo k ~n = Array.init n (fun j -> j mod max 1 k)

@@ -1,0 +1,38 @@
+(** Executable construction for Theorem 1(a).
+
+    A deterministic online algorithm ALG knows the workload (n unit
+    packets p_i at source A, destined to v_i) but not the meeting
+    schedule. ADV first reveals unit-size meetings (A, u_j) for every
+    intermediary u_j at t = 0; ALG commits a replication choice; ADV then
+    picks a bijection Y from intermediaries to destinations (procedure
+    Generate-Y) and reveals meetings (u_j, Y(u_j)) at t = 1.
+
+    Lemmas 1–3: ALG delivers at most one packet; ADV, routing p_i via
+    Y⁻¹(v_i), delivers all n. So ALG is Ω(n)-competitive. *)
+
+type alg = n:int -> int array
+(** The online algorithm's replication choice: element j is the packet
+    index (0-based) copied to intermediary u_j, or -1 to leave u_j empty.
+    Each meeting carries one unit packet, so one packet per intermediary;
+    a packet index may repeat (replication). *)
+
+type outcome = {
+  n : int;
+  alg_delivered : int;
+  adv_delivered : int;
+  mapping : int array;  (** Y: intermediary j -> destination index. *)
+}
+
+val generate_y : assignment:int array -> int array
+(** Procedure Generate-Y from the appendix. The result is a bijection. *)
+
+val run : n:int -> alg:alg -> outcome
+
+val replicate_first : alg
+(** Floods packet 0 to every intermediary. *)
+
+val spread : alg
+(** Gives u_j packet j (one copy of each). *)
+
+val greedy_modulo : int -> alg
+(** Gives u_j packet (j mod k) — partial replication of k packets. *)

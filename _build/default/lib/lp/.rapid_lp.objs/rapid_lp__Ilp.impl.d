@@ -1,0 +1,1 @@
+lib/lp/ilp.ml: Array Float List Lp_problem Pqueue Rapid_prelude Simplex

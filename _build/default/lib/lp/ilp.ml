@@ -1,0 +1,91 @@
+open Rapid_prelude
+
+type outcome = {
+  objective : float;
+  solution : float array;
+  proven_optimal : bool;
+  nodes_explored : int;
+}
+
+type result = Solved of outcome | Infeasible | Unbounded | No_incumbent
+
+type node = { extra : Lp_problem.constr list; depth : int }
+
+let most_fractional int_vars solution int_tol =
+  let best = ref None in
+  List.iter
+    (fun v ->
+      let x = solution.(v) in
+      let frac = Float.abs (x -. Float.round x) in
+      if frac > int_tol then
+        match !best with
+        | Some (_, f) when f >= frac -> ()
+        | _ -> best := Some (v, frac))
+    int_vars;
+  !best
+
+let solve ?(max_nodes = 4000) ?(int_tol = 1e-6) problem =
+  let int_vars = Lp_problem.integer_vars problem in
+  match Simplex.solve problem with
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Unbounded -> Unbounded
+  | Simplex.Optimal root ->
+      (match most_fractional int_vars root.solution int_tol with
+      | None ->
+          Solved
+            { objective = root.objective; solution = root.solution;
+              proven_optimal = true; nodes_explored = 1 }
+      | Some _ ->
+          let queue = Pqueue.create () in
+          Pqueue.push queue root.objective { extra = []; depth = 0 };
+          let incumbent = ref None in
+          let nodes = ref 0 in
+          let budget_hit = ref false in
+          let better obj =
+            match !incumbent with
+            | None -> true
+            | Some (o, _) -> obj < o -. 1e-9
+          in
+          let rec bb () =
+            match Pqueue.pop queue with
+            | None -> ()
+            | Some (bound, node) ->
+                (* Prune against the incumbent. *)
+                if not (better bound) then bb ()
+                else if !nodes >= max_nodes then budget_hit := true
+                else begin
+                  incr nodes;
+                  (match Simplex.solve ~extra:node.extra problem with
+                  | Simplex.Infeasible | Simplex.Unbounded -> ()
+                  | Simplex.Optimal { objective; solution } ->
+                      if better objective then begin
+                        match most_fractional int_vars solution int_tol with
+                        | None -> incumbent := Some (objective, solution)
+                        | Some (v, _) ->
+                            let x = solution.(v) in
+                            let fl = Float.floor x and ce = Float.ceil x in
+                            let left =
+                              { Lp_problem.coeffs = [ (v, 1.0) ];
+                                relation = Lp_problem.Le; rhs = fl }
+                            in
+                            let right =
+                              { Lp_problem.coeffs = [ (v, 1.0) ];
+                                relation = Lp_problem.Ge; rhs = ce }
+                            in
+                            Pqueue.push queue objective
+                              { extra = left :: node.extra;
+                                depth = node.depth + 1 };
+                            Pqueue.push queue objective
+                              { extra = right :: node.extra;
+                                depth = node.depth + 1 }
+                      end);
+                  bb ()
+                end
+          in
+          bb ();
+          (match !incumbent with
+          | Some (objective, solution) ->
+              Solved
+                { objective; solution; proven_optimal = not !budget_hit;
+                  nodes_explored = !nodes }
+          | None -> if !budget_hit then No_incumbent else Infeasible))

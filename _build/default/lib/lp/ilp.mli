@@ -1,0 +1,21 @@
+(** Branch-and-bound integer linear programming on top of {!Simplex}.
+
+    Best-first search on the LP relaxation bound, branching on the most
+    fractional integer-marked variable. A node budget caps the work; when it
+    is exhausted the best incumbent found so far is returned with
+    [proven_optimal = false] (the Fig. 13 harness reports which). *)
+
+type outcome = {
+  objective : float;
+  solution : float array;
+  proven_optimal : bool;
+  nodes_explored : int;
+}
+
+type result = Solved of outcome | Infeasible | Unbounded | No_incumbent
+(** [No_incumbent]: the node budget ran out before any integral solution was
+    found. *)
+
+val solve : ?max_nodes:int -> ?int_tol:float -> Lp_problem.t -> result
+(** [solve p] minimizes [p] with the integrality marks honoured.
+    [max_nodes] defaults to 4000; [int_tol] to 1e-6. *)

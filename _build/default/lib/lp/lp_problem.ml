@@ -1,0 +1,50 @@
+type relation = Le | Eq | Ge
+
+type constr = {
+  coeffs : (int * float) list;
+  relation : relation;
+  rhs : float;
+}
+
+type t = {
+  n : int;
+  obj : float array;
+  mutable rows : constr list;  (* reversed *)
+  mutable num_rows : int;
+  mutable integers : int list;
+}
+
+let create ~num_vars =
+  assert (num_vars > 0);
+  { n = num_vars; obj = Array.make num_vars 0.0; rows = []; num_rows = 0;
+    integers = [] }
+
+let num_vars t = t.n
+
+let check_var t i =
+  if i < 0 || i >= t.n then invalid_arg "Lp_problem: variable out of range"
+
+let set_objective t coeffs =
+  Array.fill t.obj 0 t.n 0.0;
+  List.iter
+    (fun (i, c) ->
+      check_var t i;
+      t.obj.(i) <- c)
+    coeffs
+
+let add_constraint t coeffs relation rhs =
+  List.iter (fun (i, _) -> check_var t i) coeffs;
+  t.rows <- { coeffs; relation; rhs } :: t.rows;
+  t.num_rows <- t.num_rows + 1
+
+let mark_integer t i =
+  check_var t i;
+  if not (List.mem i t.integers) then t.integers <- i :: t.integers
+
+let integer_vars t = List.rev t.integers
+let objective t = Array.copy t.obj
+let constraints t = List.rev t.rows
+
+let pp_stats fmt t =
+  Format.fprintf fmt "lp: %d vars, %d constraints, %d integer" t.n t.num_rows
+    (List.length t.integers)

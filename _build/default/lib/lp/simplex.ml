@@ -1,0 +1,238 @@
+type solution = { objective : float; solution : float array }
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+let eps = 1e-9
+
+(* Tableau layout: rows 0..m-1 are constraints, stored as dense arrays over
+   columns 0..total_vars-1 plus a rhs column. [basis.(r)] is the variable
+   basic in row r. The objective is kept as a separate reduced-cost row. *)
+
+type tableau = {
+  m : int;
+  n : int;  (* total columns (structural + slack + artificial) *)
+  a : float array array;  (* m rows of n coefficients *)
+  b : float array;  (* rhs, maintained >= 0 *)
+  basis : int array;
+}
+
+let pivot t ~row ~col =
+  let arow = t.a.(row) in
+  let p = arow.(col) in
+  (* Normalize pivot row. *)
+  for j = 0 to t.n - 1 do
+    arow.(j) <- arow.(j) /. p
+  done;
+  t.b.(row) <- t.b.(row) /. p;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let f = t.a.(i).(col) in
+      if Float.abs f > 0.0 then begin
+        let ai = t.a.(i) in
+        for j = 0 to t.n - 1 do
+          ai.(j) <- ai.(j) -. (f *. arow.(j))
+        done;
+        t.b.(i) <- t.b.(i) -. (f *. t.b.(row))
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Price a cost vector against the current basis: returns reduced costs and
+   current objective value. *)
+let reduced_costs t cost =
+  let z = Array.copy cost in
+  let obj = ref 0.0 in
+  for r = 0 to t.m - 1 do
+    let cb = cost.(t.basis.(r)) in
+    if cb <> 0.0 then begin
+      obj := !obj +. (cb *. t.b.(r));
+      let ar = t.a.(r) in
+      for j = 0 to t.n - 1 do
+        z.(j) <- z.(j) -. (cb *. ar.(j))
+      done
+    end
+  done;
+  (z, !obj)
+
+(* Run simplex iterations minimizing [cost]. Returns [`Optimal] or
+   [`Unbounded]. Dantzig rule with a switch to Bland's rule after many
+   iterations to guarantee termination. *)
+let optimize t cost =
+  let max_iter = 20_000 + (200 * (t.m + t.n)) in
+  let rec loop iter =
+    let z, _ = reduced_costs t cost in
+    (* Entering column: most negative reduced cost (Dantzig), or first
+       negative (Bland) once iter is large. *)
+    let bland = iter > max_iter / 2 in
+    let enter = ref (-1) in
+    let best = ref (-.eps) in
+    (try
+       for j = 0 to t.n - 1 do
+         if z.(j) < -.eps then
+           if bland then begin
+             enter := j;
+             raise Exit
+           end
+           else if z.(j) < !best then begin
+             best := z.(j);
+             enter := j
+           end
+       done
+     with Exit -> ());
+    if !enter < 0 then `Optimal
+    else if iter >= max_iter then `Optimal (* give up improving; near-opt *)
+    else begin
+      let col = !enter in
+      (* Ratio test. *)
+      let leave = ref (-1) in
+      let best_ratio = ref infinity in
+      for r = 0 to t.m - 1 do
+        let arc = t.a.(r).(col) in
+        if arc > eps then begin
+          let ratio = t.b.(r) /. arc in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps
+               && (!leave < 0 || t.basis.(r) < t.basis.(!leave)))
+          then begin
+            best_ratio := ratio;
+            leave := r
+          end
+        end
+      done;
+      if !leave < 0 then `Unbounded
+      else begin
+        pivot t ~row:!leave ~col;
+        loop (iter + 1)
+      end
+    end
+  in
+  loop 0
+
+let solve ?(extra = []) problem =
+  let n_struct = Lp_problem.num_vars problem in
+  let rows = Lp_problem.constraints problem @ extra in
+  let m = List.length rows in
+  if m = 0 then
+    (* Unconstrained: minimum of a nonnegative-orthant linear function is 0
+       at the origin unless some cost is negative (then unbounded). *)
+    let c = Lp_problem.objective problem in
+    if Array.exists (fun x -> x < -.eps) c then Unbounded
+    else Optimal { objective = 0.0; solution = Array.make n_struct 0.0 }
+  else begin
+    (* Normalize rows to b >= 0, count slacks and artificials. *)
+    let normalized =
+      List.map
+        (fun { Lp_problem.coeffs; relation; rhs } ->
+          if rhs < 0.0 then
+            let coeffs = List.map (fun (i, c) -> (i, -.c)) coeffs in
+            let relation =
+              match relation with
+              | Lp_problem.Le -> Lp_problem.Ge
+              | Lp_problem.Ge -> Lp_problem.Le
+              | Lp_problem.Eq -> Lp_problem.Eq
+            in
+            (coeffs, relation, -.rhs)
+          else (coeffs, relation, rhs))
+        rows
+    in
+    let n_slack =
+      List.length
+        (List.filter
+           (fun (_, r, _) -> r = Lp_problem.Le || r = Lp_problem.Ge)
+           normalized)
+    in
+    let n_art =
+      List.length
+        (List.filter
+           (fun (_, r, _) -> r = Lp_problem.Ge || r = Lp_problem.Eq)
+           normalized)
+    in
+    let n = n_struct + n_slack + n_art in
+    let a = Array.init m (fun _ -> Array.make n 0.0) in
+    let b = Array.make m 0.0 in
+    let basis = Array.make m (-1) in
+    let slack_idx = ref n_struct in
+    let art_idx = ref (n_struct + n_slack) in
+    List.iteri
+      (fun r (coeffs, relation, rhs) ->
+        List.iter (fun (i, c) -> a.(r).(i) <- a.(r).(i) +. c) coeffs;
+        b.(r) <- rhs;
+        (match relation with
+        | Lp_problem.Le ->
+            a.(r).(!slack_idx) <- 1.0;
+            basis.(r) <- !slack_idx;
+            incr slack_idx
+        | Lp_problem.Ge ->
+            a.(r).(!slack_idx) <- -1.0;
+            incr slack_idx;
+            a.(r).(!art_idx) <- 1.0;
+            basis.(r) <- !art_idx;
+            incr art_idx
+        | Lp_problem.Eq ->
+            a.(r).(!art_idx) <- 1.0;
+            basis.(r) <- !art_idx;
+            incr art_idx))
+      normalized;
+    let t = { m; n; a; b; basis } in
+    (* Phase 1: minimize sum of artificials. *)
+    let phase1_needed = n_art > 0 in
+    let feasible =
+      if not phase1_needed then true
+      else begin
+        let cost1 = Array.make n 0.0 in
+        for j = n_struct + n_slack to n - 1 do
+          cost1.(j) <- 1.0
+        done;
+        match optimize t cost1 with
+        | `Unbounded -> false (* cannot happen: phase-1 obj bounded below *)
+        | `Optimal ->
+            let _, obj = reduced_costs t cost1 in
+            if obj > 1e-6 then false
+            else begin
+              (* Drive any artificial still basic out of the basis (degenerate
+                 rows); if impossible the row is redundant and harmless as the
+                 artificial equals zero. *)
+              for r = 0 to m - 1 do
+                if t.basis.(r) >= n_struct + n_slack then begin
+                  let found = ref false in
+                  let j = ref 0 in
+                  while (not !found) && !j < n_struct + n_slack do
+                    if Float.abs t.a.(r).(!j) > eps then begin
+                      pivot t ~row:r ~col:!j;
+                      found := true
+                    end;
+                    incr j
+                  done
+                end
+              done;
+              true
+            end
+      end
+    in
+    if not feasible then Infeasible
+    else begin
+      (* Phase 2: forbid artificials from re-entering by giving them a large
+         cost (they are at zero and zero-priced columns are never chosen;
+         big-M here only as a guard). *)
+      let cost2 = Array.make n 0.0 in
+      let c = Lp_problem.objective problem in
+      Array.blit c 0 cost2 0 n_struct;
+      for j = n_struct + n_slack to n - 1 do
+        cost2.(j) <- 1e12
+      done;
+      match optimize t cost2 with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+          let solution = Array.make n_struct 0.0 in
+          for r = 0 to m - 1 do
+            if t.basis.(r) < n_struct then solution.(t.basis.(r)) <- t.b.(r)
+          done;
+          let objective =
+            Array.to_seqi solution
+            |> Seq.fold_left (fun acc (i, x) -> acc +. (c.(i) *. x)) 0.0
+          in
+          Optimal { objective; solution }
+    end
+  end

@@ -1,0 +1,18 @@
+(** Two-phase dense primal simplex.
+
+    Solves min c·x s.t. the constraints of an {!Lp_problem.t}, x >= 0.
+    Integrality marks are ignored here (see {!Ilp}).
+
+    The implementation is the classical tableau method with Bland's
+    anti-cycling rule engaged after a stall is detected; artificial
+    variables are introduced for >= and = rows and driven out in phase 1.
+    It is intended for the small/medium DTN programs of the paper's Fig. 13
+    (hundreds to a few thousands of variables), not industrial scale. *)
+
+type solution = { objective : float; solution : float array }
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+val solve : ?extra:Lp_problem.constr list -> Lp_problem.t -> result
+(** [solve ?extra p] solves [p] with optional additional rows (used by
+    branch-and-bound to impose variable bounds without copying [p]). *)

@@ -1,0 +1,1 @@
+lib/mobility/mobility.ml: Array Contact Dist Fun List Rapid_prelude Rapid_trace Rng Trace

@@ -1,0 +1,1 @@
+lib/mobility/mobility.mli: Rapid_prelude Rapid_trace

@@ -1,0 +1,70 @@
+open Rapid_prelude
+open Rapid_trace
+
+let generate_from_rates rng ~num_nodes ~rates ~duration ~opportunity_bytes =
+  let contacts = ref [] in
+  for a = 0 to num_nodes - 1 do
+    for b = a + 1 to num_nodes - 1 do
+      let rate = rates.(a).(b) in
+      List.iter
+        (fun time ->
+          contacts :=
+            Contact.make ~time ~a ~b ~bytes:opportunity_bytes :: !contacts)
+        (Dist.poisson_process rng ~rate ~horizon:duration)
+    done
+  done;
+  Trace.create ~num_nodes ~duration
+    ~active:(List.init num_nodes Fun.id)
+    !contacts
+
+let uniform_rates ~num_nodes ~rate =
+  Array.init num_nodes (fun _ -> Array.make num_nodes rate)
+
+(* Scale an affinity matrix so the sum of pairwise rates matches that of the
+   uniform model with the given per-pair mean inter-meeting time. *)
+let normalize_to_uniform affinity ~num_nodes ~mean_inter_meeting =
+  let target = ref 0.0 and total = ref 0.0 in
+  let uniform_rate = 1.0 /. mean_inter_meeting in
+  for a = 0 to num_nodes - 1 do
+    for b = a + 1 to num_nodes - 1 do
+      target := !target +. uniform_rate;
+      total := !total +. affinity.(a).(b)
+    done
+  done;
+  let scale = if !total > 0.0 then !target /. !total else 0.0 in
+  Array.map (Array.map (fun x -> x *. scale)) affinity
+
+let exponential rng ~num_nodes ~mean_inter_meeting ~duration ~opportunity_bytes =
+  let rates = uniform_rates ~num_nodes ~rate:(1.0 /. mean_inter_meeting) in
+  generate_from_rates rng ~num_nodes ~rates ~duration ~opportunity_bytes
+
+let pair_rates_powerlaw rng ~num_nodes ~mean_inter_meeting ?(skew = 1.0) () =
+  (* Random assignment of popularity ranks 1..n (1 = most popular). *)
+  let ranks = Array.init num_nodes (fun i -> i + 1) in
+  Rng.shuffle rng ranks;
+  let weight i = float_of_int ranks.(i) ** -.skew in
+  let affinity =
+    Array.init num_nodes (fun a ->
+        Array.init num_nodes (fun b -> if a = b then 0.0 else weight a *. weight b))
+  in
+  normalize_to_uniform affinity ~num_nodes ~mean_inter_meeting
+
+let powerlaw rng ~num_nodes ~mean_inter_meeting ~duration ~opportunity_bytes
+    ?(skew = 1.0) () =
+  let rates = pair_rates_powerlaw rng ~num_nodes ~mean_inter_meeting ~skew () in
+  generate_from_rates rng ~num_nodes ~rates ~duration ~opportunity_bytes
+
+let community rng ~num_nodes ~num_communities ~mean_inter_meeting ~duration
+    ~opportunity_bytes ?(boost = 8.0) () =
+  assert (num_communities > 0);
+  let communities = Array.init num_nodes (fun i -> i mod num_communities) in
+  Rng.shuffle rng communities;
+  let affinity =
+    Array.init num_nodes (fun a ->
+        Array.init num_nodes (fun b ->
+            if a = b then 0.0
+            else if communities.(a) = communities.(b) then boost
+            else 1.0))
+  in
+  let rates = normalize_to_uniform affinity ~num_nodes ~mean_inter_meeting in
+  generate_from_rates rng ~num_nodes ~rates ~duration ~opportunity_bytes

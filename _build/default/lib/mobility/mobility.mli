@@ -1,0 +1,61 @@
+(** Synthetic mobility models (§6.3).
+
+    Each model generates a {!Rapid_trace.Trace.t}: pairwise node meetings as
+    Poisson processes (so inter-meeting times are exponential), with the
+    pairwise rates determined by the model:
+
+    - {!exponential}: all pairs share one mean inter-meeting time — the
+      "uniform exponential" model of §6.3.3 and §4.1.1.
+    - {!powerlaw}: each node has a popularity rank (1 = most popular) and a
+      pair's meeting rate scales with the product of the endpoints'
+      popularity weights (§6.3: "two nodes meet with an exponential
+      inter-meeting time, but the mean ... is determined by the popularity
+      of the nodes"). The weights follow a power law in the rank.
+    - {!community}: nodes are partitioned into communities; intra-community
+      pairs meet [boost] times more often than inter-community pairs (the
+      community-based synthetic model referenced for MV/Prophet in
+      Table 1, provided for completeness).
+
+    All models share the transfer-opportunity model of Table 4: every
+    meeting carries the same opportunity size. *)
+
+val exponential :
+  Rapid_prelude.Rng.t ->
+  num_nodes:int ->
+  mean_inter_meeting:float ->
+  duration:float ->
+  opportunity_bytes:int ->
+  Rapid_trace.Trace.t
+
+val powerlaw :
+  Rapid_prelude.Rng.t ->
+  num_nodes:int ->
+  mean_inter_meeting:float ->
+  duration:float ->
+  opportunity_bytes:int ->
+  ?skew:float ->
+  unit ->
+  Rapid_trace.Trace.t
+(** Popularity ranks are assigned uniformly at random to the nodes; weight
+    of rank r is r^(-skew) (default skew 1.0). Rates are normalized so the
+    expected total number of meetings equals that of {!exponential} with
+    the same [mean_inter_meeting], making the two models comparable at
+    equal load, while the distribution across pairs is heavily skewed. *)
+
+val community :
+  Rapid_prelude.Rng.t ->
+  num_nodes:int ->
+  num_communities:int ->
+  mean_inter_meeting:float ->
+  duration:float ->
+  opportunity_bytes:int ->
+  ?boost:float ->
+  unit ->
+  Rapid_trace.Trace.t
+(** [boost] (default 8.0) is the intra/inter meeting-rate ratio; rates are
+    normalized as in {!powerlaw}. *)
+
+val pair_rates_powerlaw :
+  Rapid_prelude.Rng.t -> num_nodes:int -> mean_inter_meeting:float ->
+  ?skew:float -> unit -> float array array
+(** The normalized rate matrix used by {!powerlaw} (exposed for tests). *)

@@ -1,0 +1,1 @@
+lib/prelude/moving_average.mli:

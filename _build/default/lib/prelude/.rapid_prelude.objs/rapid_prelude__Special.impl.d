@@ -1,0 +1,1 @@
+lib/prelude/special.ml: Array Float

@@ -1,0 +1,181 @@
+let exponential rng ~mean =
+  assert (mean > 0.0);
+  let u = 1.0 -. Rng.float rng in
+  -.mean *. log u
+
+let normal rng ~mu ~sigma =
+  let u1 = 1.0 -. Rng.float rng in
+  let u2 = Rng.float rng in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mu ~sigma)
+
+let rec gamma rng ~shape ~scale =
+  assert (shape > 0.0 && scale > 0.0);
+  if shape < 1.0 then begin
+    (* Boost: Gamma(a) = Gamma(a+1) * U^(1/a). *)
+    let u = 1.0 -. Rng.float rng in
+    gamma rng ~shape:(shape +. 1.0) ~scale *. (u ** (1.0 /. shape))
+  end
+  else begin
+    (* Marsaglia–Tsang squeeze method. *)
+    let d = shape -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec draw () =
+      let x = normal rng ~mu:0.0 ~sigma:1.0 in
+      let v = 1.0 +. (c *. x) in
+      if v <= 0.0 then draw ()
+      else begin
+        let v = v *. v *. v in
+        let u = 1.0 -. Rng.float rng in
+        let x2 = x *. x in
+        if u < 1.0 -. (0.0331 *. x2 *. x2) then d *. v
+        else if log u < (0.5 *. x2) +. (d *. (1.0 -. v +. log v)) then d *. v
+        else draw ()
+      end
+    in
+    scale *. draw ()
+  end
+
+let pareto rng ~alpha ~x_min =
+  assert (alpha > 0.0 && x_min > 0.0);
+  let u = 1.0 -. Rng.float rng in
+  x_min /. (u ** (1.0 /. alpha))
+
+let poisson_process rng ~rate ~horizon =
+  if rate <= 0.0 then []
+  else begin
+    let rec loop t acc =
+      let t = t +. exponential rng ~mean:(1.0 /. rate) in
+      if t >= horizon then List.rev acc else loop t (t :: acc)
+    in
+    loop 0.0 []
+  end
+
+let weighted_index rng weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  assert (total > 0.0);
+  let target = Rng.float rng *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else begin
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+    end
+  in
+  scan 0 0.0
+
+let gamma_mean ~shape ~scale = shape *. scale
+
+let exponential_cdf ~mean t =
+  if t <= 0.0 then 0.0 else 1.0 -. exp (-.t /. mean)
+
+let min_exponential_rate ~rates = List.fold_left ( +. ) 0.0 rates
+
+module Discrete = struct
+  type t = { dt : float; pmf : float array; defect : float }
+
+  let create ~dt ~pmf =
+    assert (dt > 0.0);
+    let total = Array.fold_left ( +. ) 0.0 pmf in
+    if total > 1.0 then begin
+      let pmf = Array.map (fun p -> p /. total) pmf in
+      { dt; pmf; defect = 0.0 }
+    end
+    else { dt; pmf = Array.copy pmf; defect = 1.0 -. total }
+
+  let dt d = d.dt
+  let cells d = Array.length d.pmf
+  let defect d = d.defect
+
+  let point ~dt ~cells v =
+    let pmf = Array.make cells 0.0 in
+    let i = int_of_float (v /. dt) in
+    if i < cells then begin
+      pmf.(i) <- 1.0;
+      create ~dt ~pmf
+    end
+    else { dt; pmf; defect = 1.0 }
+
+  let of_exponential ~dt ~cells ~mean =
+    assert (mean > 0.0);
+    let pmf = Array.make cells 0.0 in
+    for i = 0 to cells - 1 do
+      let lo = float_of_int i *. dt in
+      let hi = lo +. dt in
+      pmf.(i) <- exp (-.lo /. mean) -. exp (-.hi /. mean)
+    done;
+    let mass = Array.fold_left ( +. ) 0.0 pmf in
+    { dt; pmf; defect = 1.0 -. mass }
+
+  let cdf d t =
+    if t <= 0.0 then 0.0
+    else begin
+      let cells = Array.length d.pmf in
+      let n = min cells (int_of_float (t /. d.dt)) in
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc := !acc +. d.pmf.(i)
+      done;
+      !acc
+    end
+
+  let mean d =
+    let mass = 1.0 -. d.defect in
+    if mass <= 1e-12 then infinity
+    else begin
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun i p -> acc := !acc +. (p *. ((float_of_int i +. 0.5) *. d.dt)))
+        d.pmf;
+      !acc /. mass
+    end
+
+  let convolve a b =
+    assert (a.dt = b.dt);
+    let na = Array.length a.pmf and nb = Array.length b.pmf in
+    let n = max na nb in
+    let pmf = Array.make n 0.0 in
+    for i = 0 to na - 1 do
+      if a.pmf.(i) > 0.0 then
+        for j = 0 to nb - 1 do
+          let k = i + j in
+          if k < n then pmf.(k) <- pmf.(k) +. (a.pmf.(i) *. b.pmf.(j))
+        done
+    done;
+    let mass = Array.fold_left ( +. ) 0.0 pmf in
+    { dt = a.dt; pmf; defect = 1.0 -. mass }
+
+  let of_gamma_exponential_sum ~dt ~cells ~mean ~k =
+    assert (k >= 1);
+    let e = of_exponential ~dt ~cells ~mean in
+    let rec loop acc k = if k = 0 then acc else loop (convolve acc e) (k - 1) in
+    loop e (k - 1)
+
+  let minimum a b =
+    assert (a.dt = b.dt);
+    let n = max (Array.length a.pmf) (Array.length b.pmf) in
+    (* Work with CDFs: F_min = 1 - (1-F_a)(1-F_b), then difference cells. *)
+    let cdf_at d i =
+      (* CDF at the upper edge of cell i. *)
+      let acc = ref 0.0 in
+      for j = 0 to min i (Array.length d.pmf - 1) do
+        acc := !acc +. d.pmf.(j)
+      done;
+      !acc
+    in
+    let pmf = Array.make n 0.0 in
+    let prev = ref 0.0 in
+    for i = 0 to n - 1 do
+      let fa = cdf_at a i and fb = cdf_at b i in
+      let fmin = 1.0 -. ((1.0 -. fa) *. (1.0 -. fb)) in
+      pmf.(i) <- fmin -. !prev;
+      prev := fmin
+    done;
+    { dt = a.dt; pmf; defect = 1.0 -. !prev }
+
+  let minimum_list = function
+    | [] -> invalid_arg "Dist.Discrete.minimum_list: empty"
+    | d :: rest -> List.fold_left minimum d rest
+end

@@ -1,0 +1,78 @@
+(** Probability distributions: samplers and a small distribution algebra.
+
+    The samplers power workload and mobility generation. The [Discrete]
+    sub-module provides a numerically represented nonnegative distribution
+    with the two operators the appendix-C DAG-delay estimator needs:
+    [convolve] (the paper's ⊕, the delay of doing one thing after another)
+    and [minimum] (the delay until the first of several replicas is
+    delivered). *)
+
+val exponential : Rng.t -> mean:float -> float
+(** Exponential sample with the given mean. Requires [mean > 0]. *)
+
+val normal : Rng.t -> mu:float -> sigma:float -> float
+(** Gaussian sample (Box–Muller). *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+(** exp of a Gaussian; [mu]/[sigma] are the parameters of the log. *)
+
+val gamma : Rng.t -> shape:float -> scale:float -> float
+(** Gamma sample (Marsaglia–Tsang, with the shape<1 boost). *)
+
+val pareto : Rng.t -> alpha:float -> x_min:float -> float
+(** Pareto (power-law) sample: P(X > x) = (x_min/x)^alpha for x >= x_min. *)
+
+val poisson_process : Rng.t -> rate:float -> horizon:float -> float list
+(** Event times of a homogeneous Poisson process on [0, horizon), sorted
+    ascending. The empty list if [rate <= 0.]. *)
+
+val weighted_index : Rng.t -> float array -> int
+(** Index drawn proportionally to the (nonnegative) weights. *)
+
+(** Gamma distribution helpers used by Estimate-Delay's analysis. *)
+
+val gamma_mean : shape:float -> scale:float -> float
+
+val exponential_cdf : mean:float -> float -> float
+(** P(X < t) for an exponential with the given mean. *)
+
+val min_exponential_rate : rates:float list -> float
+(** Rate of the minimum of independent exponentials (sum of rates). *)
+
+module Discrete : sig
+  type t
+  (** A distribution over [0, n*dt) stored as a PMF on a uniform grid; mass
+      beyond the horizon is tracked as a defect (an "undelivered" atom at
+      +infinity), so means are reported conditionally on finite support
+      together with the defect. *)
+
+  val create : dt:float -> pmf:float array -> t
+  (** Normalizes to total mass <= 1; remaining mass becomes the defect. *)
+
+  val point : dt:float -> cells:int -> float -> t
+  (** Unit mass at (approximately) the given value. *)
+
+  val of_exponential : dt:float -> cells:int -> mean:float -> t
+
+  val of_gamma_exponential_sum : dt:float -> cells:int -> mean:float -> k:int -> t
+  (** Sum of [k] i.i.d. exponentials with the given mean (a gamma / Erlang),
+      computed by repeated convolution: the time to meet a node [k] times. *)
+
+  val dt : t -> float
+  val cells : t -> int
+  val defect : t -> float
+  (** Mass escaping the grid horizon. *)
+
+  val cdf : t -> float -> float
+  val mean : t -> float
+  (** Mean conditioned on finite support; [infinity] if all mass escapes. *)
+
+  val convolve : t -> t -> t
+  (** The paper's ⊕: distribution of the sum of two independent delays. *)
+
+  val minimum : t -> t -> t
+  (** Distribution of the minimum of two independent delays. *)
+
+  val minimum_list : t list -> t
+  (** Minimum of several; requires a non-empty list. *)
+end

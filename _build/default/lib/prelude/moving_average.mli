@@ -1,0 +1,32 @@
+(** Online averages of past observations.
+
+    RAPID nodes "locally compute the expected transfer opportunity with
+    every other node as a moving average of past transfers" (§4.1, step 3)
+    and tabulate "the average time to meet every other node based on past
+    meeting times" (§4.1.2). Both uses are served here: a plain cumulative
+    average and an exponentially weighted one. *)
+
+(** Cumulative (equal-weight) average. *)
+module Cumulative : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val value : t -> float option
+  (** [None] before the first observation. *)
+
+  val value_or : t -> default:float -> float
+  val count : t -> int
+end
+
+(** Exponentially weighted moving average. *)
+module Ewma : sig
+  type t
+
+  val create : alpha:float -> t
+  (** [alpha] in (0, 1]: weight of the newest observation. *)
+
+  val add : t -> float -> unit
+  val value : t -> float option
+  val value_or : t -> default:float -> float
+end

@@ -1,0 +1,73 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let length q = q.size
+let is_empty q = q.size = 0
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow q entry =
+  let cap = Array.length q.data in
+  if q.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let data = Array.make ncap entry in
+    Array.blit q.data 0 data 0 q.size;
+    q.data <- data
+  end
+
+let push q prio value =
+  let entry = { prio; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  (* Sift up. *)
+  let i = ref q.size in
+  q.size <- q.size + 1;
+  q.data.(!i) <- entry;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less q.data.(!i) q.data.(parent) then begin
+      let tmp = q.data.(parent) in
+      q.data.(parent) <- q.data.(!i);
+      q.data.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek q = if q.size = 0 then None else Some (q.data.(0).prio, q.data.(0).value)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.size && less q.data.(l) q.data.(!smallest) then smallest := l;
+        if r < q.size && less q.data.(r) q.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = q.data.(!smallest) in
+          q.data.(!smallest) <- q.data.(!i);
+          q.data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.prio, top.value)
+  end
+
+let clear q = q.size <- 0

@@ -1,0 +1,22 @@
+(** Mutable binary min-heap keyed by float priority.
+
+    Used as the simulator's event queue and by the Dijkstra passes in the
+    routing protocols (meeting-time matrix, MaxProp path costs, the optimal
+    lower bound). Ties are broken by insertion order so simulation runs are
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q priority v] inserts [v]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element; [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

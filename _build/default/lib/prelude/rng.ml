@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed =
+  (* Pre-mix the seed so that small consecutive seeds give unrelated
+     streams. *)
+  { state = Int64.mul (Int64.of_int (seed + 1)) 0xBF58476D1CE4E5B9L }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix s }
+
+let float t =
+  (* 53 high-quality bits into [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  assert (n > 0);
+  (* Rejection-free for our purposes: modulo bias is negligible for n << 2^63,
+     but we use multiply-shift to avoid it entirely for small n. *)
+  let bits = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem bits (Int64.of_int n))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let pick_k t a k =
+  assert (k <= Array.length a);
+  let pool = Array.copy a in
+  shuffle t pool;
+  Array.sub pool 0 k

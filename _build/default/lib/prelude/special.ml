@@ -1,0 +1,110 @@
+(* Lanczos approximation, g = 7, n = 9 coefficients. *)
+let lanczos =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  assert (x > 0.0);
+  if x < 0.5 then
+    (* Reflection: Γ(x)Γ(1-x) = π / sin(πx). *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let acc = ref lanczos.(0) in
+    for i = 1 to 8 do
+      acc := !acc +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. 7.5 in
+    (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !acc
+  end
+
+(* Continued fraction for the incomplete beta function (modified Lentz). *)
+let beta_cf ~a ~b ~x =
+  let max_iter = 300 and eps = 3e-14 and fpmin = 1e-300 in
+  let qab = a +. b and qap = a +. 1.0 and qam = a -. 1.0 in
+  let c = ref 1.0 in
+  let d = ref (1.0 -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1.0 /. !d;
+  let h = ref !d in
+  let m = ref 1 in
+  let continue = ref true in
+  while !continue && !m <= max_iter do
+    let mf = float_of_int !m in
+    let m2 = 2.0 *. mf in
+    let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    h := !h *. !d *. !c;
+    let aa = -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if Float.abs (del -. 1.0) < eps then continue := false;
+    incr m
+  done;
+  !h
+
+let incomplete_beta ~a ~b ~x =
+  assert (a > 0.0 && b > 0.0);
+  if x <= 0.0 then 0.0
+  else if x >= 1.0 then 1.0
+  else begin
+    let ln_front =
+      log_gamma (a +. b) -. log_gamma a -. log_gamma b
+      +. (a *. log x) +. (b *. log (1.0 -. x))
+    in
+    let front = exp ln_front in
+    (* Use the symmetry relation to stay in the rapidly-converging regime. *)
+    if x < (a +. 1.0) /. (a +. b +. 2.0) then front *. beta_cf ~a ~b ~x /. a
+    else 1.0 -. (front *. beta_cf ~a:b ~b:a ~x:(1.0 -. x) /. b)
+  end
+
+let student_t_cdf ~df t =
+  let x = df /. (df +. (t *. t)) in
+  let p = 0.5 *. incomplete_beta ~a:(df /. 2.0) ~b:0.5 ~x in
+  if t > 0.0 then 1.0 -. p else p
+
+let student_t_quantile ~df p =
+  assert (p > 0.0 && p < 1.0);
+  let rec bisect lo hi n =
+    if n = 0 then (lo +. hi) /. 2.0
+    else begin
+      let mid = (lo +. hi) /. 2.0 in
+      if student_t_cdf ~df mid < p then bisect mid hi (n - 1)
+      else bisect lo mid (n - 1)
+    end
+  in
+  bisect (-1e3) 1e3 200
+
+(* Maclaurin series for small |x|, first-order asymptotic tail beyond; the
+   crossover at 3 keeps both branches comfortably inside double precision. *)
+let erf x =
+  let ax = Float.abs x in
+  let v =
+    if ax < 3.0 then begin
+      (* Maclaurin series with term recurrence; converges fast for |x|<3. *)
+      let term = ref ax and sum = ref ax in
+      let n = ref 0 in
+      let x2 = ax *. ax in
+      while Float.abs !term > 1e-17 *. Float.abs !sum && !n < 200 do
+        incr n;
+        let nf = float_of_int !n in
+        term := !term *. -.x2 /. nf;
+        sum := !sum +. (!term /. ((2.0 *. nf) +. 1.0))
+      done;
+      2.0 /. sqrt Float.pi *. !sum
+    end
+    else 1.0 -. (exp (-.(ax *. ax)) /. (ax *. sqrt Float.pi))
+  in
+  if x < 0.0 then -.v else v
+
+let normal_cdf x = 0.5 *. (1.0 +. erf (x /. sqrt 2.0))

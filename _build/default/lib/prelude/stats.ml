@@ -1,0 +1,120 @@
+module Welford = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = if t.n = 0 then nan else t.mean
+  let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+  let std t = sqrt (variance t)
+
+  let merge a b =
+    if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2 }
+    else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2 }
+    else begin
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let nf = float_of_int n in
+      let mean = a.mean +. (delta *. float_of_int b.n /. nf) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. nf)
+      in
+      { n; mean; m2 }
+    end
+end
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  ci95 : float;
+}
+
+let summarize_array xs =
+  let n = Array.length xs in
+  if n = 0 then { n = 0; mean = nan; std = nan; min = nan; max = nan; ci95 = nan }
+  else begin
+    let w = Welford.create () in
+    Array.iter (Welford.add w) xs;
+    let mn = Array.fold_left min xs.(0) xs in
+    let mx = Array.fold_left max xs.(0) xs in
+    let std = if n < 2 then 0.0 else Welford.std w in
+    let ci95 =
+      if n < 2 then 0.0
+      else begin
+        let df = float_of_int (n - 1) in
+        let tq = Special.student_t_quantile ~df 0.975 in
+        tq *. std /. sqrt (float_of_int n)
+      end
+    in
+    { n; mean = Welford.mean w; std; min = mn; max = mx; ci95 }
+  end
+
+let summarize xs = summarize_array (Array.of_list xs)
+
+type t_test = { t_stat : float; df : float; p_value : float; mean_diff : float }
+
+let paired_t_test a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "paired_t_test: length mismatch";
+  if n < 2 then invalid_arg "paired_t_test: need at least 2 pairs";
+  let diffs = Array.init n (fun i -> a.(i) -. b.(i)) in
+  let s = summarize_array diffs in
+  let se = s.std /. sqrt (float_of_int n) in
+  let df = float_of_int (n - 1) in
+  if se = 0.0 then
+    { t_stat = (if s.mean = 0.0 then 0.0 else Float.infinity);
+      df;
+      p_value = (if s.mean = 0.0 then 1.0 else 0.0);
+      mean_diff = s.mean }
+  else begin
+    let t_stat = s.mean /. se in
+    let p_value = 2.0 *. (1.0 -. Special.student_t_cdf ~df (Float.abs t_stat)) in
+    { t_stat; df; p_value; mean_diff = s.mean }
+  end
+
+let jain_index xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let s = Array.fold_left ( +. ) 0.0 xs in
+    let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if s2 = 0.0 then nan else s *. s /. (float_of_int n *. s2)
+  end
+
+let cdf_points xs =
+  let n = Array.length xs in
+  if n = 0 then []
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    List.init n (fun i -> (sorted.(i), float_of_int (i + 1) /. float_of_int n))
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let pos = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let mean = function
+  | [] -> nan
+  | xs ->
+      let s = List.fold_left ( +. ) 0.0 xs in
+      s /. float_of_int (List.length xs)

@@ -1,0 +1,59 @@
+(** Summary statistics and hypothesis tests used by the evaluation harness.
+
+    Covers everything §6 of the paper reports: means with 95% confidence
+    intervals (Student's t), the paired t-test used to compare per-pair
+    delays of two protocols (§6.2.1), Jain's fairness index (§6.2.5), and
+    empirical CDFs (Fig. 15). *)
+
+(** Streaming mean / variance (Welford's online algorithm). *)
+module Welford : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** [nan] when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; [nan] when count < 2. *)
+
+  val std : t -> float
+  val merge : t -> t -> t
+end
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  ci95 : float;  (** Half-width of the 95% confidence interval on the mean. *)
+}
+
+val summarize : float list -> summary
+val summarize_array : float array -> summary
+
+type t_test = {
+  t_stat : float;
+  df : float;
+  p_value : float;  (** Two-sided. *)
+  mean_diff : float;
+}
+
+val paired_t_test : float array -> float array -> t_test
+(** Paired two-sided t-test on per-index differences. Arrays must have equal
+    length >= 2. *)
+
+val jain_index : float array -> float
+(** Jain's fairness index (Σx)² / (n·Σx²); 1.0 for perfectly equal values.
+    Returns [nan] on an empty array or all-zero values. *)
+
+val cdf_points : float array -> (float * float) list
+(** Empirical CDF: sorted (value, fraction <= value) pairs. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for p in [0,1], with linear interpolation. *)
+
+val mean : float list -> float
+(** Arithmetic mean; [nan] on empty. *)

@@ -1,0 +1,1 @@
+lib/routing/direct.ml: Buffer Env Float List Packet Protocol Rapid_sim

@@ -1,0 +1,1 @@
+lib/routing/direct.mli: Rapid_sim

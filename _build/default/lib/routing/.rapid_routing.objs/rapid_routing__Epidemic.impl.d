@@ -1,0 +1,1 @@
+lib/routing/epidemic.ml: Buffer Env Float Int List Packet Protocol Ranking Rapid_sim

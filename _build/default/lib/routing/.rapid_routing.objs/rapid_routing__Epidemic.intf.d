@@ -1,0 +1,1 @@
+lib/routing/epidemic.mli: Rapid_sim

@@ -1,0 +1,1 @@
+lib/routing/maxprop.ml: Array Buffer Env Float Hashtbl Int List Moving_average Option Packet Pqueue Protocol Ranking Rapid_prelude Rapid_sim

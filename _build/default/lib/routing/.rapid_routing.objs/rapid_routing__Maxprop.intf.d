@@ -1,0 +1,1 @@
+lib/routing/maxprop.mli: Rapid_sim

@@ -1,0 +1,1 @@
+lib/routing/optimal.ml: Array Contact Float Hashtbl Ilp Int List Lp_problem Option Rapid_lp Rapid_trace Trace Workload

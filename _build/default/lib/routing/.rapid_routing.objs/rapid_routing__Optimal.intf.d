@@ -1,0 +1,1 @@
+lib/routing/optimal.mli: Rapid_trace

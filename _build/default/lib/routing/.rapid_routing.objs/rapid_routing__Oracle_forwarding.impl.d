@@ -1,0 +1,1 @@
+lib/routing/oracle_forwarding.ml: Array Buffer Contact Env Float List Option Packet Protocol Ranking Rapid_sim Rapid_trace Trace

@@ -1,0 +1,1 @@
+lib/routing/oracle_forwarding.mli: Rapid_sim Rapid_trace

@@ -1,0 +1,1 @@
+lib/routing/prophet.ml: Array Buffer Env Float Int List Option Packet Protocol Ranking Rapid_sim

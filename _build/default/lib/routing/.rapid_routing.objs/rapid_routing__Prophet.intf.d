@@ -1,0 +1,1 @@
+lib/routing/prophet.mli: Rapid_sim

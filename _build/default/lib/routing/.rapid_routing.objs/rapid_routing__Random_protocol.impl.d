@@ -1,0 +1,1 @@
+lib/routing/random_protocol.ml: Array Buffer Env Float List Packet Protocol Ranking Rapid_prelude Rapid_sim Rng

@@ -1,0 +1,1 @@
+lib/routing/random_protocol.mli: Rapid_sim

@@ -1,0 +1,1 @@
+lib/routing/spray_wait.ml: Array Buffer Env Float Hashtbl Int List Option Packet Printf Protocol Ranking Rapid_prelude Rapid_sim Rng

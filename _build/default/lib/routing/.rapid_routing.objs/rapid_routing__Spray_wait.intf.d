@@ -1,0 +1,1 @@
+lib/routing/spray_wait.mli: Rapid_sim

@@ -1,0 +1,47 @@
+open Rapid_sim
+
+let make () : Protocol.packed =
+  (module struct
+    type t = { env : Env.t; session : Protocol.Session.t }
+
+    let name = "Direct"
+    let create env = { env; session = Protocol.Session.create () }
+    let on_created _ ~now:_ _ = ()
+
+    let on_contact t ~now:_ ~a:_ ~b:_ ~budget:_ ~meta_budget:_ =
+      Protocol.Session.reset t.session;
+      0
+
+    let next_packet t ~now:_ ~sender ~receiver ~budget =
+      let candidates =
+        Protocol.candidate_entries t.env t.session ~sender ~receiver ~budget
+      in
+      let direct, _ = Protocol.split_direct ~receiver candidates in
+      (* Oldest first. *)
+      let direct =
+        List.sort
+          (fun (a : Buffer.entry) (b : Buffer.entry) ->
+            Float.compare a.packet.Packet.created b.packet.Packet.created)
+          direct
+      in
+      match direct with
+      | [] -> None
+      | e :: _ ->
+          Protocol.Session.mark t.session ~sender ~packet_id:e.packet.Packet.id;
+          Some e.packet
+
+    let on_transfer _ ~now:_ ~sender:_ ~receiver:_ _ ~delivered:_ = ()
+
+    let drop_candidate t ~now:_ ~node ~incoming:_ =
+      (* Newest first: keep the packets that have waited longest. *)
+      match
+        List.sort
+          (fun (a : Buffer.entry) (b : Buffer.entry) ->
+            Float.compare b.packet.Packet.created a.packet.Packet.created)
+          (Env.buffered_entries t.env node)
+      with
+      | [] -> None
+      | e :: _ -> Some e.packet
+
+    let on_dropped _ ~now:_ ~node:_ _ = ()
+  end : Protocol.S)

@@ -1,0 +1,7 @@
+(** Direct delivery: a packet is handed over only when its source (or a
+    prior carrier — none exist here, so only the source) meets the
+    destination. The degenerate baseline P2-style single-copy protocol;
+    useful as a floor in experiments and as the simplest possible
+    {!Rapid_sim.Protocol.S} implementation. *)
+
+val make : unit -> Rapid_sim.Protocol.packed

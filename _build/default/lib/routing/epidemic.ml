@@ -1,0 +1,41 @@
+open Rapid_sim
+
+let by_age (a : Buffer.entry) (b : Buffer.entry) =
+  match Float.compare a.packet.Packet.created b.packet.Packet.created with
+  | 0 -> Int.compare a.packet.Packet.id b.packet.Packet.id
+  | n -> n
+
+let make () : Protocol.packed =
+  (module struct
+    type t = { env : Env.t; ranking : Ranking.t }
+
+    let name = "Epidemic"
+    let create env = { env; ranking = Ranking.create () }
+    let on_created _ ~now:_ _ = ()
+
+    let rank t ~sender ~receiver =
+      let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
+      let direct, rest = Protocol.split_direct ~receiver candidates in
+      List.map
+        (fun (e : Buffer.entry) -> e.packet)
+        (List.sort by_age direct @ List.sort by_age rest)
+
+    let on_contact t ~now:_ ~a ~b ~budget:_ ~meta_budget:_ =
+      Ranking.begin_contact t.ranking;
+      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
+      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
+      0
+
+    let next_packet t ~now:_ ~sender ~receiver ~budget =
+      Ranking.next t.ranking t.env ~sender ~receiver ~budget
+
+    let on_transfer _ ~now:_ ~sender:_ ~receiver:_ _ ~delivered:_ = ()
+
+    let drop_candidate t ~now:_ ~node ~incoming:_ =
+      (* FIFO eviction: oldest copy goes first. *)
+      match List.sort by_age (Env.buffered_entries t.env node) with
+      | [] -> None
+      | e :: _ -> Some e.Buffer.packet
+
+    let on_dropped _ ~now:_ ~node:_ _ = ()
+  end : Protocol.S)

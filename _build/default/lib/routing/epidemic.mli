@@ -1,0 +1,5 @@
+(** Epidemic routing (Vahdat & Becker [24] in the paper's taxonomy, P1):
+    replicate every packet the peer is missing, oldest first, with no
+    replication control. The canonical naive-flooding baseline. *)
+
+val make : unit -> Rapid_sim.Protocol.packed

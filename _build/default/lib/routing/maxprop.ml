@@ -1,0 +1,184 @@
+open Rapid_prelude
+open Rapid_sim
+
+let make ?(ack_entry_bytes = 8) ?(vector_entry_bytes = 12) () : Protocol.packed =
+  (module struct
+    type t = {
+      env : Env.t;
+      ranking : Ranking.t;
+      acks : Protocol.Ack_store.t;
+      (* own.(x): x's meeting-likelihood vector over all nodes. *)
+      own : float array array;
+      (* view.(x).(y): x's latest copy of y's vector (None = never heard). *)
+      view : float array option array array;
+      (* Moving average of observed transfer-opportunity bytes. *)
+      avg_transfer : Moving_average.Cumulative.t;
+      (* Dijkstra results cached within a contact (cleared on each): drop
+         decisions during heavy eviction would otherwise recompute them
+         per evicted packet. *)
+      cost_cache : (int, float array) Hashtbl.t;
+    }
+
+    let name = "MaxProp"
+
+    let create env =
+      let n = env.Env.num_nodes in
+      let uniform () =
+        Array.init n (fun _ -> if n > 1 then 1.0 /. float_of_int (n - 1) else 0.0)
+      in
+      {
+        env;
+        ranking = Ranking.create ();
+        acks = Protocol.Ack_store.create ~num_nodes:n;
+        own = Array.init n (fun _ -> uniform ());
+        view = Array.init n (fun _ -> Array.make n None);
+        avg_transfer = Moving_average.Cumulative.create ();
+        cost_cache = Hashtbl.create 4;
+      }
+
+    let bump_likelihood t ~node ~met =
+      let row = t.own.(node) in
+      row.(met) <- row.(met) +. 1.0;
+      let sum = Array.fold_left ( +. ) 0.0 row in
+      Array.iteri (fun j v -> row.(j) <- v /. sum) row
+
+    (* Cheapest-path costs from [src] to every node under [observer]'s
+       learned vectors; edge (u, v) costs 1 - f^u(v). Unknown vectors fall
+       back to the uniform prior. *)
+    let all_path_costs t ~observer ~src =
+      let n = t.env.Env.num_nodes in
+      let default = 1.0 /. float_of_int (max 1 (n - 1)) in
+      let vector_of u =
+        if u = observer then Some t.own.(observer) else t.view.(observer).(u)
+      in
+      let dist = Array.make n infinity in
+      let queue = Pqueue.create () in
+      dist.(src) <- 0.0;
+      Pqueue.push queue 0.0 src;
+      let rec loop () =
+        match Pqueue.pop queue with
+        | None -> ()
+        | Some (d, u) ->
+            if d <= dist.(u) then begin
+              let vec = vector_of u in
+              for v = 0 to n - 1 do
+                if v <> u then begin
+                  let f =
+                    match vec with Some vec -> vec.(v) | None -> default
+                  in
+                  let w = 1.0 -. Float.min 1.0 (Float.max 0.0 f) in
+                  if d +. w < dist.(v) then begin
+                    dist.(v) <- d +. w;
+                    Pqueue.push queue dist.(v) v
+                  end
+                end
+              done;
+              loop ()
+            end
+            else loop ()
+      in
+      loop ();
+      dist
+
+    let cached_costs t ~node =
+      match Hashtbl.find_opt t.cost_cache node with
+      | Some dist -> dist
+      | None ->
+          let dist = all_path_costs t ~observer:node ~src:node in
+          Hashtbl.replace t.cost_cache node dist;
+          dist
+
+    let on_created _ ~now:_ _ = ()
+
+    let by_age (x : Buffer.entry) (y : Buffer.entry) =
+      match Float.compare x.packet.Packet.created y.packet.Packet.created with
+      | 0 -> Int.compare x.packet.Packet.id y.packet.Packet.id
+      | n -> n
+
+    (* Adaptive hop-count threshold: the head of the buffer (packets sorted
+       by hops) claims up to half the expected transfer opportunity. *)
+    let hop_threshold t ~sender =
+      let entries = Env.buffered_entries t.env sender in
+      let avg =
+        Moving_average.Cumulative.value_or t.avg_transfer ~default:infinity
+      in
+      let head_target = avg /. 2.0 in
+      let sorted =
+        List.sort
+          (fun (x : Buffer.entry) (y : Buffer.entry) -> Int.compare x.hops y.hops)
+          entries
+      in
+      let rec scan acc_bytes threshold = function
+        | [] -> threshold
+        | (e : Buffer.entry) :: rest ->
+            let acc_bytes = acc_bytes +. float_of_int e.packet.Packet.size in
+            if acc_bytes > head_target then e.hops
+            else scan acc_bytes (e.hops + 1) rest
+      in
+      scan 0.0 0 sorted
+
+    let rank t ~sender ~receiver =
+      let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
+      let direct, rest = Protocol.split_direct ~receiver candidates in
+      let threshold = hop_threshold t ~sender in
+      let head, tail =
+        List.partition (fun (e : Buffer.entry) -> e.hops < threshold) rest
+      in
+      let by_hops (x : Buffer.entry) (y : Buffer.entry) =
+        match Int.compare x.hops y.hops with 0 -> by_age x y | n -> n
+      in
+      let costs = cached_costs t ~node:sender in
+      let by_cost (x : Buffer.entry) (y : Buffer.entry) =
+        match
+          Float.compare costs.(x.packet.Packet.dst) costs.(y.packet.Packet.dst)
+        with
+        | 0 -> by_age x y
+        | n -> n
+      in
+      List.map
+        (fun (e : Buffer.entry) -> e.packet)
+        (List.sort by_age direct @ List.sort by_hops head @ List.sort by_cost tail)
+
+    let on_contact t ~now:_ ~a ~b ~budget ~meta_budget:_ =
+      Ranking.begin_contact t.ranking;
+      Hashtbl.reset t.cost_cache;
+      Moving_average.Cumulative.add t.avg_transfer (float_of_int budget);
+      bump_likelihood t ~node:a ~met:b;
+      bump_likelihood t ~node:b ~met:a;
+      (* Exchange own vectors. *)
+      t.view.(a).(b) <- Some (Array.copy t.own.(b));
+      t.view.(b).(a) <- Some (Array.copy t.own.(a));
+      let fresh = Protocol.Ack_store.exchange t.acks ~a ~b in
+      Protocol.Ack_store.purge t.acks t.env ~node:a ~on_purge:(fun _ -> ());
+      Protocol.Ack_store.purge t.acks t.env ~node:b ~on_purge:(fun _ -> ());
+      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
+      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
+      (2 * t.env.Env.num_nodes * vector_entry_bytes) + (fresh * ack_entry_bytes)
+
+    let next_packet t ~now:_ ~sender ~receiver ~budget =
+      Ranking.next t.ranking t.env ~sender ~receiver ~budget
+
+    let on_transfer t ~now:_ ~sender ~receiver (p : Packet.t) ~delivered =
+      if delivered then begin
+        Protocol.Ack_store.learn t.acks ~node:sender ~packet_id:p.Packet.id;
+        Protocol.Ack_store.learn t.acks ~node:receiver ~packet_id:p.Packet.id
+      end
+
+    let drop_candidate t ~now:_ ~node ~incoming:_ =
+      (* Tail eviction: most-replicated (highest hops) first, then the
+         packet with the worst delivery likelihood. *)
+      let entries = Env.buffered_entries t.env node in
+      let costs = cached_costs t ~node in
+      let worst =
+        List.fold_left
+          (fun acc (e : Buffer.entry) ->
+            let h = e.hops and c = costs.(e.packet.Packet.dst) in
+            match acc with
+            | Some (_, bh, bc) when (bh, bc) >= (h, c) -> acc
+            | _ -> Some (e.packet, h, c))
+          None entries
+      in
+      Option.map (fun (p, _, _) -> p) worst
+
+    let on_dropped _ ~now:_ ~node:_ _ = ()
+  end : Protocol.S)

@@ -1,0 +1,20 @@
+(** MaxProp (Burgess et al. [5]) — the strongest incidental baseline and
+    the paper's own prior work; closest to RAPID's problem space (P5).
+
+    Mechanisms implemented, following the MaxProp paper:
+    - per-node meeting-likelihood vectors with incremental averaging
+      (start uniform; on meeting j, bump f_j and renormalize), exchanged
+      at every contact and charged to the control channel;
+    - destination cost = cheapest path cost under Dijkstra where an edge
+      (u, v) costs 1 − f^u(v), computed from the node's learned vectors;
+    - buffer priority: packets below an adaptive hop-count threshold go
+      first (new packets, sorted by hops), the remainder sorted by path
+      cost — the behaviour §6.3.1 calls "MaxProp prioritizes new packets";
+    - flooded delivery acknowledgments purging dead replicas;
+    - eviction from the tail: highest hop count first, then worst cost
+      (§6.3.2: "deletes packets that are replicated most number of
+      times"). *)
+
+val make :
+  ?ack_entry_bytes:int -> ?vector_entry_bytes:int -> unit ->
+  Rapid_sim.Protocol.packed

@@ -1,0 +1,248 @@
+open Rapid_trace
+open Rapid_lp
+
+type how = Ilp_exact | Ilp_incumbent | Bound
+
+type verdict = {
+  avg_delay_all : float;
+  delivered : int;
+  created : int;
+  delivery_rate : float;
+  how : how;
+}
+
+(* Earliest arrival of packet [p] at every node, ignoring cross-packet
+   bandwidth contention. *)
+let earliest_arrival (trace : Trace.t) (p : Workload.spec) =
+  let reach = Array.make trace.Trace.num_nodes infinity in
+  reach.(p.Workload.src) <- p.Workload.created;
+  Array.iter
+    (fun (c : Contact.t) ->
+      if c.Contact.bytes >= p.Workload.size then begin
+        if reach.(c.Contact.a) <= c.Contact.time && c.Contact.time < reach.(c.Contact.b)
+        then reach.(c.Contact.b) <- c.Contact.time;
+        if reach.(c.Contact.b) <= c.Contact.time && c.Contact.time < reach.(c.Contact.a)
+        then reach.(c.Contact.a) <- c.Contact.time
+      end)
+    trace.Trace.contacts;
+  reach
+
+(* Latest time at which holding packet [p] at a node still allows reaching
+   the destination (reverse sweep). *)
+let latest_departure (trace : Trace.t) (p : Workload.spec) =
+  let l = Array.make trace.Trace.num_nodes neg_infinity in
+  l.(p.Workload.dst) <- infinity;
+  let m = Array.length trace.Trace.contacts in
+  for i = m - 1 downto 0 do
+    let c = trace.Trace.contacts.(i) in
+    if c.Contact.bytes >= p.Workload.size then begin
+      if l.(c.Contact.b) >= c.Contact.time && c.Contact.time > l.(c.Contact.a) then
+        l.(c.Contact.a) <- c.Contact.time;
+      if l.(c.Contact.a) >= c.Contact.time && c.Contact.time > l.(c.Contact.b) then
+        l.(c.Contact.b) <- c.Contact.time
+    end
+  done;
+  l
+
+let summarize_delays ~duration ~how delays_opt specs =
+  let n = List.length specs in
+  let total, delivered =
+    List.fold_left2
+      (fun (acc, k) d (s : Workload.spec) ->
+        match d with
+        | Some t -> (acc +. (t -. s.Workload.created), k + 1)
+        | None -> (acc +. (duration -. s.Workload.created), k))
+      (0.0, 0) delays_opt specs
+  in
+  {
+    avg_delay_all = (if n = 0 then nan else total /. float_of_int n);
+    delivered;
+    created = n;
+    delivery_rate = (if n = 0 then 0.0 else float_of_int delivered /. float_of_int n);
+    how;
+  }
+
+let contention_free ~trace ~workload =
+  let delays =
+    List.map
+      (fun (s : Workload.spec) ->
+        let reach = earliest_arrival trace s in
+        let t = reach.(s.Workload.dst) in
+        if Float.is_finite t then Some t else None)
+      workload
+  in
+  summarize_delays ~duration:trace.Trace.duration ~how:Bound delays workload
+
+(* One directed arc of the time-expanded graph. *)
+type arc = { contact : int; from_ : int; to_ : int; time : float }
+
+let build_arcs (trace : Trace.t) =
+  let arcs = ref [] in
+  Array.iteri
+    (fun k (c : Contact.t) ->
+      arcs :=
+        { contact = k; from_ = c.Contact.b; to_ = c.Contact.a; time = c.Contact.time }
+        :: { contact = k; from_ = c.Contact.a; to_ = c.Contact.b; time = c.Contact.time }
+        :: !arcs)
+    trace.Trace.contacts;
+  (* Ascending contact order; within a contact the two directions are
+     adjacent. *)
+  List.sort (fun a b -> Int.compare a.contact b.contact) !arcs
+
+type objective = Min_total_delay | Max_deliveries
+
+let evaluate ?(objective = Min_total_delay) ?(max_vars = 1200)
+    ?(max_rows = 1500) ?(max_bb_nodes = 300) ~trace ~workload () =
+  let specs = Array.of_list workload in
+  let np = Array.length specs in
+  if np = 0 then
+    { avg_delay_all = nan; delivered = 0; created = 0; delivery_rate = 0.0;
+      how = Ilp_exact }
+  else begin
+    let all_arcs = build_arcs trace in
+    (* Per-packet usable arcs after reachability pruning. *)
+    let usable =
+      Array.map
+        (fun (s : Workload.spec) ->
+          let reach = earliest_arrival trace s in
+          let depart = latest_departure trace s in
+          List.filter
+            (fun a ->
+              a.time >= s.Workload.created
+              && trace.Trace.contacts.(a.contact).Contact.bytes >= s.Workload.size
+              && reach.(a.from_) <= a.time
+              && depart.(a.to_) >= a.time)
+            all_arcs)
+        specs
+    in
+    let num_x = Array.fold_left (fun acc l -> acc + List.length l) 0 usable in
+    (* Row estimate: causality per (packet, arc) + receive-once per touched
+       node + one bandwidth row per touched contact. *)
+    let row_estimate = num_x + (2 * num_x) + Array.length trace.Trace.contacts in
+    if num_x = 0 then
+      summarize_delays ~duration:trace.Trace.duration ~how:Ilp_exact
+        (List.map (fun _ -> None) workload)
+        workload
+    else if num_x > max_vars || row_estimate > max_rows then
+      { (contention_free ~trace ~workload) with how = Bound }
+    else begin
+      let problem = Lp_problem.create ~num_vars:num_x in
+      (* Variable layout: packets in order, arcs in usable order. *)
+      let var_index = Hashtbl.create num_x in
+      let next = ref 0 in
+      Array.iteri
+        (fun pi arcs ->
+          List.iteri
+            (fun ai _ ->
+              Hashtbl.replace var_index (pi, ai) !next;
+              incr next)
+            arcs)
+        usable;
+      let duration = trace.Trace.duration in
+      (* Min_total_delay: a delivery at t reduces the total by (horizon - t);
+         Max_deliveries: every delivery counts -1. *)
+      let obj_terms = ref [] in
+      Array.iteri
+        (fun pi arcs ->
+          let dst = specs.(pi).Workload.dst in
+          List.iteri
+            (fun ai a ->
+              if a.to_ = dst then begin
+                let coeff =
+                  match objective with
+                  | Min_total_delay -> a.time -. duration
+                  | Max_deliveries -> -1.0
+                in
+                obj_terms := (Hashtbl.find var_index (pi, ai), coeff) :: !obj_terms
+              end)
+            arcs)
+        usable;
+      Lp_problem.set_objective problem !obj_terms;
+      (* Bandwidth per contact. *)
+      let per_contact = Hashtbl.create 64 in
+      Array.iteri
+        (fun pi arcs ->
+          let size = float_of_int specs.(pi).Workload.size in
+          List.iteri
+            (fun ai a ->
+              let cur =
+                Option.value (Hashtbl.find_opt per_contact a.contact) ~default:[]
+              in
+              Hashtbl.replace per_contact a.contact
+                ((Hashtbl.find var_index (pi, ai), size) :: cur))
+            arcs)
+        usable;
+      Hashtbl.iter
+        (fun k terms ->
+          Lp_problem.add_constraint problem terms Lp_problem.Le
+            (float_of_int trace.Trace.contacts.(k).Contact.bytes))
+        per_contact;
+      (* Per packet: receive-once and causality. *)
+      Array.iteri
+        (fun pi arcs ->
+          let src = specs.(pi).Workload.src in
+          let arcs = Array.of_list arcs in
+          let n_arcs = Array.length arcs in
+          let var ai = Hashtbl.find var_index (pi, ai) in
+          (* Receive at most once per node. *)
+          let incoming = Hashtbl.create 8 in
+          Array.iteri
+            (fun ai a ->
+              let cur = Option.value (Hashtbl.find_opt incoming a.to_) ~default:[] in
+              Hashtbl.replace incoming a.to_ ((var ai, 1.0) :: cur))
+            arcs;
+          Hashtbl.iter
+            (fun _node terms ->
+              Lp_problem.add_constraint problem terms Lp_problem.Le 1.0)
+            incoming;
+          (* Causality: an arc out of node n at contact k needs the packet
+             present: X_d + (prior outs of n) - (prior ins of n) <= [n=src].
+             Arc lists are contact-ordered, so a prefix scan suffices. *)
+          for d = 0 to n_arcs - 1 do
+            let a = arcs.(d) in
+            let n = a.from_ in
+            let terms = ref [ (var d, 1.0) ] in
+            for e = 0 to n_arcs - 1 do
+              if arcs.(e).contact < a.contact then begin
+                if arcs.(e).from_ = n then terms := (var e, 1.0) :: !terms
+                else if arcs.(e).to_ = n then terms := (var e, -1.0) :: !terms
+              end
+            done;
+            let rhs = if n = src then 1.0 else 0.0 in
+            Lp_problem.add_constraint problem !terms Lp_problem.Le rhs
+          done;
+          (* Upper bounds and integrality. *)
+          for d = 0 to n_arcs - 1 do
+            Lp_problem.add_constraint problem [ (var d, 1.0) ] Lp_problem.Le 1.0;
+            Lp_problem.mark_integer problem (var d)
+          done)
+        usable;
+      match Ilp.solve ~max_nodes:max_bb_nodes problem with
+      | Ilp.Solved o ->
+          let delays =
+            Array.to_list
+              (Array.mapi
+                 (fun pi (s : Workload.spec) ->
+                   let arcs = Array.of_list usable.(pi) in
+                   let best = ref None in
+                   Array.iteri
+                     (fun ai a ->
+                       if
+                         a.to_ = s.Workload.dst
+                         && o.Ilp.solution.(Hashtbl.find var_index (pi, ai)) > 0.5
+                       then
+                         match !best with
+                         | Some t when t <= a.time -> ()
+                         | _ -> best := Some a.time)
+                     arcs;
+                   !best)
+                 specs)
+          in
+          let how = if o.Ilp.proven_optimal then Ilp_exact else Ilp_incumbent in
+          summarize_delays ~duration ~how delays workload
+      | Ilp.Infeasible | Ilp.Unbounded | Ilp.No_incumbent ->
+          (* The program is always feasible (all-zero = nothing delivered);
+             reaching here means the solver gave up — fall back. *)
+          { (contention_free ~trace ~workload) with how = Bound }
+    end
+  end

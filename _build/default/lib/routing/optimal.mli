@@ -1,0 +1,56 @@
+(** Optimal, the paper's upper-bound baseline (§6.2.4, Fig. 13, Appendix D).
+
+    With node meetings known a priori, average delay is minimized by the
+    appendix-D integer linear program. The paper used CPLEX; we build the
+    same program and solve it with {!Rapid_lp}. As in the paper, "the delay
+    of undelivered packets is set to the time the packet spent in the
+    system" (the trace horizon minus creation).
+
+    Because full future knowledge never benefits from replication (any
+    delivered replica traces a single time-respecting path, and dropping
+    the other replicas only frees bandwidth), the program routes a single
+    copy per packet: variables X(p, d) choose directed contact arcs, with
+    per-opportunity bandwidth coupling, per-node receive-once constraints,
+    and causality (a node forwards only what it holds). Per-packet arcs are
+    pruned to those forward-reachable from the source and co-reachable to
+    the destination.
+
+    [evaluate] solves the ILP when the instance fits the solver budget and
+    otherwise falls back to {!contention_free} — a lower bound on delay
+    (i.e. an optimistic Optimal) that is exact as load vanishes; the
+    result records which method ran. *)
+
+type how = Ilp_exact | Ilp_incumbent | Bound
+
+type verdict = {
+  avg_delay_all : float;
+      (** Mean delay with undelivered packets charged [horizon − created]. *)
+  delivered : int;
+  created : int;
+  delivery_rate : float;
+  how : how;
+}
+
+val contention_free :
+  trace:Rapid_trace.Trace.t -> workload:Rapid_trace.Workload.spec list -> verdict
+(** Earliest time-respecting delivery per packet, ignoring bandwidth
+    contention between packets (per-contact size limits still apply). *)
+
+type objective =
+  | Min_total_delay
+      (** The paper's Fig. 13 objective (undelivered = time in system). *)
+  | Max_deliveries
+      (** The Theorem-2 objective: number of packets delivered — the
+          quantity the EDP reduction preserves. *)
+
+val evaluate :
+  ?objective:objective ->
+  ?max_vars:int ->
+  ?max_rows:int ->
+  ?max_bb_nodes:int ->
+  trace:Rapid_trace.Trace.t ->
+  workload:Rapid_trace.Workload.spec list ->
+  unit ->
+  verdict
+(** ILP with a size guard (defaults: [Min_total_delay], 1200 variables,
+    1500 rows, 300 branch-and-bound nodes). *)

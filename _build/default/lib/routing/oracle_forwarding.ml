@@ -1,0 +1,94 @@
+open Rapid_trace
+open Rapid_sim
+
+let make ~trace () : Protocol.packed =
+  (module struct
+    type t = { env : Env.t; ranking : Ranking.t }
+
+    let name = "OracleForwarding"
+    let create env = { env; ranking = Ranking.create () }
+    let on_created _ ~now:_ _ = ()
+
+    (* Earliest arrival time at [dst] starting from [node] holding the
+       packet strictly after time [now] (the current contact may itself be
+       used, so [>= now]). *)
+    let earliest_delivery ~now ~node ~dst ~size =
+      let reach = Array.make trace.Trace.num_nodes infinity in
+      reach.(node) <- now;
+      Array.iter
+        (fun (c : Contact.t) ->
+          if c.Contact.time >= now && c.Contact.bytes >= size then begin
+            if
+              reach.(c.Contact.a) <= c.Contact.time
+              && c.Contact.time < reach.(c.Contact.b)
+            then reach.(c.Contact.b) <- c.Contact.time;
+            if
+              reach.(c.Contact.b) <= c.Contact.time
+              && c.Contact.time < reach.(c.Contact.a)
+            then reach.(c.Contact.a) <- c.Contact.time
+          end)
+        trace.Trace.contacts;
+      reach.(dst)
+
+    let rank t ~now ~sender ~receiver =
+      let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
+      let direct, rest = Protocol.split_direct ~receiver candidates in
+      (* Forward iff handing over strictly improves the earliest-arrival
+         estimate: the receiver (who has the packet from this instant) can
+         deliver sooner than the sender could by keeping it past this
+         contact. *)
+      let forwardable =
+        List.filter_map
+          (fun (e : Buffer.entry) ->
+            let p = e.packet in
+            let dst = p.Packet.dst and size = p.Packet.size in
+            let via_receiver = earliest_delivery ~now ~node:receiver ~dst ~size in
+            let keeping =
+              earliest_delivery ~now:(now +. 1e-9) ~node:sender ~dst ~size
+            in
+            if via_receiver < keeping then Some (p, via_receiver) else None)
+          rest
+      in
+      let ordered =
+        List.sort (fun (_, a) (_, b) -> Float.compare a b) forwardable
+      in
+      List.map (fun (e : Buffer.entry) -> e.packet)
+        (List.sort
+           (fun (a : Buffer.entry) b ->
+             Float.compare a.packet.Packet.created b.packet.Packet.created)
+           direct)
+      @ List.map fst ordered
+
+    let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ =
+      Ranking.begin_contact t.ranking;
+      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~now ~sender:a ~receiver:b);
+      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~now ~sender:b ~receiver:a);
+      0
+
+    let next_packet t ~now:_ ~sender ~receiver ~budget =
+      Ranking.next t.ranking t.env ~sender ~receiver ~budget
+
+    (* Single copy: the sender relinquishes the packet once forwarded. *)
+    let on_transfer t ~now:_ ~sender ~receiver:_ (p : Packet.t) ~delivered =
+      if not delivered then
+        ignore (Buffer.remove t.env.Env.buffers.(sender) p.Packet.id)
+
+    let drop_candidate t ~now ~node ~incoming:_ =
+      (* Drop the packet whose delivery prospects are worst. *)
+      let worst =
+        List.fold_left
+          (fun acc (e : Buffer.entry) ->
+            let p = e.packet in
+            let eta =
+              earliest_delivery ~now ~node ~dst:p.Packet.dst ~size:p.Packet.size
+            in
+            match acc with
+            | Some (_, best_eta) when best_eta >= eta -> acc
+            | _ -> Some (p, eta))
+          None
+          (Env.buffered_entries t.env node)
+      in
+      Option.map fst worst
+
+    let on_dropped _ ~now:_ ~node:_ _ = ()
+  end : Protocol.S)

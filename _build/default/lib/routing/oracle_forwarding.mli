@@ -1,0 +1,18 @@
+(** Oracle-based single-copy forwarding — the P2/P4 contrast class
+    (Jain et al. [18], "Routing in a Delay Tolerant Network").
+
+    The protocol holds the complete meeting schedule (an oracle the paper
+    argues is unrealistic even for a scheduled bus service, §2) and keeps
+    exactly one copy of each packet: at a contact it hands the copy over
+    iff this contact lies on an earliest-arrival time-respecting path from
+    the carrier to the destination computed over the *future* schedule.
+
+    Including it alongside RAPID quantifies the paper's replication-vs-
+    forwarding argument: even with perfect future knowledge, single-copy
+    forwarding forfeits the delay gains of replication under uncertainty
+    about which copy wins, while using far less bandwidth. *)
+
+val make : trace:Rapid_trace.Trace.t -> unit -> Rapid_sim.Protocol.packed
+(** The trace passed here must be the one the engine replays (the oracle).
+    Buffer eviction drops the packet with the latest (or no) deliverable
+    path. *)

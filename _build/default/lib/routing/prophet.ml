@@ -1,0 +1,108 @@
+open Rapid_sim
+
+let make ?(p_init = 0.75) ?(beta = 0.25) ?(gamma = 0.98) ?(time_unit = 30.0)
+    ?(entry_bytes = 12) () : Protocol.packed =
+  (module struct
+    type t = {
+      env : Env.t;
+      ranking : Ranking.t;
+      p : float array array;  (* p.(a).(b): a's predictability of meeting b *)
+      last_aged : float array;
+    }
+
+    let name = "Prophet"
+
+    let create env =
+      let n = env.Env.num_nodes in
+      {
+        env;
+        ranking = Ranking.create ();
+        p = Array.init n (fun _ -> Array.make n 0.0);
+        last_aged = Array.make n 0.0;
+      }
+
+    let age t ~now node =
+      let elapsed = now -. t.last_aged.(node) in
+      if elapsed > 0.0 then begin
+        let factor = gamma ** (elapsed /. time_unit) in
+        let row = t.p.(node) in
+        for j = 0 to Array.length row - 1 do
+          row.(j) <- row.(j) *. factor
+        done;
+        t.last_aged.(node) <- now
+      end
+
+    let on_created _ ~now:_ _ = ()
+
+    let by_age (a : Buffer.entry) (b : Buffer.entry) =
+      match Float.compare a.packet.Packet.created b.packet.Packet.created with
+      | 0 -> Int.compare a.packet.Packet.id b.packet.Packet.id
+      | n -> n
+
+    let rank t ~sender ~receiver =
+      let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
+      let direct, rest = Protocol.split_direct ~receiver candidates in
+      (* Replicate only when the peer is strictly more likely to deliver. *)
+      let forwardable =
+        List.filter
+          (fun (e : Buffer.entry) ->
+            let dst = e.packet.Packet.dst in
+            t.p.(receiver).(dst) > t.p.(sender).(dst))
+          rest
+      in
+      let by_peer_predictability (a : Buffer.entry) (b : Buffer.entry) =
+        match
+          Float.compare
+            t.p.(receiver).(b.packet.Packet.dst)
+            t.p.(receiver).(a.packet.Packet.dst)
+        with
+        | 0 -> by_age a b
+        | n -> n
+      in
+      List.map
+        (fun (e : Buffer.entry) -> e.packet)
+        (List.sort by_age direct @ List.sort by_peer_predictability forwardable)
+
+    let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ =
+      Ranking.begin_contact t.ranking;
+      age t ~now a;
+      age t ~now b;
+      (* Encounter update. *)
+      t.p.(a).(b) <- t.p.(a).(b) +. ((1.0 -. t.p.(a).(b)) *. p_init);
+      t.p.(b).(a) <- t.p.(b).(a) +. ((1.0 -. t.p.(b).(a)) *. p_init);
+      (* Transitivity through the peer's table. *)
+      let n = t.env.Env.num_nodes in
+      for c = 0 to n - 1 do
+        if c <> a && c <> b then begin
+          let via_b = t.p.(a).(b) *. t.p.(b).(c) *. beta in
+          if via_b > t.p.(a).(c) then t.p.(a).(c) <- via_b;
+          let via_a = t.p.(b).(a) *. t.p.(a).(c) *. beta in
+          if via_a > t.p.(b).(c) then t.p.(b).(c) <- via_a
+        end
+      done;
+      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
+      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
+      (* Both nodes ship their predictability vectors. *)
+      2 * n * entry_bytes
+
+    let next_packet t ~now:_ ~sender ~receiver ~budget =
+      Ranking.next t.ranking t.env ~sender ~receiver ~budget
+
+    let on_transfer _ ~now:_ ~sender:_ ~receiver:_ _ ~delivered:_ = ()
+
+    let drop_candidate t ~now:_ ~node ~incoming:_ =
+      (* Evict the packet this node is least likely to deliver. *)
+      let entries = Env.buffered_entries t.env node in
+      let worst =
+        List.fold_left
+          (fun acc (e : Buffer.entry) ->
+            let score = t.p.(node).(e.packet.Packet.dst) in
+            match acc with
+            | Some (_, s) when s <= score -> acc
+            | _ -> Some (e.packet, score))
+          None entries
+      in
+      Option.map fst worst
+
+    let on_dropped _ ~now:_ ~node:_ _ = ()
+  end : Protocol.S)

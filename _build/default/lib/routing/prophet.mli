@@ -1,0 +1,25 @@
+(** PROPHET: probabilistic routing using history of encounters and
+    transitivity (Lindgren et al. [22]).
+
+    Delivery predictabilities P(a, b) ∈ [0, 1] evolve by three rules:
+    - encounter:    P(a,b) ← P(a,b) + (1 − P(a,b))·P_init
+    - aging:        P(a,b) ← P(a,b)·γ^k, k elapsed time units
+    - transitivity: P(a,c) ← max(P(a,c), P(a,b)·P(b,c)·β)
+
+    A packet is replicated to a peer whose predictability for the
+    destination exceeds the carrier's. Parameters follow the paper's
+    §6.1: P_init = 0.75, β = 0.25, γ = 0.98. [time_unit] maps the γ
+    exponent to simulated seconds (the original paper ages once per unit).
+    Predictability tables are exchanged at contacts and charged to the
+    control channel. *)
+
+val make :
+  ?p_init:float ->
+  ?beta:float ->
+  ?gamma:float ->
+  ?time_unit:float ->
+  ?entry_bytes:int ->
+  unit ->
+  Rapid_sim.Protocol.packed
+(** [time_unit] defaults to 30 s; [entry_bytes] (default 12) is the charged
+    size of one (node, predictability) record. *)

@@ -1,0 +1,81 @@
+open Rapid_prelude
+open Rapid_sim
+
+let make ?(with_acks = false) ?(summary_vector = false) ?(ack_entry_bytes = 8)
+    () : Protocol.packed =
+  (module struct
+    type t = {
+      env : Env.t;
+      ranking : Ranking.t;
+      acks : Protocol.Ack_store.t;
+    }
+
+    let name =
+      (if with_acks then "Random+acks" else "Random")
+      ^ if summary_vector then "(sv)" else ""
+
+    let create env =
+      {
+        env;
+        ranking = Ranking.create ();
+        acks = Protocol.Ack_store.create ~num_nodes:env.Env.num_nodes;
+      }
+
+    let on_created _ ~now:_ _ = ()
+
+    let rank t ~sender ~receiver =
+      (* Paper baseline: "replicates randomly chosen packets for the
+         duration of the transfer opportunity" — without summary vectors
+         the candidate set is the whole buffer, duplicates included, and
+         the engine charges the waste. Direct deliveries still go first
+         (any node knows who it is talking to). *)
+      let entries =
+        if summary_vector then
+          Ranking.replication_candidates t.env ~sender ~receiver
+        else Env.buffered_entries t.env sender
+      in
+      let direct, rest = Protocol.split_direct ~receiver entries in
+      let direct =
+        List.sort
+          (fun (a : Buffer.entry) (b : Buffer.entry) ->
+            Float.compare a.packet.Packet.created b.packet.Packet.created)
+          direct
+      in
+      let rest = Array.of_list rest in
+      Rng.shuffle t.env.Env.rng rest;
+      List.map (fun (e : Buffer.entry) -> e.packet) (direct @ Array.to_list rest)
+
+    let on_contact t ~now:_ ~a ~b ~budget:_ ~meta_budget:_ =
+      Ranking.begin_contact t.ranking;
+      let meta =
+        if with_acks then begin
+          let fresh = Protocol.Ack_store.exchange t.acks ~a ~b in
+          Protocol.Ack_store.purge t.acks t.env ~node:a ~on_purge:(fun _ -> ());
+          Protocol.Ack_store.purge t.acks t.env ~node:b ~on_purge:(fun _ -> ());
+          fresh * ack_entry_bytes
+        end
+        else 0
+      in
+      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
+      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
+      meta
+
+    let next_packet t ~now:_ ~sender ~receiver ~budget =
+      Ranking.next ~check_peer:summary_vector t.ranking t.env ~sender ~receiver
+        ~budget
+
+    let on_transfer t ~now:_ ~sender ~receiver (p : Packet.t) ~delivered =
+      if delivered && with_acks then begin
+        Protocol.Ack_store.learn t.acks ~node:sender ~packet_id:p.Packet.id;
+        Protocol.Ack_store.learn t.acks ~node:receiver ~packet_id:p.Packet.id
+      end
+
+    let drop_candidate t ~now:_ ~node ~incoming:_ =
+      match Env.buffered_entries t.env node with
+      | [] -> None
+      | entries ->
+          let arr = Array.of_list entries in
+          Some (Rng.sample t.env.Env.rng arr).Buffer.packet
+
+    let on_dropped _ ~now:_ ~node:_ _ = ()
+  end : Protocol.S)

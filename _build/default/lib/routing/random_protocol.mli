@@ -1,0 +1,15 @@
+(** Random replication (§6.1): "replicates randomly chosen packets for the
+    duration of the transfer opportunity".
+
+    [with_acks] adds flooded delivery acknowledgments (the "Random with
+    acks" component baseline of Fig. 14): at each contact the two nodes
+    union their ack sets — charged to the control channel — and purge
+    buffered copies known to be delivered. *)
+
+val make :
+  ?with_acks:bool -> ?summary_vector:bool -> ?ack_entry_bytes:int -> unit ->
+  Rapid_sim.Protocol.packed
+(** [summary_vector] (default false, as the paper's baseline) controls
+    whether Random learns what the peer already holds; without it,
+    duplicate pushes consume real bandwidth. [ack_entry_bytes] (default 8)
+    is charged per ack entry newly learned at a contact. *)

@@ -1,0 +1,78 @@
+open Rapid_prelude
+open Rapid_sim
+
+let make ?(l = 12) () : Protocol.packed =
+  (module struct
+    type t = {
+      env : Env.t;
+      ranking : Ranking.t;
+      (* (node, packet id) -> remaining logical copies at that node. *)
+      tokens : (int * int, int) Hashtbl.t;
+    }
+
+    let name = Printf.sprintf "SprayWait(L=%d)" l
+
+    let create env =
+      { env; ranking = Ranking.create (); tokens = Hashtbl.create 256 }
+
+    let tokens_of t ~node ~packet_id =
+      Option.value (Hashtbl.find_opt t.tokens (node, packet_id)) ~default:1
+
+    let on_created t ~now:_ (p : Packet.t) =
+      Hashtbl.replace t.tokens (p.Packet.src, p.Packet.id) l
+
+    let by_age (a : Buffer.entry) (b : Buffer.entry) =
+      match Float.compare a.packet.Packet.created b.packet.Packet.created with
+      | 0 -> Int.compare a.packet.Packet.id b.packet.Packet.id
+      | n -> n
+
+    let rank t ~sender ~receiver =
+      let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
+      let direct, rest = Protocol.split_direct ~receiver candidates in
+      (* Spray phase requires more than one logical copy in hand. *)
+      let sprayable =
+        List.filter
+          (fun (e : Buffer.entry) ->
+            tokens_of t ~node:sender ~packet_id:e.packet.Packet.id > 1)
+          rest
+      in
+      (* Most copies first spreads widest fastest; ties oldest-first. *)
+      let by_tokens (a : Buffer.entry) (b : Buffer.entry) =
+        let ta = tokens_of t ~node:sender ~packet_id:a.packet.Packet.id in
+        let tb = tokens_of t ~node:sender ~packet_id:b.packet.Packet.id in
+        match Int.compare tb ta with 0 -> by_age a b | n -> n
+      in
+      List.map
+        (fun (e : Buffer.entry) -> e.packet)
+        (List.sort by_age direct @ List.sort by_tokens sprayable)
+
+    let on_contact t ~now:_ ~a ~b ~budget:_ ~meta_budget:_ =
+      Ranking.begin_contact t.ranking;
+      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
+      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
+      0
+
+    let next_packet t ~now:_ ~sender ~receiver ~budget =
+      Ranking.next t.ranking t.env ~sender ~receiver ~budget
+
+    let on_transfer t ~now:_ ~sender ~receiver (p : Packet.t) ~delivered =
+      if not delivered then begin
+        let id = p.Packet.id in
+        let n = tokens_of t ~node:sender ~packet_id:id in
+        let give = max 1 (n / 2) in
+        let keep = max 1 (n - give) in
+        Hashtbl.replace t.tokens (sender, id) keep;
+        Hashtbl.replace t.tokens (receiver, id) give
+      end
+
+    let drop_candidate t ~now:_ ~node ~incoming:_ =
+      (* §6.3.2: Spray and Wait deletes packets randomly under pressure. *)
+      match Env.buffered_entries t.env node with
+      | [] -> None
+      | entries ->
+          let arr = Array.of_list entries in
+          Some (Rng.sample t.env.Env.rng arr).Buffer.packet
+
+    let on_dropped t ~now:_ ~node (p : Packet.t) =
+      Hashtbl.remove t.tokens (node, p.Packet.id)
+  end : Protocol.S)

@@ -1,0 +1,14 @@
+(** Binary Spray and Wait (Spyropoulos et al. [30]).
+
+    Each packet starts with [l] logical copies at its source. In the spray
+    phase a node holding [n > 1] copies that meets a node without the
+    packet hands over ⌊n/2⌋ copies and keeps ⌈n/2⌉. A node holding a
+    single copy waits and delivers only directly to the destination.
+
+    The paper sets L = 12 for the evaluation ("based on consultation with
+    authors and using Lemma 4.3 in [30] with a = 4"). Storage eviction is
+    random, matching §6.3.2 ("Spray and Wait and Random deletes packets
+    randomly"). *)
+
+val make : ?l:int -> unit -> Rapid_sim.Protocol.packed
+(** [l] defaults to 12. *)

@@ -1,0 +1,1 @@
+lib/sim/buffer.ml: Hashtbl Int List Packet

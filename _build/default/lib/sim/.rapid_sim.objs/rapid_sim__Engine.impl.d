@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Buffer Contact Env Hashtbl Metrics Option Packet Printf Protocol Rapid_trace Trace Workload

@@ -1,0 +1,1 @@
+lib/sim/env.ml: Array Buffer Hashtbl Packet Rapid_prelude

@@ -1,0 +1,1 @@
+lib/sim/env.mli: Buffer Hashtbl Packet Rapid_prelude

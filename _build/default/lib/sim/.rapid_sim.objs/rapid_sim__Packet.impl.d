@@ -1,0 +1,1 @@
+lib/sim/packet.ml: Format Option Rapid_trace

@@ -1,0 +1,1 @@
+lib/sim/protocol.ml: Array Buffer Env Hashtbl List Packet

@@ -1,0 +1,1 @@
+lib/sim/ranking.ml: Array Buffer Env Hashtbl List Packet

@@ -1,0 +1,1 @@
+lib/sim/ranking.mli: Buffer Env Packet

@@ -1,0 +1,47 @@
+type entry = { packet : Packet.t; received : float; hops : int }
+
+type t = {
+  capacity : int option;
+  mutable used : int;
+  table : (int, entry) Hashtbl.t;
+}
+
+let create ~capacity =
+  (match capacity with
+  | Some c when c < 0 -> invalid_arg "Buffer.create: negative capacity"
+  | _ -> ());
+  { capacity; used = 0; table = Hashtbl.create 64 }
+
+let capacity t = t.capacity
+let used t = t.used
+let count t = Hashtbl.length t.table
+let mem t id = Hashtbl.mem t.table id
+let find t id = Hashtbl.find_opt t.table id
+
+let would_fit t size =
+  match t.capacity with None -> true | Some c -> t.used + size <= c
+
+let add t entry =
+  let id = entry.packet.Packet.id in
+  if mem t id then invalid_arg "Buffer.add: duplicate packet";
+  if not (would_fit t entry.packet.Packet.size) then
+    invalid_arg "Buffer.add: over capacity";
+  Hashtbl.replace t.table id entry;
+  t.used <- t.used + entry.packet.Packet.size
+
+let remove t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> None
+  | Some entry ->
+      Hashtbl.remove t.table id;
+      t.used <- t.used - entry.packet.Packet.size;
+      Some entry
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+  |> List.sort (fun a b -> Int.compare a.packet.Packet.id b.packet.Packet.id)
+
+let fold t ~init ~f = List.fold_left f init (entries t)
+
+let fold_unordered t ~init ~f =
+  Hashtbl.fold (fun _ e acc -> f acc e) t.table init

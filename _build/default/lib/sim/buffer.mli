@@ -1,0 +1,46 @@
+(** A node's in-transit packet store with an optional byte capacity.
+
+    The engine owns one buffer per node and is the only component allowed
+    to add packets (so that feasibility — storage never exceeded — is
+    enforced in one place); protocols may remove packets (ack-driven
+    cleanup, §4.2) and inspect contents. Iteration order is by packet id,
+    which keeps runs deterministic. *)
+
+type entry = {
+  packet : Packet.t;
+  received : float;  (** When this copy arrived at this node. *)
+  hops : int;  (** Replication depth: 0 at the source. *)
+}
+
+type t
+
+val create : capacity:int option -> t
+(** [capacity] in bytes; [None] means unlimited. *)
+
+val capacity : t -> int option
+val used : t -> int
+(** Bytes currently stored. *)
+
+val count : t -> int
+val mem : t -> int -> bool
+val find : t -> int -> entry option
+
+val would_fit : t -> int -> bool
+(** Whether [size] additional bytes fit right now. *)
+
+val add : t -> entry -> unit
+(** Raises [Invalid_argument] if the entry does not fit or is a duplicate.
+    Callers must check [would_fit] / [mem] first. *)
+
+val remove : t -> int -> entry option
+(** Remove by packet id; [None] if absent. *)
+
+val entries : t -> entry list
+(** Sorted by packet id. *)
+
+val fold : t -> init:'a -> f:('a -> entry -> 'a) -> 'a
+(** Fold in packet-id order. *)
+
+val fold_unordered : t -> init:'a -> f:('a -> entry -> 'a) -> 'a
+(** Fold in hash order (hot paths that don't care about order; still
+    deterministic for a given insertion history). *)

@@ -1,0 +1,163 @@
+open Rapid_trace
+
+type options = {
+  buffer_bytes : int option;
+  meta_cap_frac : float option;
+  seed : int;
+}
+
+let default_options = { buffer_bytes = None; meta_cap_frac = None; seed = 1 }
+
+(* Make room at [node] for [incoming] by evicting protocol-chosen victims.
+   Returns true when the incoming packet now fits. A drop_candidate answer
+   of [None] or of the incoming packet itself refuses it. *)
+let make_room (type s) (module P : Protocol.S with type t = s) (st : s)
+    (env : Env.t) metrics ~now ~node ~(incoming : Packet.t) =
+  let buffer = env.Env.buffers.(node) in
+  let rec loop () =
+    if Buffer.would_fit buffer incoming.Packet.size then true
+    else begin
+      match P.drop_candidate st ~now ~node ~incoming with
+      | None -> false
+      | Some victim when victim.Packet.id = incoming.Packet.id -> false
+      | Some victim -> (
+          match Buffer.remove buffer victim.Packet.id with
+          | None ->
+              invalid_arg
+                (Printf.sprintf "protocol %s: drop candidate %d not buffered"
+                   P.name victim.Packet.id)
+          | Some _ ->
+              Metrics.record_drop metrics;
+              P.on_dropped st ~now ~node victim;
+              loop ())
+    end
+  in
+  loop ()
+
+let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
+    (env : Env.t) metrics ~meta_cap_frac (c : Contact.t) =
+  let now = c.Contact.time in
+  Metrics.record_contact metrics ~capacity:c.Contact.bytes;
+  let meta_budget =
+    Option.map
+      (fun f -> int_of_float (f *. float_of_int c.Contact.bytes))
+      meta_cap_frac
+  in
+  let meta =
+    P.on_contact st ~now ~a:c.Contact.a ~b:c.Contact.b ~budget:c.Contact.bytes
+      ~meta_budget
+  in
+  let cap = match meta_budget with Some m -> min m c.Contact.bytes | None -> c.Contact.bytes in
+  let meta = max 0 (min meta cap) in
+  Metrics.record_metadata metrics ~bytes:meta;
+  let budget = ref (c.Contact.bytes - meta) in
+  (* Alternate directions; guard against protocols re-offering a packet. *)
+  let dirs = [| (c.Contact.a, c.Contact.b); (c.Contact.b, c.Contact.a) |] in
+  let active = [| true; true |] in
+  let seen = Hashtbl.create 16 in
+  let turn = ref 0 in
+  while !budget > 0 && (active.(0) || active.(1)) do
+    if not active.(!turn) then turn := 1 - !turn
+    else begin
+      let sender, receiver = dirs.(!turn) in
+      match P.next_packet st ~now ~sender ~receiver ~budget:!budget with
+      | None -> active.(!turn) <- false
+      | Some p ->
+          let id = p.Packet.id in
+          if p.Packet.size > !budget then
+            invalid_arg
+              (Printf.sprintf "protocol %s: packet %d exceeds budget" P.name id);
+          if not (Buffer.mem env.Env.buffers.(sender) id) then
+            invalid_arg
+              (Printf.sprintf "protocol %s: offered unbuffered packet %d" P.name id);
+          if Hashtbl.mem seen (sender, id) then
+            invalid_arg
+              (Printf.sprintf "protocol %s: packet %d offered twice" P.name id);
+          Hashtbl.replace seen (sender, id) ();
+          if receiver = p.Packet.dst then begin
+            (* Delivery: destination storage is unconstrained (§3.1), and
+               the sender drops its copy — it has first-hand knowledge the
+               packet is delivered. *)
+            budget := !budget - p.Packet.size;
+            Metrics.record_transfer metrics ~bytes:p.Packet.size;
+            if not (Env.is_delivered env id) then
+              Hashtbl.replace env.Env.delivered id now;
+            Metrics.record_delivered metrics p ~now;
+            ignore (Buffer.remove env.Env.buffers.(sender) id);
+            P.on_transfer st ~now ~sender ~receiver p ~delivered:true
+          end
+          else if Env.has_packet env ~node:receiver ~packet:p then begin
+            (* Duplicate push: a protocol that does not exchange summary
+               vectors (the Random baseline) wastes the bandwidth; the
+               receiver discards the copy. *)
+            budget := !budget - p.Packet.size;
+            Metrics.record_transfer metrics ~bytes:p.Packet.size
+          end
+          else begin
+            if make_room (module P) st env metrics ~now ~node:receiver ~incoming:p
+            then begin
+              let hops =
+                match Buffer.find env.Env.buffers.(sender) id with
+                | Some e -> e.Buffer.hops + 1
+                | None -> 1
+              in
+              Buffer.add env.Env.buffers.(receiver)
+                { Buffer.packet = p; received = now; hops };
+              budget := !budget - p.Packet.size;
+              Metrics.record_transfer metrics ~bytes:p.Packet.size;
+              P.on_transfer st ~now ~sender ~receiver p ~delivered:false
+            end
+            (* else: receiver refused (storage); no bandwidth consumed. The
+               protocol must not offer this packet again in this contact. *)
+          end;
+          turn := 1 - !turn
+    end
+  done
+
+let run_with_env ?(options = default_options) ~protocol ~trace ~workload () =
+  let (module P : Protocol.S) = protocol in
+  let env =
+    Env.create ~num_nodes:trace.Trace.num_nodes ~duration:trace.Trace.duration
+      ~buffer_capacity:options.buffer_bytes ~seed:options.seed
+  in
+  let metrics = Metrics.create ~duration:trace.Trace.duration in
+  let st = P.create env in
+  let create_packet ~id (spec : Workload.spec) =
+    let p = Packet.of_spec ~id spec in
+    Metrics.record_created metrics p;
+    let now = p.Packet.created in
+    if make_room (module P) st env metrics ~now ~node:p.Packet.src ~incoming:p
+    then begin
+      Buffer.add env.Env.buffers.(p.Packet.src)
+        { Buffer.packet = p; received = now; hops = 0 };
+      P.on_created st ~now p
+    end
+    else Metrics.record_drop metrics
+  in
+  (* Merge creations and contacts in time order (creations first on ties,
+     so a packet created "at" a meeting can ride it). *)
+  let contacts = trace.Trace.contacts in
+  let specs = Array.of_list workload in
+  let nc = Array.length contacts and ns = Array.length specs in
+  let ci = ref 0 and si = ref 0 in
+  while !ci < nc || !si < ns do
+    let take_spec =
+      if !si >= ns then false
+      else if !ci >= nc then true
+      else specs.(!si).Workload.created <= contacts.(!ci).Contact.time
+    in
+    if take_spec then begin
+      create_packet ~id:!si specs.(!si);
+      incr si
+    end
+    else begin
+      run_contact (module P) st env metrics
+        ~meta_cap_frac:options.meta_cap_frac contacts.(!ci);
+      incr ci
+    end
+  done;
+  let r = Metrics.report metrics in
+  ({ r with Metrics.ack_purges = env.Env.ack_purges }, env)
+
+let run ?options ~protocol ~trace ~workload () =
+  fst (run_with_env ?options ~protocol ~trace ~workload ())

@@ -1,0 +1,36 @@
+(** The trace-driven discrete-event simulator (§5.3).
+
+    Takes "a schedule of node meetings, the bandwidth available at each
+    meeting, and a routing algorithm" and executes the protocol over the
+    trace, enforcing feasibility centrally: the bytes moved during a
+    meeting (data + control metadata) never exceed the opportunity size,
+    and node storage never exceeds its capacity. Packets remaining after
+    the trace horizon are undelivered (each trace is one experiment). *)
+
+type options = {
+  buffer_bytes : int option;  (** Per-node storage; [None] = unlimited. *)
+  meta_cap_frac : float option;
+      (** Cap on control metadata per contact, as a fraction of the
+          opportunity (the Fig. 8 knob); [None] = unrestricted. *)
+  seed : int;  (** Seed for protocol-visible randomness. *)
+}
+
+val default_options : options
+
+val run :
+  ?options:options ->
+  protocol:Protocol.packed ->
+  trace:Rapid_trace.Trace.t ->
+  workload:Rapid_trace.Workload.spec list ->
+  unit ->
+  Metrics.report
+
+val run_with_env :
+  ?options:options ->
+  protocol:Protocol.packed ->
+  trace:Rapid_trace.Trace.t ->
+  workload:Rapid_trace.Workload.spec list ->
+  unit ->
+  Metrics.report * Env.t
+(** Like {!run} but also exposes the final environment (tests use it to
+    check conservation invariants). *)

@@ -1,0 +1,26 @@
+type t = {
+  num_nodes : int;
+  duration : float;
+  buffers : Buffer.t array;
+  delivered : (int, float) Hashtbl.t;
+  rng : Rapid_prelude.Rng.t;
+  mutable ack_purges : int;
+}
+
+let create ~num_nodes ~duration ~buffer_capacity ~seed =
+  {
+    num_nodes;
+    duration;
+    buffers = Array.init num_nodes (fun _ -> Buffer.create ~capacity:buffer_capacity);
+    delivered = Hashtbl.create 256;
+    rng = Rapid_prelude.Rng.create seed;
+    ack_purges = 0;
+  }
+
+let is_delivered t id = Hashtbl.mem t.delivered id
+
+let has_packet t ~node ~packet =
+  Buffer.mem t.buffers.(node) packet.Packet.id
+  || (node = packet.Packet.dst && is_delivered t packet.Packet.id)
+
+let buffered_entries t node = Buffer.entries t.buffers.(node)

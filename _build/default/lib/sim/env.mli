@@ -1,0 +1,33 @@
+(** Shared simulation state visible to protocols.
+
+    Buffers model the per-node summary-vector knowledge any DTN protocol
+    obtains for free during a contact handshake: at a meeting, a protocol
+    may consult {!has_packet} for its *peer* to avoid pushing duplicates.
+    Global state beyond that (e.g. replica locations network-wide) must be
+    learned through each protocol's own control channel — except for
+    explicitly "oracle" variants such as RAPID's instant global channel
+    (§6.2.3), which read it deliberately. *)
+
+type t = {
+  num_nodes : int;
+  duration : float;  (** Experiment horizon. *)
+  buffers : Buffer.t array;  (** Indexed by node id. *)
+  delivered : (int, float) Hashtbl.t;  (** Packet id -> delivery time. *)
+  rng : Rapid_prelude.Rng.t;  (** Protocol-visible randomness. *)
+  mutable ack_purges : int;
+      (** Buffered copies cleared because an ack proved them delivered;
+          bumped by {!Protocol.Ack_store.purge}. *)
+}
+
+val create :
+  num_nodes:int -> duration:float -> buffer_capacity:int option ->
+  seed:int -> t
+
+val is_delivered : t -> int -> bool
+
+val has_packet : t -> node:int -> packet:Packet.t -> bool
+(** True if the node buffers the packet, or the node is the packet's
+    destination and the packet has been delivered (destinations keep
+    delivered packets; §3.1). *)
+
+val buffered_entries : t -> int -> Buffer.entry list

@@ -1,0 +1,168 @@
+type outcome = { packet : Packet.t; mutable delivered_at : float option }
+
+type t = {
+  duration : float;
+  packets : (int, outcome) Hashtbl.t;
+  mutable created : int;
+  mutable delivered : int;
+  mutable data_bytes : int;
+  mutable metadata_bytes : int;
+  mutable capacity_bytes : int;
+  mutable num_contacts : int;
+  mutable drops : int;
+  mutable ack_purges : int;
+  mutable transfers : int;
+}
+
+let create ~duration =
+  {
+    duration;
+    packets = Hashtbl.create 1024;
+    created = 0;
+    delivered = 0;
+    data_bytes = 0;
+    metadata_bytes = 0;
+    capacity_bytes = 0;
+    num_contacts = 0;
+    drops = 0;
+    ack_purges = 0;
+    transfers = 0;
+  }
+
+let record_created t p =
+  t.created <- t.created + 1;
+  Hashtbl.replace t.packets p.Packet.id { packet = p; delivered_at = None }
+
+let record_delivered t p ~now =
+  match Hashtbl.find_opt t.packets p.Packet.id with
+  | None -> invalid_arg "Metrics.record_delivered: unknown packet"
+  | Some o -> (
+      match o.delivered_at with
+      | Some _ -> () (* duplicate arrival at destination: count once *)
+      | None ->
+          o.delivered_at <- Some now;
+          t.delivered <- t.delivered + 1)
+
+let record_contact t ~capacity =
+  t.num_contacts <- t.num_contacts + 1;
+  t.capacity_bytes <- t.capacity_bytes + capacity
+
+let record_transfer t ~bytes =
+  t.transfers <- t.transfers + 1;
+  t.data_bytes <- t.data_bytes + bytes
+
+let record_metadata t ~bytes = t.metadata_bytes <- t.metadata_bytes + bytes
+let record_drop t = t.drops <- t.drops + 1
+let record_ack_purge t = t.ack_purges <- t.ack_purges + 1
+
+type report = {
+  duration : float;
+  created : int;
+  delivered : int;
+  delivery_rate : float;
+  avg_delay : float;
+  avg_delay_all : float;
+  max_delay : float;
+  within_deadline : int;
+  within_deadline_rate : float;
+  data_bytes : int;
+  metadata_bytes : int;
+  capacity_bytes : int;
+  num_contacts : int;
+  utilization : float;
+  metadata_frac_bandwidth : float;
+  metadata_frac_data : float;
+  drops : int;
+  ack_purges : int;
+  transfers : int;
+  delays : float array;
+  pair_delays : ((int * int) * float array) array;
+  outcomes : (int * float * float option) array;
+}
+
+let report t =
+  let outcomes =
+    Hashtbl.fold (fun _ o acc -> o :: acc) t.packets []
+    |> List.sort (fun a b -> Int.compare a.packet.Packet.id b.packet.Packet.id)
+  in
+  let delays = ref [] in
+  let sum_all = ref 0.0 in
+  let max_delay = ref 0.0 in
+  let within = ref 0 in
+  let pair_tbl : (int * int, float list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      let p = o.packet in
+      match o.delivered_at with
+      | Some at ->
+          let d = at -. p.Packet.created in
+          delays := d :: !delays;
+          sum_all := !sum_all +. d;
+          if d > !max_delay then max_delay := d;
+          (match p.Packet.deadline with
+          | Some dl when at <= dl -> incr within
+          | Some _ | None -> ());
+          let key = (p.Packet.src, p.Packet.dst) in
+          let cell =
+            match Hashtbl.find_opt pair_tbl key with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.replace pair_tbl key r;
+                r
+          in
+          cell := d :: !cell
+      | None -> sum_all := !sum_all +. (t.duration -. p.Packet.created))
+    outcomes;
+  let delays = Array.of_list (List.rev !delays) in
+  let createdf = float_of_int t.created in
+  let pair_delays =
+    Hashtbl.fold (fun k v acc -> (k, Array.of_list (List.rev !v)) :: acc) pair_tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> Array.of_list
+  in
+  {
+    duration = t.duration;
+    created = t.created;
+    delivered = t.delivered;
+    delivery_rate = (if t.created = 0 then 0.0 else float_of_int t.delivered /. createdf);
+    avg_delay =
+      (if Array.length delays = 0 then nan
+       else Array.fold_left ( +. ) 0.0 delays /. float_of_int (Array.length delays));
+    avg_delay_all = (if t.created = 0 then nan else !sum_all /. createdf);
+    max_delay = !max_delay;
+    within_deadline = !within;
+    within_deadline_rate =
+      (if t.created = 0 then 0.0 else float_of_int !within /. createdf);
+    data_bytes = t.data_bytes;
+    metadata_bytes = t.metadata_bytes;
+    capacity_bytes = t.capacity_bytes;
+    num_contacts = t.num_contacts;
+    utilization =
+      (if t.capacity_bytes = 0 then 0.0
+       else float_of_int (t.data_bytes + t.metadata_bytes) /. float_of_int t.capacity_bytes);
+    metadata_frac_bandwidth =
+      (if t.capacity_bytes = 0 then 0.0
+       else float_of_int t.metadata_bytes /. float_of_int t.capacity_bytes);
+    metadata_frac_data =
+      (if t.data_bytes = 0 then 0.0
+       else float_of_int t.metadata_bytes /. float_of_int t.data_bytes);
+    drops = t.drops;
+    ack_purges = t.ack_purges;
+    transfers = t.transfers;
+    delays;
+    pair_delays;
+    outcomes =
+      Array.of_list
+        (List.map
+           (fun o -> (o.packet.Packet.id, o.packet.Packet.created, o.delivered_at))
+           outcomes);
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[created=%d delivered=%d (%.1f%%) avg_delay=%.1fs max=%.1fs deadline=%.1f%% \
+     util=%.3f meta/bw=%.4f meta/data=%.4f drops=%d@]"
+    r.created r.delivered (100.0 *. r.delivery_rate) r.avg_delay r.max_delay
+    (100.0 *. r.within_deadline_rate)
+    r.utilization r.metadata_frac_bandwidth r.metadata_frac_data r.drops

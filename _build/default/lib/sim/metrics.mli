@@ -1,0 +1,54 @@
+(** Measurement collection and the per-run report.
+
+    Captures everything the paper's evaluation reports: delivery rate and
+    delays (Figs. 4–6), deadline hits (Fig. 7), control-channel overhead as
+    a fraction of bandwidth and of data (Table 3, Figs. 8–9), channel
+    utilization (Fig. 9), per-pair delays for the paired t-test (§6.2.1),
+    and raw per-packet delays for the fairness CDF (Fig. 15). Undelivered
+    packets contribute [duration - created] to {!report.avg_delay_all},
+    matching the Fig. 13 ILP objective. *)
+
+type t
+
+val create : duration:float -> t
+
+val record_created : t -> Packet.t -> unit
+val record_delivered : t -> Packet.t -> now:float -> unit
+val record_contact : t -> capacity:int -> unit
+val record_transfer : t -> bytes:int -> unit
+val record_metadata : t -> bytes:int -> unit
+val record_drop : t -> unit
+val record_ack_purge : t -> unit
+
+type report = {
+  duration : float;
+  created : int;
+  delivered : int;
+  delivery_rate : float;
+  avg_delay : float;  (** Over delivered packets; [nan] if none. *)
+  avg_delay_all : float;  (** Undelivered count as [duration - created]. *)
+  max_delay : float;  (** Over delivered packets; 0 if none. *)
+  within_deadline : int;
+  within_deadline_rate : float;  (** Fraction of all created packets. *)
+  data_bytes : int;
+  metadata_bytes : int;
+  capacity_bytes : int;
+  num_contacts : int;
+  utilization : float;  (** (data+metadata) / capacity. *)
+  metadata_frac_bandwidth : float;
+  metadata_frac_data : float;
+  drops : int;
+  ack_purges : int;
+  transfers : int;
+  delays : float array;  (** Per delivered packet, creation order. *)
+  pair_delays : ((int * int) * float array) array;
+      (** Mean-able delay samples per (src, dst) pair, delivered only. *)
+  outcomes : (int * float * float option) array;
+      (** (packet id, created, delivered_at), id order — for per-packet
+          analyses such as the fairness CDF. *)
+}
+
+val report : t -> report
+
+val pp_report : Format.formatter -> report -> unit
+(** Compact one-line rendering used by the CLI. *)

@@ -1,0 +1,29 @@
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  size : int;
+  created : float;
+  deadline : float option;
+}
+
+let of_spec ~id (s : Rapid_trace.Workload.spec) =
+  if s.src = s.dst then invalid_arg "Packet.of_spec: src = dst";
+  if s.size <= 0 then invalid_arg "Packet.of_spec: non-positive size";
+  { id; src = s.src; dst = s.dst; size = s.size; created = s.created;
+    deadline = s.deadline }
+
+let age t ~now = now -. t.created
+
+let remaining_lifetime t ~now = Option.map (fun d -> d -. now) t.deadline
+
+let missed_deadline t ~now =
+  match t.deadline with Some d -> now > d | None -> false
+
+let pp fmt t =
+  Format.fprintf fmt "@[pkt#%d %d->%d %dB t0=%.1f%a@]" t.id t.src t.dst t.size
+    t.created
+    (fun fmt -> function
+      | Some d -> Format.fprintf fmt " dl=%.1f" d
+      | None -> ())
+    t.deadline

@@ -1,0 +1,26 @@
+(** A data packet (the workload tuples of §3.1).
+
+    Packets are never fragmented; a packet is identified globally by [id]
+    and every replica shares it. *)
+
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  size : int;  (** Bytes. *)
+  created : float;  (** Creation time at the source. *)
+  deadline : float option;  (** Absolute time L(i)+creation, if any. *)
+}
+
+val of_spec : id:int -> Rapid_trace.Workload.spec -> t
+
+val age : t -> now:float -> float
+(** T(i): time since creation. *)
+
+val remaining_lifetime : t -> now:float -> float option
+(** L(i) - T(i) when a deadline is set; negative once missed. *)
+
+val missed_deadline : t -> now:float -> bool
+(** True iff the packet has a deadline and it has passed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+module type S = sig
+  type t
+
+  val name : string
+  val create : Env.t -> t
+  val on_created : t -> now:float -> Packet.t -> unit
+
+  val on_contact :
+    t -> now:float -> a:int -> b:int -> budget:int -> meta_budget:int option -> int
+
+  val next_packet :
+    t -> now:float -> sender:int -> receiver:int -> budget:int -> Packet.t option
+
+  val on_transfer :
+    t -> now:float -> sender:int -> receiver:int -> Packet.t -> delivered:bool -> unit
+
+  val drop_candidate : t -> now:float -> node:int -> incoming:Packet.t -> Packet.t option
+  val on_dropped : t -> now:float -> node:int -> Packet.t -> unit
+end
+
+type packed = (module S)
+
+module Session = struct
+  type t = { offered : (int * int, unit) Hashtbl.t }
+
+  let create () = { offered = Hashtbl.create 64 }
+  let reset t = Hashtbl.reset t.offered
+  let mark t ~sender ~packet_id = Hashtbl.replace t.offered (sender, packet_id) ()
+  let already_offered t ~sender ~packet_id = Hashtbl.mem t.offered (sender, packet_id)
+end
+
+module Ack_store = struct
+  type t = { acks : (int, unit) Hashtbl.t array }
+
+  let create ~num_nodes = { acks = Array.init num_nodes (fun _ -> Hashtbl.create 32) }
+  let learn t ~node ~packet_id = Hashtbl.replace t.acks.(node) packet_id ()
+  let knows t ~node ~packet_id = Hashtbl.mem t.acks.(node) packet_id
+
+  let exchange t ~a ~b =
+    let new_entries = ref 0 in
+    let push src dst =
+      Hashtbl.iter
+        (fun id () ->
+          if not (Hashtbl.mem t.acks.(dst) id) then begin
+            Hashtbl.replace t.acks.(dst) id ();
+            incr new_entries
+          end)
+        t.acks.(src)
+    in
+    push a b;
+    push b a;
+    !new_entries
+
+  let purge t env ~node ~on_purge =
+    let buffer = env.Env.buffers.(node) in
+    let victims =
+      Buffer.fold buffer ~init:[] ~f:(fun acc entry ->
+          let id = entry.Buffer.packet.Packet.id in
+          if knows t ~node ~packet_id:id then entry.Buffer.packet :: acc else acc)
+    in
+    List.iter
+      (fun p ->
+        match Buffer.remove buffer p.Packet.id with
+        | Some _ ->
+            env.Env.ack_purges <- env.Env.ack_purges + 1;
+            on_purge p
+        | None -> ())
+      victims
+end
+
+let candidate_entries env session ~sender ~receiver ~budget =
+  Env.buffered_entries env sender
+  |> List.filter (fun (e : Buffer.entry) ->
+         let p = e.packet in
+         p.Packet.size <= budget
+         && (not (Env.has_packet env ~node:receiver ~packet:p))
+         && not (Session.already_offered session ~sender ~packet_id:p.Packet.id))
+
+let split_direct ~receiver entries =
+  List.partition
+    (fun (e : Buffer.entry) -> e.packet.Packet.dst = receiver)
+    entries

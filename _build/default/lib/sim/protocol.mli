@@ -1,0 +1,99 @@
+(** The interface every routing protocol implements, plus shared helpers.
+
+    The engine drives a contact as follows:
+    + {!S.on_contact} — the protocol observes the meeting, updates its
+      inference state, and returns the control-channel bytes it spent
+      (charged against the transfer opportunity);
+    + direct delivery and replication: the engine alternates directions,
+      repeatedly asking {!S.next_packet} for the sender's best next packet
+      that fits the remaining byte budget. Protocols must not offer a
+      packet twice in the same contact ({!Session} or {!Ranking} tracks
+      this) and should offer packets destined to the receiver first
+      (Protocol rapid, step 2). Offering a packet the peer already holds
+      is legal but wasteful: the engine charges the bytes and the receiver
+      discards the copy (how the summary-vector-less Random baseline
+      behaves); protocols with any control channel avoid it via
+      {!Env.has_packet}.
+    + {!S.on_transfer} confirms each replication/delivery, letting the
+      protocol update replica bookkeeping and create acknowledgments.
+
+    Storage policy: when a transfer or a fresh packet does not fit, the
+    engine asks {!S.drop_candidate} which buffered packet to evict, until
+    it fits or the protocol answers [None] (refuse the incoming packet). *)
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : Env.t -> t
+
+  val on_created : t -> now:float -> Packet.t -> unit
+  (** The packet has just entered its source's buffer. *)
+
+  val on_contact :
+    t -> now:float -> a:int -> b:int -> budget:int -> meta_budget:int option -> int
+  (** Observe a meeting of capacity [budget] bytes; return metadata bytes
+      consumed (will be clamped to [meta_budget] if given, then to
+      [budget]). *)
+
+  val next_packet :
+    t -> now:float -> sender:int -> receiver:int -> budget:int -> Packet.t option
+  (** Best next packet to replicate from [sender] to [receiver], of size
+      <= [budget], present in [sender]'s buffer, absent at [receiver], and
+      not previously offered in this contact. [None] ends this direction. *)
+
+  val on_transfer :
+    t -> now:float -> sender:int -> receiver:int -> Packet.t -> delivered:bool -> unit
+
+  val drop_candidate : t -> now:float -> node:int -> incoming:Packet.t -> Packet.t option
+  (** Choose a buffered victim at [node] to make room for [incoming];
+      [None] refuses [incoming] instead. *)
+
+  val on_dropped : t -> now:float -> node:int -> Packet.t -> unit
+end
+
+type packed = (module S)
+
+(** Tracks which packets were already offered per direction within the
+    current contact, so [next_packet] never repeats itself (including after
+    a storage refusal). *)
+module Session : sig
+  type t
+
+  val create : unit -> t
+  val reset : t -> unit
+  val mark : t -> sender:int -> packet_id:int -> unit
+  val already_offered : t -> sender:int -> packet_id:int -> bool
+end
+
+(** Per-node acknowledgment stores with flooding semantics: once any node
+    learns a packet was delivered, it propagates the ack at every contact
+    and purges buffered copies (the mechanism MaxProp introduced and RAPID
+    adopts, §4.2). *)
+module Ack_store : sig
+  type t
+
+  val create : num_nodes:int -> t
+  val learn : t -> node:int -> packet_id:int -> unit
+  val knows : t -> node:int -> packet_id:int -> bool
+
+  val exchange : t -> a:int -> b:int -> int
+  (** Union the two nodes' ack sets; returns how many entries were new to
+      either side (for metadata accounting). *)
+
+  val purge : t -> Env.t -> node:int -> on_purge:(Packet.t -> unit) -> unit
+  (** Remove from [node]'s buffer every packet it knows to be delivered,
+      except a source's own undelivered packets are never purged —
+      guaranteed trivially because acks exist only for delivered packets. *)
+end
+
+val candidate_entries :
+  Env.t -> Session.t -> sender:int -> receiver:int -> budget:int ->
+  Buffer.entry list
+(** The legal transfer candidates shared by all protocols: buffered at
+    [sender], missing at [receiver], size within [budget], not yet offered
+    this contact. Sorted by packet id (callers re-rank). *)
+
+val split_direct :
+  receiver:int -> Buffer.entry list -> Buffer.entry list * Buffer.entry list
+(** Partition candidates into (destined to receiver, the rest). *)

@@ -1,0 +1,32 @@
+type t = { queues : (int * int, Packet.t list ref) Hashtbl.t }
+
+let create () = { queues = Hashtbl.create 4 }
+let begin_contact t = Hashtbl.reset t.queues
+let is_ready t ~sender ~receiver = Hashtbl.mem t.queues (sender, receiver)
+
+let set t ~sender ~receiver packets =
+  Hashtbl.replace t.queues (sender, receiver) (ref packets)
+
+let next ?(check_peer = true) t env ~sender ~receiver ~budget =
+  match Hashtbl.find_opt t.queues (sender, receiver) with
+  | None -> None
+  | Some queue ->
+      let rec pop () =
+        match !queue with
+        | [] -> None
+        | p :: rest ->
+            queue := rest;
+            if
+              p.Packet.size <= budget
+              && Buffer.mem env.Env.buffers.(sender) p.Packet.id
+              && ((not check_peer)
+                 || not (Env.has_packet env ~node:receiver ~packet:p))
+            then Some p
+            else pop ()
+      in
+      pop ()
+
+let replication_candidates env ~sender ~receiver =
+  Env.buffered_entries env sender
+  |> List.filter (fun (e : Buffer.entry) ->
+         not (Env.has_packet env ~node:receiver ~packet:e.packet))

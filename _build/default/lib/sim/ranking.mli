@@ -1,0 +1,41 @@
+(** Per-contact precomputed transfer queues.
+
+    Scanning and re-ranking a node's whole buffer for every transferred
+    packet is quadratic in buffer size; real implementations (and RAPID's
+    Protocol step 3c, "replicate packets in decreasing order of δU_i/s_i")
+    rank once per transfer opportunity and then stream packets in order.
+    This helper builds one ranked queue per direction at contact start and
+    serves from it, re-validating each head cheaply:
+
+    - still buffered at the sender (it may have been dropped or purged);
+    - still missing at the receiver;
+    - fits the remaining byte budget (budgets only shrink within a
+      contact, so a packet that does not fit now never will — discarded).
+
+    A popped packet is never offered again in the same contact, which also
+    covers storage refusals. *)
+
+type t
+
+val create : unit -> t
+
+val begin_contact : t -> unit
+(** Forget queues from the previous contact. *)
+
+val is_ready : t -> sender:int -> receiver:int -> bool
+
+val set : t -> sender:int -> receiver:int -> Packet.t list -> unit
+(** Install the ranked packet list for one direction (best first). *)
+
+val next :
+  ?check_peer:bool ->
+  t -> Env.t -> sender:int -> receiver:int -> budget:int -> Packet.t option
+(** Pop the best still-legal packet; [None] when the direction is done.
+    [check_peer] (default true) skips packets the receiver already has;
+    protocols without summary vectors (the Random baseline) pass [false]
+    and let the engine charge the wasted duplicate transfer. *)
+
+val replication_candidates :
+  Env.t -> sender:int -> receiver:int -> Buffer.entry list
+(** Entries buffered at [sender] and absent at [receiver] — the raw input
+    protocols rank (no budget/session filtering; {!next} re-validates). *)

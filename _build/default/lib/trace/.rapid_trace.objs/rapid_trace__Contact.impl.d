@@ -1,0 +1,1 @@
+lib/trace/contact.ml: Float Format Int

@@ -1,0 +1,1 @@
+lib/trace/dieselnet.ml: Array Contact Dist Float Fun List Rapid_prelude Rng Trace

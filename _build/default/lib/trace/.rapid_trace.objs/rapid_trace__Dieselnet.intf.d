@@ -1,0 +1,1 @@
+lib/trace/dieselnet.mli: Rapid_prelude Trace

@@ -1,0 +1,1 @@
+lib/trace/one_import.ml: Contact Float Fun Hashtbl List Printf String Trace

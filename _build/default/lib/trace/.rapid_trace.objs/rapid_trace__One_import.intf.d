@@ -1,0 +1,1 @@
+lib/trace/one_import.mli: Trace

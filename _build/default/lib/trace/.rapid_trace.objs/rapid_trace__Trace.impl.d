@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Contact Format Int List Set

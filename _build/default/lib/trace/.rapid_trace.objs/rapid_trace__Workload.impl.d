@@ -1,0 +1,1 @@
+lib/trace/workload.ml: Array Dist Float List Option Rapid_prelude Rng Trace

@@ -1,0 +1,1 @@
+lib/trace/workload.mli: Rapid_prelude Trace

@@ -1,0 +1,103 @@
+open Rapid_prelude
+
+type params = {
+  fleet_size : int;
+  mean_scheduled : int;
+  num_routes : int;
+  day_seconds : float;
+  meetings_per_day : float;
+  mean_contact_bytes : float;
+}
+
+let default_params =
+  {
+    fleet_size = 40;
+    mean_scheduled = 19;
+    num_routes = 8;
+    day_seconds = 19.0 *. 3600.0;
+    meetings_per_day = 147.5;
+    mean_contact_bytes = 261.4e6 /. 147.5;
+  }
+
+(* Relative meeting intensity as a function of route distance. Distance >= 4
+   pairs never meet directly, which forces transitive meeting-time
+   estimation. *)
+let route_affinity d =
+  match d with
+  | 0 -> 4.0
+  | 1 -> 1.2
+  | 2 -> 0.4
+  | 3 -> 0.15
+  | _ -> 0.0
+
+(* Assign buses to routes deterministically from the seed: route k gets
+   buses k, k+num_routes, ... with a seeded shuffle on top so the mapping
+   is not trivially structured. *)
+let route_assignment ~params ~seed =
+  let rng = Rng.create (seed * 7919) in
+  let ids = Array.init params.fleet_size Fun.id in
+  Rng.shuffle rng ids;
+  let routes = Array.make params.fleet_size 0 in
+  Array.iteri (fun pos bus -> routes.(bus) <- pos mod params.num_routes) ids;
+  routes
+
+(* Log-normal contact sizes with the requested mean: mean = e^{mu+s^2/2}. *)
+let contact_bytes rng ~mean =
+  let sigma = 1.1 in
+  let mu = log mean -. (sigma *. sigma /. 2.0) in
+  let raw = Dist.lognormal rng ~mu ~sigma in
+  let clamped = Float.max 2048.0 (Float.min raw (50.0 *. mean)) in
+  int_of_float clamped
+
+let day ?(params = default_params) ~seed ~day () =
+  let routes = route_assignment ~params ~seed in
+  let rng = Rng.create ((seed * 1_000_003) + day) in
+  (* Pick the day's scheduled subset: mean_scheduled +- 3. *)
+  let jitter = Rng.int rng 7 - 3 in
+  let scheduled_count =
+    max 4 (min params.fleet_size (params.mean_scheduled + jitter))
+  in
+  let all = Array.init params.fleet_size Fun.id in
+  let scheduled = Rng.pick_k rng all scheduled_count in
+  Array.sort compare scheduled;
+  (* Pairwise affinities, then scale rates so the expected meeting count
+     matches the calibration target. *)
+  let pairs = ref [] in
+  let total_affinity = ref 0.0 in
+  let n = Array.length scheduled in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = scheduled.(i) and b = scheduled.(j) in
+      let d = abs (routes.(a) - routes.(b)) in
+      let aff = route_affinity d in
+      if aff > 0.0 then begin
+        pairs := (a, b, aff) :: !pairs;
+        total_affinity := !total_affinity +. aff
+      end
+    done
+  done;
+  let scale =
+    if !total_affinity <= 0.0 then 0.0
+    else params.meetings_per_day /. !total_affinity
+  in
+  let contacts = ref [] in
+  List.iter
+    (fun (a, b, aff) ->
+      let rate = aff *. scale /. params.day_seconds in
+      List.iter
+        (fun time ->
+          let bytes = contact_bytes rng ~mean:params.mean_contact_bytes in
+          contacts := Contact.make ~time ~a ~b ~bytes :: !contacts)
+        (Dist.poisson_process rng ~rate ~horizon:params.day_seconds))
+    !pairs;
+  Trace.create ~num_nodes:params.fleet_size ~duration:params.day_seconds
+    ~active:(Array.to_list scheduled) !contacts
+
+let days ?(params = default_params) ~seed ~n () =
+  List.init n (fun d -> day ~params ~seed ~day:d ())
+
+let with_deployment_noise rng trace =
+  let trace = Trace.drop_contacts trace ~keep:(fun _ -> Rng.float rng >= 0.02) in
+  Trace.restrict_capacity trace ~f:(fun c ->
+      let loss = Rng.uniform rng 0.05 0.25 in
+      int_of_float (float_of_int c.Contact.bytes *. (1.0 -. loss)))

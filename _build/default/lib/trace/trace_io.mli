@@ -1,0 +1,21 @@
+(** Plain-text serialization of contact traces.
+
+    Format (one record per line, '#' comments ignored):
+    {v
+    rapid-trace 1
+    nodes <num_nodes>
+    duration <seconds>
+    active <id> <id> ...
+    contact <time> <a> <b> <bytes>
+    ...
+    v}
+
+    This lets users plug in real contact traces (e.g. converted DieselNet
+    or Haggle data sets) without recompiling. *)
+
+val to_string : Trace.t -> string
+val of_string : string -> Trace.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val save : string -> Trace.t -> unit
+val load : string -> Trace.t

@@ -1,0 +1,43 @@
+open Rapid_prelude
+
+type spec = {
+  src : int;
+  dst : int;
+  size : int;
+  created : float;
+  deadline : float option;
+}
+
+let count_pairs (trace : Trace.t) =
+  let n = Array.length trace.active in
+  n * (n - 1)
+
+let generate rng ~(trace : Trace.t) ~pkts_per_hour_per_dest ~size ?lifetime () =
+  let rate = pkts_per_hour_per_dest /. 3600.0 in
+  let active = trace.active in
+  let specs = ref [] in
+  Array.iter
+    (fun src ->
+      Array.iter
+        (fun dst ->
+          if src <> dst then
+            List.iter
+              (fun t ->
+                let deadline = Option.map (fun l -> t +. l) lifetime in
+                specs := { src; dst; size; created = t; deadline } :: !specs)
+              (Dist.poisson_process rng ~rate ~horizon:trace.duration))
+        active)
+    active;
+  List.sort (fun a b -> Float.compare a.created b.created) !specs
+
+let parallel_batch rng ~(trace : Trace.t) ~n ~at ~size ?lifetime () =
+  let active = trace.active in
+  if Array.length active < 2 then invalid_arg "parallel_batch: need >= 2 nodes";
+  let deadline = Option.map (fun l -> at +. l) lifetime in
+  List.init n (fun _ ->
+      let src = Rng.sample rng active in
+      let rec pick () =
+        let dst = Rng.sample rng active in
+        if dst = src then pick () else dst
+      in
+      { src; dst = pick (); size; created = at; deadline })

@@ -1,0 +1,42 @@
+(** Packet workload generation.
+
+    Reproduces the deployment's traffic model (§5.1): each active node
+    generates packets "with an exponential inter-arrival time" for every
+    other active node, so the load knob is packets per hour per destination
+    — exactly the x-axis of Figs. 4–24. Destinations only include nodes on
+    the road, "which avoided creation of many packets that could never be
+    delivered". *)
+
+type spec = {
+  src : int;
+  dst : int;
+  size : int;  (** Bytes; the paper uses 1 KB packets. *)
+  created : float;  (** Seconds from trace start. *)
+  deadline : float option;  (** Absolute deadline (creation + lifetime). *)
+}
+
+val generate :
+  Rapid_prelude.Rng.t ->
+  trace:Trace.t ->
+  pkts_per_hour_per_dest:float ->
+  size:int ->
+  ?lifetime:float ->
+  unit ->
+  spec list
+(** Poisson traffic for every ordered active pair, sorted by creation time.
+    [lifetime] (seconds) sets each packet's deadline relative to creation. *)
+
+val parallel_batch :
+  Rapid_prelude.Rng.t ->
+  trace:Trace.t ->
+  n:int ->
+  at:float ->
+  size:int ->
+  ?lifetime:float ->
+  unit ->
+  spec list
+(** [n] packets created simultaneously at time [at] between random distinct
+    active pairs — the fairness workload of §6.2.5. *)
+
+val count_pairs : Trace.t -> int
+(** Number of ordered active (src, dst) pairs. *)

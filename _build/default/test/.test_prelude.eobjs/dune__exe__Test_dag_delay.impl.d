@@ -1,0 +1,1 @@
+test/test_dag_delay.ml: Alcotest Array Dag_delay Dist Float List Printf QCheck QCheck_alcotest Rapid_core Rapid_prelude Rng

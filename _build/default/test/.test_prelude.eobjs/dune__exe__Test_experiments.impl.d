@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Astring Catalog Deployment Float List Pair_ttest Params Printf Rapid_experiments Rapid_prelude Rapid_trace Runners Series Unix

@@ -1,0 +1,1 @@
+test/test_hardness.ml: Alcotest Array Edp_reduction Float Gadget List Online_adversary QCheck QCheck_alcotest Rapid_hardness Rapid_prelude Rapid_routing

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Ilp List Lp_problem QCheck QCheck_alcotest Rapid_lp Rapid_prelude Rng Seq Simplex

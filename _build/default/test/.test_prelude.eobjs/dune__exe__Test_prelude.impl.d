@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Dist Float Fun Gen Int List Moving_average Pqueue Printf QCheck QCheck_alcotest Rapid_prelude Rng Set Special Stats

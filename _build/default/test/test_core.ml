@@ -1,0 +1,596 @@
+(* Tests for Rapid_core: meeting matrix, Estimate-Delay, replica database,
+   and the RAPID protocol end to end (all three metrics, channel variants,
+   ack behaviour, storage policy, and "beats Random under contention"). *)
+
+open Rapid_trace
+open Rapid_sim
+open Rapid_core
+
+let check_close ?(eps = 1e-9) what expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" what expected actual
+
+let spec ~src ~dst ?(size = 10) ?(created = 0.0) ?deadline () =
+  { Workload.src; dst; size; created; deadline }
+
+let packet ~id ~src ~dst ?(size = 10) ?(created = 0.0) ?deadline () =
+  Packet.of_spec ~id (spec ~src ~dst ~size ~created ?deadline ())
+
+(* ------------------------------------------------------------------ *)
+(* Meeting matrix *)
+
+let test_matrix_direct_average () =
+  let m = Meeting_matrix.create ~num_nodes:4 in
+  Meeting_matrix.observe m ~now:10.0 ~a:0 ~b:1;
+  Meeting_matrix.observe m ~now:30.0 ~a:1 ~b:0;
+  (* First gap = 10 (from start), second = 20: average 15. *)
+  (match Meeting_matrix.direct_mean m 0 1 with
+  | Some v -> check_close "avg gap" 15.0 v
+  | None -> Alcotest.fail "no mean");
+  Alcotest.(check (option (float 0.0))) "unmet pair" None
+    (Meeting_matrix.direct_mean m 2 3)
+
+let test_matrix_symmetry () =
+  let m = Meeting_matrix.create ~num_nodes:3 in
+  Meeting_matrix.observe m ~now:5.0 ~a:2 ~b:0;
+  Alcotest.(check (option (float 1e-9)))
+    "symmetric"
+    (Meeting_matrix.direct_mean m 0 2)
+    (Meeting_matrix.direct_mean m 2 0)
+
+let test_matrix_transitive () =
+  let m = Meeting_matrix.create ~num_nodes:4 in
+  (* 0-1 mean 10, 1-2 mean 20; 0 never meets 2 directly. *)
+  Meeting_matrix.observe m ~now:10.0 ~a:0 ~b:1;
+  Meeting_matrix.observe m ~now:20.0 ~a:1 ~b:2;
+  check_close "2-hop estimate" 30.0 (Meeting_matrix.expected_meeting_time m 0 2);
+  Alcotest.(check bool) "unreachable is infinite" true
+    (Meeting_matrix.expected_meeting_time m 0 3 = infinity)
+
+let test_matrix_three_hops () =
+  let m = Meeting_matrix.create ~num_nodes:5 in
+  Meeting_matrix.observe m ~now:10.0 ~a:0 ~b:1;
+  Meeting_matrix.observe m ~now:10.0 ~a:1 ~b:2;
+  Meeting_matrix.observe m ~now:10.0 ~a:2 ~b:3;
+  (* Chain 0-1-2-3 needs 3 hops: reachable at h=3, not at h=2. *)
+  Alcotest.(check bool) "h=2 unreachable" true
+    (Meeting_matrix.expected_meeting_time ~h:2 m 0 3 = infinity);
+  check_close "h=3 estimate" 30.0
+    (Meeting_matrix.expected_meeting_time ~h:3 m 0 3);
+  (* 4 is disconnected even at h=3. *)
+  Alcotest.(check bool) "h=3 disconnected" true
+    (Meeting_matrix.expected_meeting_time ~h:3 m 0 4 = infinity)
+
+let test_matrix_transitive_vs_direct () =
+  let m = Meeting_matrix.create ~num_nodes:3 in
+  Meeting_matrix.observe m ~now:100.0 ~a:0 ~b:2;
+  Meeting_matrix.observe m ~now:10.0 ~a:0 ~b:1;
+  Meeting_matrix.observe m ~now:20.0 ~a:1 ~b:2;
+  (* Direct 0-2 mean 100 vs via-1 10+20=30: transitive wins. *)
+  check_close "min path" 30.0 (Meeting_matrix.expected_meeting_time m 0 2)
+
+let test_matrix_global_mean () =
+  let m = Meeting_matrix.create ~num_nodes:3 in
+  Alcotest.(check (option (float 0.0))) "empty" None (Meeting_matrix.global_mean m);
+  Meeting_matrix.observe m ~now:10.0 ~a:0 ~b:1;
+  Meeting_matrix.observe m ~now:30.0 ~a:1 ~b:2;
+  match Meeting_matrix.global_mean m with
+  | Some v -> check_close "mean of 10 and 30" 20.0 v
+  | None -> Alcotest.fail "expected mean"
+
+(* ------------------------------------------------------------------ *)
+(* Estimate-Delay *)
+
+let entry ?(received = 0.0) ?(hops = 0) p = { Buffer.packet = p; received; hops }
+
+let test_n_meetings_position () =
+  let dst = 9 in
+  let mk id created = packet ~id ~src:0 ~dst ~size:100 ~created () in
+  let entries = [ entry (mk 1 0.0); entry (mk 2 10.0); entry (mk 3 20.0) ] in
+  (* Oldest (head of queue) with B=100: 1 meeting. *)
+  Alcotest.(check int) "head" 1
+    (Estimate_delay.n_meetings ~entries ~packet:(mk 1 0.0) ~avg_transfer_bytes:100.0);
+  (* Last in queue: 300 bytes ahead incl. itself => 3 meetings. *)
+  Alcotest.(check int) "tail" 3
+    (Estimate_delay.n_meetings ~entries ~packet:(mk 3 20.0) ~avg_transfer_bytes:100.0);
+  (* Bigger opportunities help. *)
+  Alcotest.(check int) "large B" 1
+    (Estimate_delay.n_meetings ~entries ~packet:(mk 3 20.0) ~avg_transfer_bytes:1000.0)
+
+let test_n_meetings_ignores_other_destinations () =
+  let mk id dst created = packet ~id ~src:0 ~dst ~size:100 ~created () in
+  let entries = [ entry (mk 1 5 0.0); entry (mk 2 9 10.0) ] in
+  Alcotest.(check int) "other-dest packets skipped" 1
+    (Estimate_delay.n_meetings ~entries ~packet:(mk 2 9 10.0)
+       ~avg_transfer_bytes:100.0)
+
+let test_n_meetings_would_be_position () =
+  (* Packet not yet buffered: position it would take. *)
+  let mk id created = packet ~id ~src:0 ~dst:9 ~size:100 ~created () in
+  let entries = [ entry (mk 1 0.0) ] in
+  let newcomer = mk 99 50.0 in
+  Alcotest.(check int) "behind existing" 2
+    (Estimate_delay.n_meetings ~entries ~packet:newcomer ~avg_transfer_bytes:100.0)
+
+let test_rates_and_delay () =
+  (* Eq. 8/9: two holders, E=100 n=1 and E=200 n=2 => R = 1/100 + 1/400. *)
+  let r =
+    Estimate_delay.rate_of_holder ~meeting_time:100.0 ~n_meet:1
+    +. Estimate_delay.rate_of_holder ~meeting_time:200.0 ~n_meet:2
+  in
+  check_close "rate" (0.01 +. 0.0025) r;
+  check_close "A(i)" (1.0 /. 0.0125) (Estimate_delay.expected_delay ~rate:r);
+  check_close "P within" (1.0 -. exp (-0.0125 *. 50.0))
+    (Estimate_delay.delivery_prob_within ~rate:r ~horizon:50.0);
+  check_close "dead horizon" 0.0
+    (Estimate_delay.delivery_prob_within ~rate:r ~horizon:(-1.0));
+  Alcotest.(check bool) "infinite meeting = zero rate" true
+    (Estimate_delay.rate_of_holder ~meeting_time:infinity ~n_meet:1 = 0.0);
+  Alcotest.(check bool) "zero rate = infinite delay" true
+    (Estimate_delay.expected_delay ~rate:0.0 = infinity)
+
+let test_more_replicas_less_delay () =
+  let rate k = float_of_int k *. Estimate_delay.rate_of_holder ~meeting_time:100.0 ~n_meet:1 in
+  let d k = Estimate_delay.expected_delay ~rate:(rate k) in
+  Alcotest.(check bool) "monotone" true (d 1 > d 2 && d 2 > d 4);
+  check_close "uniform k replicas" (100.0 /. 4.0) (d 4)
+
+(* ------------------------------------------------------------------ *)
+(* Replica db *)
+
+let test_replica_db_basics () =
+  let db = Replica_db.create () in
+  let p = packet ~id:1 ~src:0 ~dst:2 () in
+  Replica_db.set_holder db ~packet:p ~holder_id:0 ~n_meet:1 ~now:1.0;
+  Replica_db.set_holder db ~packet:p ~holder_id:3 ~n_meet:2 ~now:2.0;
+  Alcotest.(check int) "two holders" 2 (List.length (Replica_db.holders db ~packet_id:1));
+  Alcotest.(check int) "size" 2 (Replica_db.size db);
+  Replica_db.remove_holder db ~packet_id:1 ~holder_id:0;
+  Alcotest.(check int) "one left" 1 (List.length (Replica_db.holders db ~packet_id:1));
+  Replica_db.remove_packet db ~packet_id:1;
+  Alcotest.(check int) "gone" 0 (List.length (Replica_db.holders db ~packet_id:1))
+
+let test_replica_db_merge_freshness () =
+  let db = Replica_db.create () in
+  let p = packet ~id:1 ~src:0 ~dst:2 () in
+  Replica_db.set_holder db ~packet:p ~holder_id:0 ~n_meet:5 ~now:10.0;
+  (* Stale gossip rejected. *)
+  let stale = { Replica_db.n_meet = 1; updated_at = 5.0 } in
+  Alcotest.(check bool) "stale rejected" false
+    (Replica_db.merge db ~packet:p ~holder_id:0 ~holder:stale);
+  (* Fresh gossip applied. *)
+  let fresh = { Replica_db.n_meet = 2; updated_at = 20.0 } in
+  Alcotest.(check bool) "fresh applied" true
+    (Replica_db.merge db ~packet:p ~holder_id:0 ~holder:fresh);
+  match Replica_db.holders db ~packet_id:1 with
+  | [ (0, h) ] -> Alcotest.(check int) "n_meet updated" 2 h.Replica_db.n_meet
+  | _ -> Alcotest.fail "unexpected holders"
+
+let test_replica_db_log_truncation () =
+  (* The update log is bounded: after far more updates than the cap, the
+     db still works and recent entries remain visible. *)
+  let db = Replica_db.create () in
+  let p = packet ~id:1 ~src:0 ~dst:2 () in
+  for i = 1 to 40_000 do
+    Replica_db.set_holder db ~packet:p ~holder_id:(i mod 7) ~n_meet:1
+      ~now:(float_of_int i)
+  done;
+  (* Entries newer than t=39_990: holders updated in the last 10 steps. *)
+  let recent = Replica_db.entries_since db 39_990.0 in
+  Alcotest.(check bool) "recent entries visible" true (List.length recent > 0);
+  List.iter
+    (fun (e : Replica_db.entry) ->
+      if e.Replica_db.holder.Replica_db.updated_at <= 39_990.0 then
+        Alcotest.fail "stale entry leaked")
+    recent;
+  (* All 7 holders still stored (the records table is not truncated). *)
+  Alcotest.(check int) "holders intact" 7
+    (List.length (Replica_db.holders db ~packet_id:1))
+
+let test_replica_db_entries_since () =
+  let db = Replica_db.create () in
+  let p = packet ~id:1 ~src:0 ~dst:2 () in
+  let q = packet ~id:2 ~src:0 ~dst:3 () in
+  Replica_db.set_holder db ~packet:p ~holder_id:0 ~n_meet:1 ~now:1.0;
+  Replica_db.set_holder db ~packet:q ~holder_id:0 ~n_meet:1 ~now:5.0;
+  Alcotest.(check int) "all" 2 (List.length (Replica_db.entries_since db 0.0));
+  Alcotest.(check int) "recent only" 1 (List.length (Replica_db.entries_since db 2.0));
+  Alcotest.(check int) "none" 0 (List.length (Replica_db.entries_since db 5.0))
+
+(* ------------------------------------------------------------------ *)
+(* RAPID end-to-end *)
+
+let rapid ?(metric = Metric.Average_delay) ?channel ?use_acks () =
+  let params = Rapid.default_params metric in
+  let params =
+    match channel with Some c -> { params with Rapid.channel = c } | None -> params
+  in
+  let params =
+    match use_acks with Some a -> { params with Rapid.use_acks = a } | None -> params
+  in
+  Rapid.make params
+
+let test_rapid_direct_delivery () =
+  let trace =
+    Trace.create ~num_nodes:2 ~duration:10.0
+      [ Contact.make ~time:3.0 ~a:0 ~b:1 ~bytes:1000 ]
+  in
+  let workload = [ spec ~src:0 ~dst:1 () ] in
+  let report = Engine.run ~protocol:(rapid ()) ~trace ~workload () in
+  Alcotest.(check int) "delivered" 1 report.Metrics.delivered;
+  check_close "delay" 3.0 report.Metrics.avg_delay
+
+let test_rapid_replicates_after_learning () =
+  (* Repeating pattern: 0 meets 1, then 1 meets 2. After the first cycle
+     the matrix knows 1 meets 2, so the second packet is replicated via 1
+     and delivered. *)
+  let cycle t = [
+    Contact.make ~time:t ~a:0 ~b:1 ~bytes:1000;
+    Contact.make ~time:(t +. 5.0) ~a:1 ~b:2 ~bytes:1000;
+  ]
+  in
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:100.0
+      (cycle 10.0 @ cycle 30.0 @ cycle 50.0)
+  in
+  let workload = [ spec ~src:0 ~dst:2 ~created:20.0 () ] in
+  let report = Engine.run ~protocol:(rapid ()) ~trace ~workload () in
+  Alcotest.(check int) "delivered via relay" 1 report.Metrics.delivered
+
+let test_rapid_cold_start_direct_only () =
+  (* With an empty matrix RAPID must not replicate blindly. *)
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:10.0
+      [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:1000 ]
+  in
+  let workload = [ spec ~src:0 ~dst:2 () ] in
+  let report = Engine.run ~protocol:(rapid ()) ~trace ~workload () in
+  Alcotest.(check int) "no blind replication" 0 report.Metrics.transfers
+
+let test_rapid_acks_purge_replicas () =
+  let cycle t = [
+    Contact.make ~time:t ~a:0 ~b:1 ~bytes:1000;
+    Contact.make ~time:(t +. 2.0) ~a:1 ~b:2 ~bytes:1000;
+    Contact.make ~time:(t +. 4.0) ~a:0 ~b:2 ~bytes:1000;
+  ]
+  in
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:100.0
+      (List.concat_map cycle [ 10.0; 20.0; 30.0; 40.0 ])
+  in
+  let workload = [ spec ~src:0 ~dst:2 ~created:15.0 () ] in
+  let report, env =
+    Engine.run_with_env ~protocol:(rapid ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "delivered" 1 report.Metrics.delivered;
+  (* After delivery + subsequent contacts, no stale copies remain. *)
+  Array.iteri
+    (fun node b ->
+      if node <> 2 && Buffer.mem b 0 then
+        Alcotest.failf "stale copy at node %d" node)
+    env.Env.buffers
+
+let test_rapid_deadline_skips_dead_packets () =
+  (* A packet whose deadline passed must not be replicated (utility 0). *)
+  let cycle t = [
+    Contact.make ~time:t ~a:0 ~b:1 ~bytes:1000;
+    Contact.make ~time:(t +. 5.0) ~a:1 ~b:2 ~bytes:1000;
+  ]
+  in
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:200.0
+      (List.concat_map cycle [ 10.0; 30.0; 50.0; 70.0 ])
+  in
+  (* Deadline at t=35: already dead at the t=50 meeting; alive at t=30. *)
+  let workload =
+    [ spec ~src:0 ~dst:2 ~created:45.0 ~deadline:46.0 () ]
+  in
+  let report =
+    Engine.run ~protocol:(rapid ~metric:Metric.Missed_deadlines ()) ~trace
+      ~workload ()
+  in
+  Alcotest.(check int) "dead packet not replicated" 0 report.Metrics.transfers
+
+let test_rapid_metric3_prioritizes_old () =
+  (* Under max-delay, when bandwidth admits one packet the older one goes:
+     a 1200-byte bottleneck contact fits one 1000-byte packet after
+     metadata, and only what crossed it can be delivered at t=55. *)
+  let cycle t = [
+    Contact.make ~time:t ~a:0 ~b:1 ~bytes:100_000;
+    Contact.make ~time:(t +. 5.0) ~a:1 ~b:2 ~bytes:100_000;
+  ]
+  in
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:300.0
+      (List.concat_map cycle [ 10.0; 30.0 ]
+      @ [
+          Contact.make ~time:50.0 ~a:0 ~b:1 ~bytes:1200;
+          Contact.make ~time:55.0 ~a:1 ~b:2 ~bytes:100_000;
+        ])
+  in
+  let workload =
+    [
+      spec ~src:0 ~dst:2 ~size:1000 ~created:40.0 ();
+      spec ~src:0 ~dst:2 ~size:1000 ~created:45.0 ();
+    ]
+  in
+  let report, env =
+    Engine.run_with_env
+      ~protocol:(rapid ~metric:Metric.Maximum_delay ())
+      ~trace ~workload ()
+  in
+  Alcotest.(check int) "exactly one delivered" 1 report.Metrics.delivered;
+  Alcotest.(check bool) "the older one" true (Env.is_delivered env 0);
+  Alcotest.(check bool) "not the younger" false (Env.is_delivered env 1)
+
+let test_rapid_storage_own_creation_pressure () =
+  (* Node 0's buffer only fits 2 packets and all are its own: a foreign
+     arrival could never evict them, but a fresh own creation replaces the
+     lowest-utility own packet (otherwise a full source deadlocks). *)
+  let trace =
+    Trace.create ~num_nodes:2 ~duration:10.0
+      [ Contact.make ~time:9.0 ~a:0 ~b:1 ~bytes:5 ]
+  in
+  let workload =
+    List.init 3 (fun i -> spec ~src:0 ~dst:1 ~size:10 ~created:(float_of_int i) ())
+  in
+  let report, env =
+    Engine.run_with_env
+      ~options:{ Engine.default_options with buffer_bytes = Some 20 }
+      ~protocol:(rapid ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "one own packet displaced" 1 report.Metrics.drops;
+  Alcotest.(check int) "buffer holds two" 2 (Buffer.count env.Env.buffers.(0));
+  Alcotest.(check bool) "newest kept" true (Buffer.mem env.Env.buffers.(0) 2)
+
+let test_rapid_evicts_foreign_before_own () =
+  (* Node 1 buffers its own (never-deliverable) packet plus a foreign
+     replica; when a second foreign replica arrives and the buffer is
+     full, the foreign one is evicted, never node 1's own packet. *)
+  let trace =
+    Trace.create ~num_nodes:10 ~duration:100.0
+      [
+        Contact.make ~time:5.0 ~a:1 ~b:3 ~bytes:0;
+        (* teach the matrix that 1 meets 3; no bytes move *)
+        Contact.make ~time:10.0 ~a:0 ~b:1 ~bytes:1200;
+        (* foreign replica to 1: buffer now full *)
+        Contact.make ~time:20.0 ~a:2 ~b:1 ~bytes:1200;
+        (* second foreign replica: something must go *)
+      ]
+  in
+  let workload =
+    [
+      spec ~src:1 ~dst:9 ~size:1000 ~created:0.0 ();
+      (* 1's own packet; dst 9 never appears *)
+      spec ~src:0 ~dst:3 ~size:1000 ~created:1.0 ();
+      spec ~src:2 ~dst:3 ~size:1000 ~created:2.0 ();
+    ]
+  in
+  let report, env =
+    Engine.run_with_env
+      ~options:{ Engine.default_options with buffer_bytes = Some 2000 }
+      ~protocol:(rapid ()) ~trace ~workload ()
+  in
+  Alcotest.(check bool) "own source packet kept" true (Buffer.mem env.Env.buffers.(1) 0);
+  Alcotest.(check int) "a foreign replica was evicted" 1 report.Metrics.drops
+
+let test_rapid_global_channel_instant_purge () =
+  (* With the instant global channel, a delivered packet's stale replica is
+     purged at the next contact even though no ack has propagated. *)
+  let trace =
+    Trace.create ~num_nodes:4 ~duration:100.0
+      [
+        Contact.make ~time:5.0 ~a:1 ~b:2 ~bytes:1000;
+        (* teach matrix *)
+        Contact.make ~time:10.0 ~a:0 ~b:1 ~bytes:1000;
+        (* replicate to 1 *)
+        Contact.make ~time:20.0 ~a:0 ~b:2 ~bytes:1000;
+        (* source delivers *)
+        Contact.make ~time:30.0 ~a:1 ~b:3 ~bytes:1000;
+        (* instant ack: purge at 1 *)
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:2 ~created:6.0 () ] in
+  let _, env =
+    Engine.run_with_env
+      ~protocol:(rapid ~channel:Control_channel.Instant_global ())
+      ~trace ~workload ()
+  in
+  Alcotest.(check bool) "stale replica purged" false (Buffer.mem env.Env.buffers.(1) 0)
+
+let contention_scenario ~seed =
+  let rng = Rapid_prelude.Rng.create seed in
+  let trace =
+    Rapid_mobility.Mobility.powerlaw rng ~num_nodes:12 ~mean_inter_meeting:60.0
+      ~duration:1200.0 ~opportunity_bytes:3000 ()
+  in
+  let workload =
+    Workload.generate rng ~trace ~pkts_per_hour_per_dest:40.0 ~size:1000
+      ~lifetime:300.0 ()
+  in
+  (trace, workload)
+
+let avg_over seeds f =
+  Rapid_prelude.Stats.mean (List.map f seeds)
+
+let test_rapid_beats_random_avg_delay () =
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  let run proto seed =
+    let trace, workload = contention_scenario ~seed in
+    let r =
+      Engine.run
+        ~options:{ Engine.default_options with buffer_bytes = Some 20_000; seed }
+        ~protocol:proto ~trace ~workload ()
+    in
+    r.Metrics.avg_delay_all
+  in
+  let rapid_delay = avg_over seeds (run (rapid ())) in
+  let random_delay =
+    avg_over seeds (run (Rapid_routing.Random_protocol.make ()))
+  in
+  if rapid_delay >= random_delay then
+    Alcotest.failf "RAPID (%.1fs) should beat Random (%.1fs)" rapid_delay
+      random_delay
+
+let test_rapid_deterministic () =
+  let trace, workload = contention_scenario ~seed:7 in
+  let run () =
+    Engine.run
+      ~options:{ Engine.default_options with seed = 11 }
+      ~protocol:(rapid ()) ~trace ~workload ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same deliveries" a.Metrics.delivered b.Metrics.delivered;
+  check_close "same delay" a.Metrics.avg_delay_all b.Metrics.avg_delay_all;
+  Alcotest.(check int) "same metadata" a.Metrics.metadata_bytes b.Metrics.metadata_bytes
+
+let test_rapid_metadata_cap_respected () =
+  let trace, workload = contention_scenario ~seed:3 in
+  let run frac =
+    Engine.run
+      ~options:{ Engine.default_options with meta_cap_frac = frac; seed = 1 }
+      ~protocol:(rapid ()) ~trace ~workload ()
+  in
+  let capped = run (Some 0.02) in
+  let free = run None in
+  if
+    float_of_int capped.Metrics.metadata_bytes
+    > 0.02 *. float_of_int capped.Metrics.capacity_bytes +. 1.0
+  then Alcotest.fail "metadata exceeded the cap";
+  Alcotest.(check bool) "uncapped uses more metadata" true
+    (free.Metrics.metadata_bytes >= capped.Metrics.metadata_bytes)
+
+let test_rapid_global_no_metadata_cost () =
+  let trace, workload = contention_scenario ~seed:4 in
+  let r =
+    Engine.run
+      ~protocol:(rapid ~channel:Control_channel.Instant_global ())
+      ~trace ~workload ()
+  in
+  Alcotest.(check int) "oracle channel is free" 0 r.Metrics.metadata_bytes
+
+let test_rapid_local_sends_less_metadata () =
+  let trace, workload = contention_scenario ~seed:5 in
+  let run channel =
+    (Engine.run ~protocol:(rapid ~channel ()) ~trace ~workload ())
+      .Metrics.metadata_bytes
+  in
+  let in_band = run Control_channel.In_band in
+  let local = run Control_channel.Local_only in
+  Alcotest.(check bool) "local <= in-band metadata" true (local <= in_band)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_rapid_meta_cap_respected =
+  QCheck.Test.make ~name:"rapid respects any metadata cap" ~count:10
+    QCheck.(pair (int_range 0 1000) (float_range 0.0 0.3))
+    (fun (seed, cap) ->
+      let trace, workload = contention_scenario ~seed in
+      let r =
+        Engine.run
+          ~options:
+            { Engine.buffer_bytes = Some 20_000; meta_cap_frac = Some cap;
+              seed }
+          ~protocol:(rapid ()) ~trace ~workload ()
+      in
+      float_of_int r.Metrics.metadata_bytes
+      <= (cap *. float_of_int r.Metrics.capacity_bytes) +. 1.0)
+
+let prop_nmeet_monotone_in_position =
+  QCheck.Test.make ~name:"deeper buffer position needs more meetings" ~count:100
+    QCheck.(pair (int_range 1 20) (float_range 50.0 500.0))
+    (fun (depth, b) ->
+      let dst = 9 in
+      let mk id created = packet ~id ~src:0 ~dst ~size:100 ~created () in
+      let entries =
+        List.init depth (fun i -> entry (mk i (float_of_int i)))
+      in
+      let n_at i =
+        Estimate_delay.n_meetings ~entries
+          ~packet:(mk i (float_of_int i))
+          ~avg_transfer_bytes:b
+      in
+      let rec monotone i = i >= depth || (n_at (i - 1) <= n_at i && monotone (i + 1)) in
+      monotone 1)
+
+let prop_more_holders_never_slower =
+  QCheck.Test.make ~name:"adding a holder never increases A(i)" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 8) (pair (float_range 10.0 1000.0) (int_range 1 5)))
+    (fun holders ->
+      let rate hs =
+        List.fold_left
+          (fun acc (e, n) ->
+            acc +. Estimate_delay.rate_of_holder ~meeting_time:e ~n_meet:n)
+          0.0 hs
+      in
+      match holders with
+      | [] -> true
+      | _ :: rest ->
+          Estimate_delay.expected_delay ~rate:(rate holders)
+          <= Estimate_delay.expected_delay ~rate:(rate rest))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_nmeet_monotone_in_position; prop_more_holders_never_slower;
+      prop_rapid_meta_cap_respected ]
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "meeting_matrix",
+        [
+          Alcotest.test_case "direct average" `Quick test_matrix_direct_average;
+          Alcotest.test_case "symmetry" `Quick test_matrix_symmetry;
+          Alcotest.test_case "transitive" `Quick test_matrix_transitive;
+          Alcotest.test_case "three hops" `Quick test_matrix_three_hops;
+          Alcotest.test_case "transitive vs direct" `Quick
+            test_matrix_transitive_vs_direct;
+          Alcotest.test_case "global mean" `Quick test_matrix_global_mean;
+        ] );
+      ( "estimate_delay",
+        [
+          Alcotest.test_case "queue position" `Quick test_n_meetings_position;
+          Alcotest.test_case "other destinations" `Quick
+            test_n_meetings_ignores_other_destinations;
+          Alcotest.test_case "would-be position" `Quick
+            test_n_meetings_would_be_position;
+          Alcotest.test_case "rates and delay" `Quick test_rates_and_delay;
+          Alcotest.test_case "replicas reduce delay" `Quick
+            test_more_replicas_less_delay;
+        ] );
+      ( "replica_db",
+        [
+          Alcotest.test_case "basics" `Quick test_replica_db_basics;
+          Alcotest.test_case "merge freshness" `Quick test_replica_db_merge_freshness;
+          Alcotest.test_case "entries since" `Quick test_replica_db_entries_since;
+          Alcotest.test_case "log truncation" `Quick test_replica_db_log_truncation;
+        ] );
+      ( "rapid",
+        [
+          Alcotest.test_case "direct delivery" `Quick test_rapid_direct_delivery;
+          Alcotest.test_case "replicates after learning" `Quick
+            test_rapid_replicates_after_learning;
+          Alcotest.test_case "cold start" `Quick test_rapid_cold_start_direct_only;
+          Alcotest.test_case "acks purge replicas" `Quick
+            test_rapid_acks_purge_replicas;
+          Alcotest.test_case "deadline skips dead" `Quick
+            test_rapid_deadline_skips_dead_packets;
+          Alcotest.test_case "metric3 prioritizes old" `Quick
+            test_rapid_metric3_prioritizes_old;
+          Alcotest.test_case "own creation pressure" `Quick
+            test_rapid_storage_own_creation_pressure;
+          Alcotest.test_case "evicts foreign before own" `Quick
+            test_rapid_evicts_foreign_before_own;
+          Alcotest.test_case "global channel purge" `Quick
+            test_rapid_global_channel_instant_purge;
+          Alcotest.test_case "beats random" `Slow test_rapid_beats_random_avg_delay;
+          Alcotest.test_case "deterministic" `Quick test_rapid_deterministic;
+          Alcotest.test_case "metadata cap" `Quick test_rapid_metadata_cap_respected;
+          Alcotest.test_case "global channel free" `Quick
+            test_rapid_global_no_metadata_cost;
+          Alcotest.test_case "local channel lighter" `Quick
+            test_rapid_local_sends_less_metadata;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,167 @@
+(* Tests for the appendix-C DAG-delay estimator: known closed forms, the
+   Fig. 2 example, the approximation gap versus Estimate-Delay's
+   vertical-only view, and cycle detection. *)
+
+open Rapid_prelude
+open Rapid_core
+
+let dt = 0.01
+let cells = 4000
+
+let exp_meeting mean = Dist.Discrete.of_exponential ~dt ~cells ~mean
+
+let check_rel ?(tol = 0.05) what expected actual =
+  let denom = max 1e-12 (Float.abs expected) in
+  if Float.abs (expected -. actual) /. denom > tol then
+    Alcotest.failf "%s: expected ~%.6g, got %.6g" what expected actual
+
+(* Single replica at the head of one queue: delay = e_n (mean = mean). *)
+let test_single_head () =
+  let queues = [ (0, [ "a" ]) ] in
+  let meeting _ = exp_meeting 2.0 in
+  let d = Dag_delay.estimate ~queues ~meeting "a" in
+  check_rel "single head mean" 2.0 (Dist.Discrete.mean d)
+
+(* Second in queue: Erlang(2) with mean 2*mean. *)
+let test_queued_behind () =
+  let queues = [ (0, [ "a"; "b" ]) ] in
+  let meeting _ = exp_meeting 1.5 in
+  let d = Dag_delay.estimate ~queues ~meeting "b" in
+  check_rel "erlang mean" 3.0 (Dist.Discrete.mean d)
+
+(* Two head replicas at different nodes: min of two exponentials. *)
+let test_two_replicas_min () =
+  let queues = [ (0, [ "a" ]); (1, [ "a" ]) ] in
+  let meeting _ = exp_meeting 2.0 in
+  let d = Dag_delay.estimate ~queues ~meeting "a" in
+  check_rel "min of two exps" 1.0 (Dist.Discrete.mean d)
+
+(* Vertical-only agrees with the full estimate when there are no
+   cross-node dependencies (each queue holds distinct packets). *)
+let test_vertical_agrees_without_sharing () =
+  let queues = [ (0, [ "a"; "b" ]); (1, [ "c" ]) ] in
+  let meeting = function 0 -> exp_meeting 1.0 | _ -> exp_meeting 3.0 in
+  List.iter
+    (fun label ->
+      let full = Dag_delay.estimate ~queues ~meeting label in
+      let vert = Dag_delay.vertical_only ~queues ~meeting label in
+      check_rel
+        (Printf.sprintf "agree on %s" label)
+        (Dist.Discrete.mean full) (Dist.Discrete.mean vert))
+    [ "a"; "b"; "c" ]
+
+(* The paper's Fig. 2-style example: b behind a at X, behind d at Y, while
+   a and d have other head replicas. Estimate-Delay overestimates b's delay
+   because it ignores that a/d may be delivered by W first, unblocking b.
+   Here: full estimate <= vertical-only estimate. *)
+let test_fig2_nonvertical_gap () =
+  let queues =
+    [ (0, [ "a"; "b" ]) (* X *); (1, [ "d"; "b" ]) (* Y *); (2, [ "a" ]) (* W *);
+      (3, [ "d" ]) ]
+  in
+  let meeting = function
+    | 0 -> exp_meeting 2.0
+    | 1 -> exp_meeting 2.5
+    | 2 -> exp_meeting 0.5 (* W delivers a fast, unblocking b at X *)
+    | _ -> exp_meeting 0.5
+  in
+  let full = Dist.Discrete.mean (Dag_delay.estimate ~queues ~meeting "b") in
+  let vert = Dist.Discrete.mean (Dag_delay.vertical_only ~queues ~meeting "b") in
+  if full > vert +. 0.02 then
+    Alcotest.failf "full (%.3f) should not exceed vertical-only (%.3f)" full vert
+
+(* dag_delay uses d(pred) = packet-level min, so a fast foreign replica of
+   the predecessor shortens the successor — exactly the non-vertical edge
+   Estimate-Delay ignores. *)
+let test_fast_foreign_predecessor_helps () =
+  let slow_queues = [ (0, [ "a"; "b" ]) ] in
+  let shared_queues = [ (0, [ "a"; "b" ]); (1, [ "a" ]) ] in
+  let meeting = function 0 -> exp_meeting 2.0 | _ -> exp_meeting 0.2 in
+  let slow = Dist.Discrete.mean (Dag_delay.estimate ~queues:slow_queues ~meeting "b") in
+  let shared =
+    Dist.Discrete.mean (Dag_delay.estimate ~queues:shared_queues ~meeting "b")
+  in
+  if shared >= slow then
+    Alcotest.failf "foreign replica of predecessor should help: %.3f vs %.3f"
+      shared slow;
+  (* Vertical-only cannot see this: it gives the same estimate for b. *)
+  let vert_slow =
+    Dist.Discrete.mean (Dag_delay.vertical_only ~queues:slow_queues ~meeting "b")
+  in
+  let vert_shared =
+    Dist.Discrete.mean (Dag_delay.vertical_only ~queues:shared_queues ~meeting "b")
+  in
+  check_rel ~tol:1e-6 "vertical-only is blind to the foreign replica" vert_slow
+    vert_shared
+
+let test_cycle_detection () =
+  (* Inconsistent queue orders: a before b at node 0, b before a at 1. *)
+  let queues = [ (0, [ "a"; "b" ]); (1, [ "b"; "a" ]) ] in
+  let meeting _ = exp_meeting 1.0 in
+  match Dag_delay.estimate ~queues ~meeting "a" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cycle not detected"
+
+let test_unknown_label () =
+  let queues = [ (0, [ "a" ]) ] in
+  let meeting _ = exp_meeting 1.0 in
+  match Dag_delay.estimate ~queues ~meeting "zz" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown label accepted"
+
+(* Property: the full estimate never exceeds vertical-only by more than the
+   discretization error — extra knowledge can only reduce estimated delay
+   in these unit-size settings where sharing a predecessor's foreign
+   replicas weakly helps. *)
+let prop_full_le_vertical =
+  QCheck.Test.make ~name:"full dag estimate <= vertical-only (+eps)" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      (* Random consistent queues over a global packet order p0 < p1 < ... *)
+      let n_packets = 2 + Rng.int rng 4 in
+      let n_nodes = 2 + Rng.int rng 3 in
+      let labels = List.init n_packets (Printf.sprintf "p%d") in
+      let queues =
+        List.init n_nodes (fun node ->
+            let subset = List.filter (fun _ -> Rng.bool rng) labels in
+            (node, subset))
+      in
+      let means = Array.init n_nodes (fun _ -> 0.3 +. Rng.float rng) in
+      let meeting n = exp_meeting means.(n) in
+      (* Pick a label that appears somewhere. *)
+      match List.concat_map snd queues with
+      | [] -> true
+      | l :: _ ->
+          let full = Dist.Discrete.mean (Dag_delay.estimate ~queues ~meeting l) in
+          let vert =
+            Dist.Discrete.mean (Dag_delay.vertical_only ~queues ~meeting l)
+          in
+          (not (Float.is_finite vert)) || full <= vert +. 0.05)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_full_le_vertical ]
+
+let () =
+  Alcotest.run "dag_delay"
+    [
+      ( "closed forms",
+        [
+          Alcotest.test_case "single head" `Quick test_single_head;
+          Alcotest.test_case "queued behind" `Quick test_queued_behind;
+          Alcotest.test_case "two replicas" `Quick test_two_replicas_min;
+        ] );
+      ( "approximation gap",
+        [
+          Alcotest.test_case "agrees without sharing" `Quick
+            test_vertical_agrees_without_sharing;
+          Alcotest.test_case "fig2 non-vertical gap" `Quick test_fig2_nonvertical_gap;
+          Alcotest.test_case "foreign predecessor helps" `Quick
+            test_fast_foreign_predecessor_helps;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+          Alcotest.test_case "unknown label" `Quick test_unknown_label;
+        ] );
+      ("properties", qcheck_cases);
+    ]

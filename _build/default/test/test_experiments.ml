@@ -1,0 +1,148 @@
+(* Tests for Rapid_experiments: the series container/renderer, experiment
+   catalog integrity, parameter profiles, and one minimal end-to-end trace
+   point (protocol caching included). *)
+
+open Rapid_experiments
+
+let series =
+  Series.make ~id:"figX" ~title:"test" ~x_label:"load" ~y_label:"delay"
+    [
+      { Series.label = "A"; points = [ (1.0, 10.0); (2.0, 20.0) ] };
+      { Series.label = "B"; points = [ (1.0, 12.0); (2.0, 18.0) ] };
+    ]
+
+let test_series_render () =
+  let s = Series.render series in
+  Alcotest.(check bool) "has title" true
+    (Astring.String.is_infix ~affix:"FIGX" s || Astring.String.is_infix ~affix:"figX" s);
+  List.iter
+    (fun needle ->
+      if not (Astring.String.is_infix ~affix:needle s) then
+        Alcotest.failf "missing %S in rendered series:\n%s" needle s)
+    [ "A"; "B"; "load"; "delay"; "10"; "18" ]
+
+let test_series_crossover () =
+  (* B starts above A (12 > 10 at x=1); A overtakes at x=2 (20 > 18). *)
+  Alcotest.(check (option (float 1e-9))) "A first exceeds B at 2" (Some 2.0)
+    (Series.crossover series ~a:"A" ~b:"B");
+  Alcotest.(check (option (float 1e-9))) "B exceeds A from the start" (Some 1.0)
+    (Series.crossover series ~a:"B" ~b:"A")
+
+let test_series_ratio () =
+  match Series.ratio_at series ~a:"A" ~b:"B" ~x:1.0 with
+  | Some r ->
+      if Float.abs (r -. (10.0 /. 12.0)) > 1e-9 then Alcotest.failf "ratio %f" r
+  | None -> Alcotest.fail "ratio missing"
+
+let test_catalog_complete () =
+  (* Table 3, Fig 3, Figs 4-24, and the ablation study: 24 artifacts,
+     unique ids, all findable. *)
+  Alcotest.(check int) "24 artifacts" 24 (List.length Catalog.all);
+  let ids = List.map (fun (i : Catalog.item) -> i.Catalog.id) Catalog.all in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      match Catalog.find id with
+      | Some _ -> ()
+      | None -> Alcotest.failf "catalog missing %s" id)
+    ([ "table3"; "fig3" ] @ List.init 21 (fun i -> Printf.sprintf "fig%d" (i + 4)))
+
+let test_params_profiles () =
+  let q = Params.get Params.Quick and f = Params.get Params.Full in
+  Alcotest.(check bool) "full has more days" true (f.Params.days > q.Params.days);
+  Alcotest.(check bool) "full trace is full-size" true
+    (f.Params.dieselnet.Rapid_trace.Dieselnet.day_seconds
+    > q.Params.dieselnet.Rapid_trace.Dieselnet.day_seconds);
+  (* Table 4 constants in both. *)
+  Alcotest.(check int) "20 synthetic nodes" 20 q.Params.syn_nodes;
+  Alcotest.(check int) "1KB packets" 1024 q.Params.syn_packet_bytes;
+  Alcotest.(check (float 1e-9)) "20s deadline" 20.0 q.Params.syn_deadline
+
+let test_syn_pair_rate () =
+  let p = Params.get Params.Quick in
+  (* load L per 50s per destination over (n-1) sources: per-pair/hour =
+     L/(n-1) * 72. *)
+  let r = Params.syn_pair_rate_per_hour p 19.0 in
+  if Float.abs (r -. 72.0) > 1e-9 then Alcotest.failf "pair rate %f" r
+
+let test_trace_point_cached () =
+  let params =
+    { (Params.get Params.Quick) with Params.days = 1; trace_loads = [ 1.0 ] }
+  in
+  let t0 = Unix.gettimeofday () in
+  let p1 =
+    Runners.run_trace_point ~params ~protocol:Runners.spray_wait ~load:1.0 ()
+  in
+  let first = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let p2 =
+    Runners.run_trace_point ~params ~protocol:Runners.spray_wait ~load:1.0 ()
+  in
+  let second = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "same day count" (List.length p1) (List.length p2);
+  Alcotest.(check bool) "cache hit faster or instant" true
+    (second <= first || second < 0.01);
+  (* Physically the same result object. *)
+  Alcotest.(check bool) "identical" true (p1 == p2)
+
+let test_pair_ttest_self_is_null () =
+  (* A protocol against itself must show zero difference, p = 1. *)
+  let params =
+    { (Params.get Params.Quick) with Params.days = 1 }
+  in
+  match
+    Pair_ttest.compare_protocols ~params ~a:Runners.spray_wait
+      ~b:Runners.spray_wait ~load:4.0
+  with
+  | None -> Alcotest.fail "expected paired observations"
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "no mean difference" 0.0
+        r.Pair_ttest.t.Rapid_prelude.Stats.mean_diff;
+      Alcotest.(check (float 1e-6)) "p = 1" 1.0
+        r.Pair_ttest.t.Rapid_prelude.Stats.p_value
+
+let test_pair_ttest_renders () =
+  let s = Pair_ttest.render ~a_label:"A" ~b_label:"B" ~load:4.0 None in
+  if not (Astring.String.is_infix ~affix:"not enough" s) then
+    Alcotest.fail "render of None"
+
+let test_deployment_table3_shape () =
+  let params =
+    { (Params.get Params.Quick) with Params.days = 1 }
+  in
+  let t = Deployment.table3 params in
+  Alcotest.(check bool) "buses positive" true (t.Deployment.avg_buses_scheduled > 0.0);
+  Alcotest.(check bool) "delivery in (0,1]" true
+    (t.Deployment.delivery_rate > 0.0 && t.Deployment.delivery_rate <= 1.0);
+  let rendered = Deployment.render_table3 t in
+  if not (Astring.String.is_infix ~affix:"TABLE 3" rendered) then
+    Alcotest.fail "table3 render"
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "series",
+        [
+          Alcotest.test_case "render" `Quick test_series_render;
+          Alcotest.test_case "crossover" `Quick test_series_crossover;
+          Alcotest.test_case "ratio" `Quick test_series_ratio;
+        ] );
+      ( "catalog",
+        [ Alcotest.test_case "complete" `Quick test_catalog_complete ] );
+      ( "params",
+        [
+          Alcotest.test_case "profiles" `Quick test_params_profiles;
+          Alcotest.test_case "pair rate" `Quick test_syn_pair_rate;
+        ] );
+      ( "runners",
+        [ Alcotest.test_case "trace point cached" `Quick test_trace_point_cached ] );
+      ( "pair_ttest",
+        [
+          Alcotest.test_case "self comparison is null" `Quick
+            test_pair_ttest_self_is_null;
+          Alcotest.test_case "renders" `Quick test_pair_ttest_renders;
+        ] );
+      ( "deployment",
+        [ Alcotest.test_case "table3 shape" `Slow test_deployment_table3_shape ] );
+    ]

@@ -1,0 +1,206 @@
+(* Tests for the appendix hardness constructions: the Theorem-1(a) online
+   adversary, the Theorem-1(b) gadget bounds, and the Theorem-2 EDP
+   reduction (validated against brute force and the ILP optimal). *)
+
+open Rapid_hardness
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1(a) *)
+
+let assert_outcome ~n alg =
+  let o = Online_adversary.run ~n ~alg in
+  if o.Online_adversary.alg_delivered > 1 then
+    Alcotest.failf "ALG delivered %d > 1" o.Online_adversary.alg_delivered;
+  Alcotest.(check int) "ADV delivers all" n o.Online_adversary.adv_delivered;
+  (* Y must be a bijection. *)
+  let seen = Array.make n false in
+  Array.iter
+    (fun d ->
+      if d < 0 || d >= n then Alcotest.fail "Y out of range";
+      if seen.(d) then Alcotest.fail "Y not injective";
+      seen.(d) <- true)
+    o.Online_adversary.mapping
+
+let test_adversary_spread () = assert_outcome ~n:8 Online_adversary.spread
+let test_adversary_flood () = assert_outcome ~n:8 Online_adversary.replicate_first
+
+let test_adversary_partial_replication () =
+  List.iter
+    (fun k -> assert_outcome ~n:9 (Online_adversary.greedy_modulo k))
+    [ 1; 2; 3; 4; 9 ]
+
+let test_adversary_competitive_ratio_grows () =
+  (* The delivery-ratio gap is Ω(n): ALG <= 1/n of ADV. *)
+  List.iter
+    (fun n ->
+      let o = Online_adversary.run ~n ~alg:Online_adversary.spread in
+      let ratio =
+        float_of_int o.Online_adversary.alg_delivered
+        /. float_of_int o.Online_adversary.adv_delivered
+      in
+      if ratio > 1.0 /. float_of_int n then
+        Alcotest.failf "ratio %.3f above 1/%d" ratio n)
+    [ 2; 4; 16; 64 ]
+
+let prop_adversary_beats_any_alg =
+  QCheck.Test.make ~name:"ADV limits every deterministic ALG to <= 1" ~count:100
+    QCheck.(pair (int_range 1 20) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Rapid_prelude.Rng.create seed in
+      let alg ~n = Array.init n (fun _ -> Rapid_prelude.Rng.int rng (n + 1) - 1) in
+      let o = Online_adversary.run ~n ~alg in
+      o.Online_adversary.alg_delivered <= 1
+      && o.Online_adversary.adv_delivered = n)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1(b) *)
+
+let test_gadget_halves () =
+  List.iter
+    (fun choice ->
+      let o = Gadget.basic_gadget choice in
+      Alcotest.(check int) "alg half" 2 o.Gadget.alg_delivered;
+      Alcotest.(check int) "adv all" 4 o.Gadget.adv_delivered)
+    [ Gadget.Straight; Gadget.Crossed; Gadget.Replicate_p1 ]
+
+let test_gadget_depth_ratio () =
+  let check_close what expected actual =
+    if Float.abs (expected -. actual) > 1e-9 then
+      Alcotest.failf "%s: expected %.6f got %.6f" what expected actual
+  in
+  check_close "depth 1" 0.5 (Gadget.depth_ratio 1);
+  check_close "depth 2" (2.0 /. 5.0) (Gadget.depth_ratio 2);
+  check_close "depth 3" (3.0 /. 8.0) (Gadget.depth_ratio 3);
+  (* Monotone decreasing toward 1/3. *)
+  let rec monotone i =
+    i > 50
+    || (Gadget.depth_ratio i > Gadget.depth_ratio (i + 1)
+        && Gadget.depth_ratio (i + 1) > 1.0 /. 3.0
+        && monotone (i + 1))
+  in
+  Alcotest.(check bool) "monotone to 1/3" true (monotone 1);
+  if Gadget.depth_ratio 1000 -. (1.0 /. 3.0) > 1e-3 then
+    Alcotest.fail "does not approach 1/3"
+
+let test_gadget_packet_count () =
+  Alcotest.(check int) "depth 1" 4 (Gadget.packets_at_depth 1);
+  Alcotest.(check int) "depth 2" 7 (Gadget.packets_at_depth 2)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 2 *)
+
+let diamond =
+  (* 0 -> 1 -> 3, 0 -> 2 -> 3. *)
+  { Edp_reduction.num_vertices = 4; edges = [ (0, 1); (1, 3); (0, 2); (2, 3) ] }
+
+let test_is_dag () =
+  Alcotest.(check bool) "diamond is a dag" true (Edp_reduction.is_dag diamond);
+  let cyclic = { Edp_reduction.num_vertices = 2; edges = [ (0, 1); (1, 0) ] } in
+  Alcotest.(check bool) "cycle detected" false (Edp_reduction.is_dag cyclic)
+
+let test_labels_increase_along_paths () =
+  let labelled = Edp_reduction.label_edges diamond in
+  (* For every consecutive edge pair (u,v),(v,w): label1 < label2. *)
+  List.iter
+    (fun (u1, v1, l1) ->
+      List.iter
+        (fun (u2, _, l2) ->
+          if v1 = u2 && l1 >= l2 then
+            Alcotest.failf "labels not increasing: (%d,%d)=%d then (%d,..)=%d" u1
+              v1 l1 u2 l2)
+        labelled)
+    labelled;
+  (* Distinct labels. *)
+  let ls = List.map (fun (_, _, l) -> l) labelled in
+  Alcotest.(check int) "distinct" (List.length ls)
+    (List.length (List.sort_uniq compare ls))
+
+let test_edp_diamond () =
+  (* Two edge-disjoint 0->3 paths exist. *)
+  Alcotest.(check int) "two paths" 2
+    (Edp_reduction.max_edge_disjoint_paths diamond ~pairs:[ (0, 3); (0, 3) ]);
+  (* A third copy cannot fit. *)
+  Alcotest.(check int) "still two" 2
+    (Edp_reduction.max_edge_disjoint_paths diamond
+       ~pairs:[ (0, 3); (0, 3); (0, 3) ])
+
+let test_reduction_preserves_count () =
+  let pairs = [ (0, 3); (0, 3) ] in
+  let trace, workload = Edp_reduction.to_dtn diamond ~pairs in
+  let edp = Edp_reduction.max_edge_disjoint_paths diamond ~pairs in
+  let dtn = Edp_reduction.max_deliveries_brute trace workload in
+  Alcotest.(check int) "edp = dtn deliveries" edp dtn
+
+let test_reduction_matches_ilp () =
+  let pairs = [ (0, 3); (0, 3) ] in
+  let trace, workload = Edp_reduction.to_dtn diamond ~pairs in
+  let v =
+    Rapid_routing.Optimal.evaluate
+      ~objective:Rapid_routing.Optimal.Max_deliveries ~trace ~workload ()
+  in
+  Alcotest.(check int) "ilp recovers both paths" 2 v.Rapid_routing.Optimal.delivered
+
+let random_dag rng ~num_vertices ~num_edges =
+  (* Edges only forward in vertex order: always a DAG. *)
+  let edges = ref [] in
+  let attempts = ref 0 in
+  while List.length !edges < num_edges && !attempts < 100 do
+    incr attempts;
+    let u = Rapid_prelude.Rng.int rng (num_vertices - 1) in
+    let v = u + 1 + Rapid_prelude.Rng.int rng (num_vertices - u - 1) in
+    if not (List.mem (u, v) !edges) then edges := (u, v) :: !edges
+  done;
+  { Edp_reduction.num_vertices; edges = !edges }
+
+let prop_reduction_equivalence =
+  QCheck.Test.make ~name:"EDP count = max DTN deliveries (reduction)" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rapid_prelude.Rng.create seed in
+      let dag = random_dag rng ~num_vertices:5 ~num_edges:6 in
+      let n_pairs = 1 + Rapid_prelude.Rng.int rng 3 in
+      let pairs =
+        List.init n_pairs (fun _ ->
+            let s = Rapid_prelude.Rng.int rng 4 in
+            (s, s + 1 + Rapid_prelude.Rng.int rng (4 - s)))
+      in
+      let edp = Edp_reduction.max_edge_disjoint_paths dag ~pairs in
+      let trace, workload = Edp_reduction.to_dtn dag ~pairs in
+      let dtn = Edp_reduction.max_deliveries_brute trace workload in
+      edp = dtn)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_adversary_beats_any_alg; prop_reduction_equivalence ]
+
+let () =
+  Alcotest.run "hardness"
+    [
+      ( "theorem-1a",
+        [
+          Alcotest.test_case "spread" `Quick test_adversary_spread;
+          Alcotest.test_case "flood" `Quick test_adversary_flood;
+          Alcotest.test_case "partial replication" `Quick
+            test_adversary_partial_replication;
+          Alcotest.test_case "competitive ratio" `Quick
+            test_adversary_competitive_ratio_grows;
+        ] );
+      ( "theorem-1b",
+        [
+          Alcotest.test_case "gadget halves" `Quick test_gadget_halves;
+          Alcotest.test_case "depth ratio" `Quick test_gadget_depth_ratio;
+          Alcotest.test_case "packet count" `Quick test_gadget_packet_count;
+        ] );
+      ( "theorem-2",
+        [
+          Alcotest.test_case "is_dag" `Quick test_is_dag;
+          Alcotest.test_case "labels increase" `Quick
+            test_labels_increase_along_paths;
+          Alcotest.test_case "diamond edp" `Quick test_edp_diamond;
+          Alcotest.test_case "reduction preserves count" `Quick
+            test_reduction_preserves_count;
+          Alcotest.test_case "reduction matches ilp" `Quick
+            test_reduction_matches_ilp;
+        ] );
+      ("properties", qcheck_cases);
+    ]

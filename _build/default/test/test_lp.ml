@@ -1,0 +1,319 @@
+(* Tests for the Rapid_lp solver substrate: simplex on known programs,
+   infeasibility/unboundedness detection, branch-and-bound ILPs, and a
+   property test comparing the ILP against brute-force enumeration on random
+   small integer programs. *)
+
+open Rapid_lp
+open Rapid_prelude
+
+let check_close ?(eps = 1e-6) what expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" what expected actual
+
+let solve_expect_optimal p =
+  match Simplex.solve p with
+  | Simplex.Optimal o -> o
+  | Simplex.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected: unbounded"
+
+(* ------------------------------------------------------------------ *)
+(* Simplex *)
+
+let test_simplex_basic_2d () =
+  (* max x + y s.t. x + 2y <= 4, 3x + y <= 6  => min -(x+y).
+     Optimum at intersection: x = 8/5, y = 6/5, value 14/5. *)
+  let p = Lp_problem.create ~num_vars:2 in
+  Lp_problem.set_objective p [ (0, -1.0); (1, -1.0) ];
+  Lp_problem.add_constraint p [ (0, 1.0); (1, 2.0) ] Lp_problem.Le 4.0;
+  Lp_problem.add_constraint p [ (0, 3.0); (1, 1.0) ] Lp_problem.Le 6.0;
+  let o = solve_expect_optimal p in
+  check_close "objective" (-2.8) o.objective;
+  check_close "x" 1.6 o.solution.(0);
+  check_close "y" 1.2 o.solution.(1)
+
+let test_simplex_equality () =
+  (* min x + y s.t. x + y = 3, x <= 1 => x=1, y=2 is not forced; any point on
+     the segment has objective 3. *)
+  let p = Lp_problem.create ~num_vars:2 in
+  Lp_problem.set_objective p [ (0, 1.0); (1, 1.0) ];
+  Lp_problem.add_constraint p [ (0, 1.0); (1, 1.0) ] Lp_problem.Eq 3.0;
+  Lp_problem.add_constraint p [ (0, 1.0) ] Lp_problem.Le 1.0;
+  let o = solve_expect_optimal p in
+  check_close "objective" 3.0 o.objective
+
+let test_simplex_ge_constraints () =
+  (* min 2x + 3y s.t. x + y >= 4, x >= 1, y >= 1. Optimum x=3,y=1 -> 9. *)
+  let p = Lp_problem.create ~num_vars:2 in
+  Lp_problem.set_objective p [ (0, 2.0); (1, 3.0) ];
+  Lp_problem.add_constraint p [ (0, 1.0); (1, 1.0) ] Lp_problem.Ge 4.0;
+  Lp_problem.add_constraint p [ (0, 1.0) ] Lp_problem.Ge 1.0;
+  Lp_problem.add_constraint p [ (1, 1.0) ] Lp_problem.Ge 1.0;
+  let o = solve_expect_optimal p in
+  check_close "objective" 9.0 o.objective;
+  check_close "x" 3.0 o.solution.(0);
+  check_close "y" 1.0 o.solution.(1)
+
+let test_simplex_negative_rhs () =
+  (* x - y <= -1 (i.e., y >= x + 1), min y => x=0, y=1. *)
+  let p = Lp_problem.create ~num_vars:2 in
+  Lp_problem.set_objective p [ (1, 1.0) ];
+  Lp_problem.add_constraint p [ (0, 1.0); (1, -1.0) ] Lp_problem.Le (-1.0);
+  let o = solve_expect_optimal p in
+  check_close "objective" 1.0 o.objective
+
+let test_simplex_infeasible () =
+  let p = Lp_problem.create ~num_vars:1 in
+  Lp_problem.set_objective p [ (0, 1.0) ];
+  Lp_problem.add_constraint p [ (0, 1.0) ] Lp_problem.Ge 5.0;
+  Lp_problem.add_constraint p [ (0, 1.0) ] Lp_problem.Le 3.0;
+  match Simplex.solve p with
+  | Simplex.Infeasible -> ()
+  | Simplex.Optimal _ -> Alcotest.fail "expected infeasible, got optimal"
+  | Simplex.Unbounded -> Alcotest.fail "expected infeasible, got unbounded"
+
+let test_simplex_unbounded () =
+  (* min -x s.t. x >= 1: unbounded below. *)
+  let p = Lp_problem.create ~num_vars:1 in
+  Lp_problem.set_objective p [ (0, -1.0) ];
+  Lp_problem.add_constraint p [ (0, 1.0) ] Lp_problem.Ge 1.0;
+  match Simplex.solve p with
+  | Simplex.Unbounded -> ()
+  | Simplex.Optimal _ -> Alcotest.fail "expected unbounded, got optimal"
+  | Simplex.Infeasible -> Alcotest.fail "expected unbounded, got infeasible"
+
+let test_simplex_degenerate () =
+  (* A classic degenerate program; must terminate and find the optimum.
+     min -0.75x1 + 150x2 - 0.02x3 + 6x4 (Beale's cycling example). *)
+  let p = Lp_problem.create ~num_vars:4 in
+  Lp_problem.set_objective p [ (0, -0.75); (1, 150.0); (2, -0.02); (3, 6.0) ];
+  Lp_problem.add_constraint p
+    [ (0, 0.25); (1, -60.0); (2, -0.04); (3, 9.0) ]
+    Lp_problem.Le 0.0;
+  Lp_problem.add_constraint p
+    [ (0, 0.5); (1, -90.0); (2, -0.02); (3, 3.0) ]
+    Lp_problem.Le 0.0;
+  Lp_problem.add_constraint p [ (2, 1.0) ] Lp_problem.Le 1.0;
+  let o = solve_expect_optimal p in
+  check_close ~eps:1e-6 "beale optimum" (-0.05) o.objective
+
+let test_simplex_extra_rows () =
+  (* Base problem plus extra bound rows, as branch-and-bound uses them. *)
+  let p = Lp_problem.create ~num_vars:1 in
+  Lp_problem.set_objective p [ (0, -1.0) ];
+  Lp_problem.add_constraint p [ (0, 1.0) ] Lp_problem.Le 10.0;
+  let extra =
+    [ { Lp_problem.coeffs = [ (0, 1.0) ]; relation = Lp_problem.Le; rhs = 4.0 } ]
+  in
+  (match Simplex.solve ~extra p with
+  | Simplex.Optimal o -> check_close "bounded by extra" (-4.0) o.objective
+  | _ -> Alcotest.fail "expected optimal");
+  (* Without extra rows the answer differs. *)
+  let o = solve_expect_optimal p in
+  check_close "without extra" (-10.0) o.objective
+
+let test_simplex_feasibility_of_solution () =
+  (* The returned point must satisfy every constraint. *)
+  let p = Lp_problem.create ~num_vars:3 in
+  Lp_problem.set_objective p [ (0, 1.0); (1, 2.0); (2, -1.0) ];
+  Lp_problem.add_constraint p [ (0, 1.0); (1, 1.0); (2, 1.0) ] Lp_problem.Le 7.0;
+  Lp_problem.add_constraint p [ (0, 2.0); (2, 1.0) ] Lp_problem.Ge 2.0;
+  Lp_problem.add_constraint p [ (1, 1.0); (2, -1.0) ] Lp_problem.Eq 1.0;
+  let o = solve_expect_optimal p in
+  let dot coeffs = List.fold_left (fun acc (i, c) -> acc +. (c *. o.solution.(i))) 0.0 coeffs in
+  List.iter
+    (fun { Lp_problem.coeffs; relation; rhs } ->
+      let v = dot coeffs in
+      match relation with
+      | Lp_problem.Le -> if v > rhs +. 1e-6 then Alcotest.fail "Le violated"
+      | Lp_problem.Ge -> if v < rhs -. 1e-6 then Alcotest.fail "Ge violated"
+      | Lp_problem.Eq ->
+          if Float.abs (v -. rhs) > 1e-6 then Alcotest.fail "Eq violated")
+    (Lp_problem.constraints p);
+  Array.iter (fun x -> if x < -1e-9 then Alcotest.fail "negative variable") o.solution
+
+(* ------------------------------------------------------------------ *)
+(* ILP *)
+
+let solve_ilp_expect p =
+  match Ilp.solve p with
+  | Ilp.Solved o -> o
+  | Ilp.Infeasible -> Alcotest.fail "ilp: unexpected infeasible"
+  | Ilp.Unbounded -> Alcotest.fail "ilp: unexpected unbounded"
+  | Ilp.No_incumbent -> Alcotest.fail "ilp: no incumbent"
+
+let test_ilp_knapsack () =
+  (* max 8a + 11b + 6c + 4d, weights 5,7,4,3 <= 14, binary.
+     Known optimum: b + c + d? 11+6+4=21, weight 14. a+b? 19 w12. a+c+d=18 w12.
+     Optimal = 21. Minimize the negative. *)
+  let p = Lp_problem.create ~num_vars:4 in
+  Lp_problem.set_objective p [ (0, -8.0); (1, -11.0); (2, -6.0); (3, -4.0) ];
+  Lp_problem.add_constraint p
+    [ (0, 5.0); (1, 7.0); (2, 4.0); (3, 3.0) ]
+    Lp_problem.Le 14.0;
+  for v = 0 to 3 do
+    Lp_problem.add_constraint p [ (v, 1.0) ] Lp_problem.Le 1.0;
+    Lp_problem.mark_integer p v
+  done;
+  let o = solve_ilp_expect p in
+  check_close "knapsack optimum" (-21.0) o.objective;
+  Alcotest.(check bool) "proven" true o.proven_optimal;
+  Array.iter
+    (fun x ->
+      if Float.abs (x -. Float.round x) > 1e-6 then
+        Alcotest.fail "non-integral ILP solution")
+    o.solution
+
+let test_ilp_rounding_matters () =
+  (* LP relaxation optimum is fractional; ILP must find the integral one.
+     max x + y s.t. 2x + 2y <= 3, x,y binary -> LP gives 1.5, ILP gives 1. *)
+  let p = Lp_problem.create ~num_vars:2 in
+  Lp_problem.set_objective p [ (0, -1.0); (1, -1.0) ];
+  Lp_problem.add_constraint p [ (0, 2.0); (1, 2.0) ] Lp_problem.Le 3.0;
+  for v = 0 to 1 do
+    Lp_problem.add_constraint p [ (v, 1.0) ] Lp_problem.Le 1.0;
+    Lp_problem.mark_integer p v
+  done;
+  let o = solve_ilp_expect p in
+  check_close "ilp optimum" (-1.0) o.objective
+
+let test_ilp_integral_relaxation_short_circuits () =
+  (* When the relaxation is already integral, one node suffices. *)
+  let p = Lp_problem.create ~num_vars:2 in
+  Lp_problem.set_objective p [ (0, 1.0); (1, 1.0) ];
+  Lp_problem.add_constraint p [ (0, 1.0) ] Lp_problem.Ge 2.0;
+  Lp_problem.add_constraint p [ (1, 1.0) ] Lp_problem.Ge 3.0;
+  Lp_problem.mark_integer p 0;
+  Lp_problem.mark_integer p 1;
+  let o = solve_ilp_expect p in
+  check_close "objective" 5.0 o.objective;
+  Alcotest.(check int) "single node" 1 o.nodes_explored
+
+let test_ilp_infeasible () =
+  let p = Lp_problem.create ~num_vars:1 in
+  Lp_problem.set_objective p [ (0, 1.0) ];
+  Lp_problem.add_constraint p [ (0, 2.0) ] Lp_problem.Eq 1.0;
+  (* x = 0.5 is the only solution; integrality makes it infeasible. *)
+  Lp_problem.mark_integer p 0;
+  match Ilp.solve p with
+  | Ilp.Infeasible -> ()
+  | Ilp.Solved o -> Alcotest.failf "expected infeasible, got %g" o.objective
+  | Ilp.Unbounded -> Alcotest.fail "expected infeasible, got unbounded"
+  | Ilp.No_incumbent -> Alcotest.fail "expected infeasible, got no-incumbent"
+
+(* ------------------------------------------------------------------ *)
+(* Property: ILP vs brute force on random small binary programs. *)
+
+let brute_force_binary ~num_vars ~obj ~rows =
+  (* Minimize over all 2^num_vars assignments; None when infeasible. *)
+  let best = ref None in
+  for mask = 0 to (1 lsl num_vars) - 1 do
+    let x = Array.init num_vars (fun i -> if mask land (1 lsl i) <> 0 then 1.0 else 0.0) in
+    let ok =
+      List.for_all
+        (fun (coeffs, rhs) ->
+          let v = List.fold_left (fun acc (i, c) -> acc +. (c *. x.(i))) 0.0 coeffs in
+          v <= rhs +. 1e-9)
+        rows
+    in
+    if ok then begin
+      let value = Array.to_seqi x |> Seq.fold_left (fun acc (i, xi) -> acc +. (obj.(i) *. xi)) 0.0 in
+      match !best with
+      | Some b when b <= value -> ()
+      | _ -> best := Some value
+    end
+  done;
+  !best
+
+let prop_ilp_matches_brute_force =
+  let gen =
+    QCheck.Gen.(
+      let* num_vars = int_range 2 5 in
+      let* num_rows = int_range 1 4 in
+      let* obj = array_size (return num_vars) (float_range (-5.0) 5.0) in
+      let* rows =
+        list_size (return num_rows)
+          (let* coeffs =
+             array_size (return num_vars) (float_range (-3.0) 3.0)
+           in
+           let* rhs = float_range 0.0 6.0 in
+           return (coeffs, rhs))
+      in
+      return (num_vars, obj, rows))
+  in
+  QCheck.Test.make ~name:"ilp matches brute force (binary programs)" ~count:60
+    (QCheck.make gen)
+    (fun (num_vars, obj, rows) ->
+      let rows = List.map (fun (c, r) -> (Array.to_list (Array.mapi (fun i x -> (i, x)) c), r)) rows in
+      let p = Lp_problem.create ~num_vars in
+      Lp_problem.set_objective p (Array.to_list (Array.mapi (fun i c -> (i, c)) obj));
+      List.iter (fun (coeffs, rhs) -> Lp_problem.add_constraint p coeffs Lp_problem.Le rhs) rows;
+      for v = 0 to num_vars - 1 do
+        Lp_problem.add_constraint p [ (v, 1.0) ] Lp_problem.Le 1.0;
+        Lp_problem.mark_integer p v
+      done;
+      let expected = brute_force_binary ~num_vars ~obj ~rows in
+      match (Ilp.solve p, expected) with
+      | Ilp.Solved o, Some e -> Float.abs (o.objective -. e) < 1e-5
+      | Ilp.Infeasible, None -> true
+      | Ilp.Solved _, None -> false
+      | Ilp.Infeasible, Some _ -> false
+      | (Ilp.Unbounded | Ilp.No_incumbent), _ -> false)
+
+let prop_simplex_lower_bounds_ilp =
+  let gen = QCheck.Gen.int_range 0 10_000 in
+  QCheck.Test.make ~name:"lp relaxation lower-bounds ilp" ~count:40
+    (QCheck.make gen)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars = 3 + Rng.int rng 3 in
+      let p = Lp_problem.create ~num_vars in
+      Lp_problem.set_objective p
+        (List.init num_vars (fun i -> (i, Rng.uniform rng (-4.0) 4.0)));
+      for _ = 1 to 3 do
+        Lp_problem.add_constraint p
+          (List.init num_vars (fun i -> (i, Rng.uniform rng 0.0 3.0)))
+          Lp_problem.Le
+          (Rng.uniform rng 1.0 8.0)
+      done;
+      for v = 0 to num_vars - 1 do
+        Lp_problem.add_constraint p [ (v, 1.0) ] Lp_problem.Le 1.0;
+        Lp_problem.mark_integer p v
+      done;
+      match (Simplex.solve p, Ilp.solve p) with
+      | Simplex.Optimal lp, Ilp.Solved ilp -> lp.objective <= ilp.objective +. 1e-6
+      | Simplex.Infeasible, Ilp.Infeasible -> true
+      | _, Ilp.Infeasible -> true (* integrality can break feasibility *)
+      | _ -> false)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_ilp_matches_brute_force; prop_simplex_lower_bounds_ilp ]
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "basic 2d" `Quick test_simplex_basic_2d;
+          Alcotest.test_case "equality" `Quick test_simplex_equality;
+          Alcotest.test_case "ge constraints" `Quick test_simplex_ge_constraints;
+          Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "degenerate (Beale)" `Quick test_simplex_degenerate;
+          Alcotest.test_case "extra rows" `Quick test_simplex_extra_rows;
+          Alcotest.test_case "solution feasibility" `Quick
+            test_simplex_feasibility_of_solution;
+        ] );
+      ( "ilp",
+        [
+          Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
+          Alcotest.test_case "fractional relaxation" `Quick
+            test_ilp_rounding_matters;
+          Alcotest.test_case "integral shortcut" `Quick
+            test_ilp_integral_relaxation_short_circuits;
+          Alcotest.test_case "infeasible by integrality" `Quick
+            test_ilp_infeasible;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,530 @@
+(* Tests for the Rapid_prelude substrate: PRNG, special functions,
+   distributions (samplers and the discretized algebra), statistics, the
+   priority queue, and moving averages. *)
+
+open Rapid_prelude
+
+let check_close ?(eps = 1e-9) what expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g (eps %.2g)" what expected
+      actual eps
+
+let check_rel ?(tol = 0.02) what expected actual =
+  let denom = max 1e-12 (Float.abs expected) in
+  if Float.abs (expected -. actual) /. denom > tol then
+    Alcotest.failf "%s: expected ~%.6g, got %.6g (rel tol %.2g)" what expected
+      actual tol
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "different streams" 0 !same
+
+let test_rng_float_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 9 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10_000 do
+    let k = Rng.int rng 10 in
+    if k < 0 || k >= 10 then Alcotest.failf "int out of range: %d" k;
+    seen.(k) <- true
+  done;
+  Array.iteri
+    (fun i b -> if not b then Alcotest.failf "value %d never drawn" i)
+    seen
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  (* The two streams should not coincide. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 parent = Rng.bits64 child then incr same
+  done;
+  Alcotest.(check int) "split independent" 0 !same
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_pick_k () =
+  let rng = Rng.create 11 in
+  let a = Array.init 20 Fun.id in
+  let picked = Rng.pick_k rng a 8 in
+  Alcotest.(check int) "k elements" 8 (Array.length picked);
+  let module S = Set.Make (Int) in
+  let s = Array.fold_left (fun s x -> S.add x s) S.empty picked in
+  Alcotest.(check int) "distinct" 8 (S.cardinal s)
+
+(* ------------------------------------------------------------------ *)
+(* Special functions *)
+
+let test_log_gamma_factorials () =
+  (* Γ(n) = (n-1)! *)
+  let fact = [ (1, 1.0); (2, 1.0); (3, 2.0); (4, 6.0); (5, 24.0); (6, 120.0) ] in
+  List.iter
+    (fun (n, f) ->
+      check_close ~eps:1e-10
+        (Printf.sprintf "lgamma %d" n)
+        (log f)
+        (Special.log_gamma (float_of_int n)))
+    fact
+
+let test_log_gamma_half () =
+  (* Γ(1/2) = sqrt(pi). *)
+  check_close ~eps:1e-10 "lgamma 0.5" (log (sqrt Float.pi))
+    (Special.log_gamma 0.5)
+
+let test_incomplete_beta_uniform () =
+  (* I_x(1,1) = x. *)
+  List.iter
+    (fun x ->
+      check_close ~eps:1e-10 "I_x(1,1)" x (Special.incomplete_beta ~a:1.0 ~b:1.0 ~x))
+    [ 0.0; 0.1; 0.25; 0.5; 0.9; 1.0 ]
+
+let test_incomplete_beta_symmetry () =
+  (* I_x(a,b) = 1 - I_{1-x}(b,a). *)
+  let cases = [ (2.0, 3.0, 0.3); (0.5, 0.5, 0.7); (5.0, 1.5, 0.42) ] in
+  List.iter
+    (fun (a, b, x) ->
+      check_close ~eps:1e-10 "symmetry"
+        (Special.incomplete_beta ~a ~b ~x)
+        (1.0 -. Special.incomplete_beta ~a:b ~b:a ~x:(1.0 -. x)))
+    cases
+
+let test_student_t_cdf_known () =
+  (* t=0 is the median for any df. *)
+  check_close ~eps:1e-12 "t cdf at 0" 0.5 (Special.student_t_cdf ~df:5.0 0.0);
+  (* df=1 is Cauchy: F(1) = 3/4. *)
+  check_close ~eps:1e-9 "cauchy at 1" 0.75 (Special.student_t_cdf ~df:1.0 1.0);
+  (* Large df approaches the normal. *)
+  check_close ~eps:1e-3 "t -> normal" (Special.normal_cdf 1.96)
+    (Special.student_t_cdf ~df:10000.0 1.96)
+
+let test_student_t_quantile_roundtrip () =
+  List.iter
+    (fun df ->
+      List.iter
+        (fun p ->
+          let q = Special.student_t_quantile ~df p in
+          check_close ~eps:1e-7
+            (Printf.sprintf "quantile roundtrip df=%g p=%g" df p)
+            p
+            (Special.student_t_cdf ~df q))
+        [ 0.05; 0.5; 0.9; 0.975 ])
+    [ 1.0; 4.0; 30.0 ]
+
+let test_erf_known () =
+  check_close ~eps:1e-10 "erf 0" 0.0 (Special.erf 0.0);
+  check_close ~eps:1e-7 "erf 1" 0.8427007929497149 (Special.erf 1.0);
+  check_close ~eps:1e-7 "erf -1" (-0.8427007929497149) (Special.erf (-1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Dist samplers *)
+
+let moments sampler n =
+  let w = Stats.Welford.create () in
+  for _ = 1 to n do
+    Stats.Welford.add w (sampler ())
+  done;
+  (Stats.Welford.mean w, Stats.Welford.variance w)
+
+let test_exponential_moments () =
+  let rng = Rng.create 100 in
+  let mean, var = moments (fun () -> Dist.exponential rng ~mean:3.0) 200_000 in
+  check_rel ~tol:0.03 "exp mean" 3.0 mean;
+  check_rel ~tol:0.05 "exp var" 9.0 var
+
+let test_normal_moments () =
+  let rng = Rng.create 101 in
+  let mean, var = moments (fun () -> Dist.normal rng ~mu:2.0 ~sigma:1.5) 200_000 in
+  check_close ~eps:0.05 "normal mean" 2.0 mean;
+  check_rel ~tol:0.05 "normal var" 2.25 var
+
+let test_gamma_moments () =
+  let rng = Rng.create 102 in
+  let shape = 4.0 and scale = 2.5 in
+  let mean, var =
+    moments (fun () -> Dist.gamma rng ~shape ~scale) 200_000
+  in
+  check_rel ~tol:0.03 "gamma mean" (shape *. scale) mean;
+  check_rel ~tol:0.06 "gamma var" (shape *. scale *. scale) var
+
+let test_gamma_small_shape () =
+  let rng = Rng.create 103 in
+  let mean, _ = moments (fun () -> Dist.gamma rng ~shape:0.5 ~scale:2.0) 200_000 in
+  check_rel ~tol:0.05 "gamma mean, shape<1" 1.0 mean
+
+let test_pareto_tail () =
+  let rng = Rng.create 104 in
+  (* alpha=3, x_min=1: mean = alpha*x_min/(alpha-1) = 1.5. *)
+  let mean, _ = moments (fun () -> Dist.pareto rng ~alpha:3.0 ~x_min:1.0) 300_000 in
+  check_rel ~tol:0.05 "pareto mean" 1.5 mean;
+  for _ = 1 to 1000 do
+    if Dist.pareto rng ~alpha:3.0 ~x_min:1.0 < 1.0 then
+      Alcotest.fail "pareto below x_min"
+  done
+
+let test_poisson_process_rate () =
+  let rng = Rng.create 105 in
+  let counts = ref 0 in
+  let runs = 2000 in
+  for _ = 1 to runs do
+    let evts = Dist.poisson_process rng ~rate:0.5 ~horizon:10.0 in
+    counts := !counts + List.length evts;
+    (* Sorted and in range. *)
+    let rec sorted = function
+      | a :: (b :: _ as rest) -> a <= b && sorted rest
+      | _ -> true
+    in
+    if not (sorted evts) then Alcotest.fail "unsorted poisson events";
+    List.iter
+      (fun t -> if t < 0.0 || t >= 10.0 then Alcotest.fail "event out of horizon")
+      evts
+  done;
+  check_rel ~tol:0.05 "poisson count" 5.0
+    (float_of_int !counts /. float_of_int runs)
+
+let test_poisson_zero_rate () =
+  let rng = Rng.create 106 in
+  Alcotest.(check (list (float 0.0)))
+    "no events" []
+    (Dist.poisson_process rng ~rate:0.0 ~horizon:10.0)
+
+let test_weighted_index () =
+  let rng = Rng.create 107 in
+  let w = [| 1.0; 0.0; 3.0 |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 40_000 do
+    let i = Dist.weighted_index rng w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight never drawn" 0 counts.(1);
+  check_rel ~tol:0.08 "weight ratio" 3.0
+    (float_of_int counts.(2) /. float_of_int counts.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Dist.Discrete algebra *)
+
+let test_discrete_exponential_mean () =
+  let d = Dist.Discrete.of_exponential ~dt:0.01 ~cells:4000 ~mean:2.0 in
+  check_rel ~tol:0.02 "discrete exp mean" 2.0 (Dist.Discrete.mean d);
+  check_rel ~tol:0.02 "discrete exp cdf" (Dist.exponential_cdf ~mean:2.0 1.0)
+    (Dist.Discrete.cdf d 1.0)
+
+let test_discrete_convolve_mean_adds () =
+  let a = Dist.Discrete.of_exponential ~dt:0.01 ~cells:6000 ~mean:1.0 in
+  let b = Dist.Discrete.of_exponential ~dt:0.01 ~cells:6000 ~mean:2.0 in
+  let c = Dist.Discrete.convolve a b in
+  check_rel ~tol:0.03 "conv mean" 3.0 (Dist.Discrete.mean c)
+
+let test_discrete_erlang () =
+  (* Sum of k exponentials has mean k * mean. *)
+  let d = Dist.Discrete.of_gamma_exponential_sum ~dt:0.01 ~cells:6000 ~mean:1.0 ~k:3 in
+  check_rel ~tol:0.03 "erlang mean" 3.0 (Dist.Discrete.mean d)
+
+let test_discrete_min_exponentials () =
+  (* min of exp(mean 1) and exp(mean 1) is exp(mean 1/2). *)
+  let a = Dist.Discrete.of_exponential ~dt:0.005 ~cells:4000 ~mean:1.0 in
+  let b = Dist.Discrete.of_exponential ~dt:0.005 ~cells:4000 ~mean:1.0 in
+  let m = Dist.Discrete.minimum a b in
+  check_rel ~tol:0.03 "min mean" 0.5 (Dist.Discrete.mean m)
+
+let test_discrete_min_list () =
+  let mk () = Dist.Discrete.of_exponential ~dt:0.005 ~cells:4000 ~mean:3.0 in
+  let m = Dist.Discrete.minimum_list [ mk (); mk (); mk () ] in
+  check_rel ~tol:0.03 "min3 mean" 1.0 (Dist.Discrete.mean m)
+
+let test_discrete_point () =
+  let p = Dist.Discrete.point ~dt:0.1 ~cells:100 2.0 in
+  check_rel ~tol:0.05 "point mean" 2.0 (Dist.Discrete.mean p);
+  check_close ~eps:1e-9 "point defect" 0.0 (Dist.Discrete.defect p)
+
+let test_discrete_defect () =
+  (* Horizon far smaller than the mean: most mass escapes. *)
+  let d = Dist.Discrete.of_exponential ~dt:0.1 ~cells:10 ~mean:100.0 in
+  if Dist.Discrete.defect d < 0.9 then
+    Alcotest.failf "expected large defect, got %f" (Dist.Discrete.defect d)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_welford_known () =
+  let w = Stats.Welford.create () in
+  List.iter (Stats.Welford.add w) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_close ~eps:1e-12 "mean" 5.0 (Stats.Welford.mean w);
+  check_close ~eps:1e-12 "variance" (32.0 /. 7.0) (Stats.Welford.variance w)
+
+let test_welford_merge () =
+  let a = Stats.Welford.create () and b = Stats.Welford.create () in
+  let all = Stats.Welford.create () in
+  let rng = Rng.create 1 in
+  for i = 1 to 1000 do
+    let x = Rng.float rng in
+    Stats.Welford.add all x;
+    if i mod 2 = 0 then Stats.Welford.add a x else Stats.Welford.add b x
+  done;
+  let m = Stats.Welford.merge a b in
+  check_close ~eps:1e-9 "merged mean" (Stats.Welford.mean all)
+    (Stats.Welford.mean m);
+  check_close ~eps:1e-9 "merged var" (Stats.Welford.variance all)
+    (Stats.Welford.variance m)
+
+let test_summary_ci () =
+  (* For n=4, mean=5, std=2: ci95 = t_{.975,3} * 2/2 = 3.182446. *)
+  let s = Stats.summarize [ 3.0; 4.0; 6.0; 7.0 ] in
+  check_close ~eps:1e-12 "mean" 5.0 s.mean;
+  check_rel ~tol:1e-4 "ci95"
+    (Special.student_t_quantile ~df:3.0 0.975 *. s.std /. 2.0)
+    s.ci95
+
+let test_paired_t_test_significant () =
+  let a = [| 10.0; 12.0; 9.0; 11.0; 13.0; 10.5; 12.5; 9.5 |] in
+  let b = Array.map (fun x -> x -. 2.0) a in
+  let r = Stats.paired_t_test a b in
+  check_close ~eps:1e-9 "mean diff" 2.0 r.mean_diff;
+  if r.p_value > 1e-6 then Alcotest.failf "expected tiny p, got %g" r.p_value
+
+let test_paired_t_test_null () =
+  let rng = Rng.create 55 in
+  let a = Array.init 50 (fun _ -> Dist.normal rng ~mu:0.0 ~sigma:1.0) in
+  let noise = Array.init 50 (fun _ -> Dist.normal rng ~mu:0.0 ~sigma:1.0) in
+  let b = Array.mapi (fun i x -> x +. (0.0 *. float_of_int i) +. noise.(i)) a in
+  let r = Stats.paired_t_test a b in
+  if r.p_value < 0.001 then
+    Alcotest.failf "null hypothesis rejected too strongly: p=%g" r.p_value
+
+let test_jain_index () =
+  check_close ~eps:1e-12 "equal" 1.0 (Stats.jain_index [| 3.0; 3.0; 3.0 |]);
+  (* One user hogs everything among n: index = 1/n. *)
+  check_close ~eps:1e-12 "max unfair" 0.25
+    (Stats.jain_index [| 1.0; 0.0; 0.0; 0.0 |])
+
+let test_cdf_points () =
+  let pts = Stats.cdf_points [| 3.0; 1.0; 2.0 |] in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "cdf"
+    [ (1.0, 1.0 /. 3.0); (2.0, 2.0 /. 3.0); (3.0, 1.0) ]
+    pts
+
+let test_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check_close ~eps:1e-12 "median" 25.0 (Stats.percentile xs 0.5);
+  check_close ~eps:1e-12 "min" 10.0 (Stats.percentile xs 0.0);
+  check_close ~eps:1e-12 "max" 40.0 (Stats.percentile xs 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue *)
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  let rng = Rng.create 77 in
+  let n = 1000 in
+  for i = 0 to n - 1 do
+    Pqueue.push q (Rng.float rng) i
+  done;
+  let prev = ref neg_infinity in
+  let popped = ref 0 in
+  let rec drain () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (p, _) ->
+        if p < !prev then Alcotest.fail "heap order violated";
+        prev := p;
+        incr popped;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "all popped" n !popped
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q 1.0 v) [ "a"; "b"; "c" ];
+  let next () =
+    match Pqueue.pop q with Some (_, v) -> v | None -> Alcotest.fail "empty"
+  in
+  Alcotest.(check string) "fifo a" "a" (next ());
+  Alcotest.(check string) "fifo b" "b" (next ());
+  Alcotest.(check string) "fifo c" "c" (next ())
+
+let test_pqueue_peek_clear () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Pqueue.push q 2.0 "x";
+  Pqueue.push q 1.0 "y";
+  (match Pqueue.peek q with
+  | Some (p, v) ->
+      check_close ~eps:0.0 "peek prio" 1.0 p;
+      Alcotest.(check string) "peek value" "y" v
+  | None -> Alcotest.fail "peek on non-empty");
+  Alcotest.(check int) "length" 2 (Pqueue.length q);
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+(* ------------------------------------------------------------------ *)
+(* Moving averages *)
+
+let test_cumulative_average () =
+  let c = Moving_average.Cumulative.create () in
+  Alcotest.(check (option (float 0.0))) "empty" None
+    (Moving_average.Cumulative.value c);
+  List.iter (Moving_average.Cumulative.add c) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_close ~eps:1e-12 "avg" 2.5
+    (Moving_average.Cumulative.value_or c ~default:nan);
+  Alcotest.(check int) "count" 4 (Moving_average.Cumulative.count c)
+
+let test_ewma () =
+  let e = Moving_average.Ewma.create ~alpha:0.5 in
+  Moving_average.Ewma.add e 10.0;
+  check_close ~eps:1e-12 "first" 10.0 (Moving_average.Ewma.value_or e ~default:nan);
+  Moving_average.Ewma.add e 20.0;
+  check_close ~eps:1e-12 "second" 15.0 (Moving_average.Ewma.value_or e ~default:nan)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests *)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue drains sorted" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.0) small_int))
+    (fun entries ->
+      let q = Pqueue.create () in
+      List.iter (fun (p, v) -> Pqueue.push q p v) entries;
+      let rec drain prev =
+        match Pqueue.pop q with
+        | None -> true
+        | Some (p, _) -> p >= prev && drain p
+      in
+      drain neg_infinity)
+
+let prop_jain_bounds =
+  QCheck.Test.make ~name:"jain index in (0,1]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let xs = Array.of_list (List.map (fun x -> x +. 0.001) xs) in
+      let j = Stats.jain_index xs in
+      j > 0.0 && j <= 1.0 +. 1e-9)
+
+let prop_summarize_min_max =
+  QCheck.Test.make ~name:"summary min<=mean<=max" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-50.0) 50.0))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.min <= s.mean +. 1e-9 && s.mean <= s.max +. 1e-9)
+
+let prop_discrete_min_smaller =
+  QCheck.Test.make ~name:"min of dists has smaller mean" ~count:50
+    QCheck.(pair (float_range 0.5 5.0) (float_range 0.5 5.0))
+    (fun (m1, m2) ->
+      let a = Dist.Discrete.of_exponential ~dt:0.02 ~cells:2000 ~mean:m1 in
+      let b = Dist.Discrete.of_exponential ~dt:0.02 ~cells:2000 ~mean:m2 in
+      let m = Dist.Discrete.minimum a b in
+      Dist.Discrete.mean m <= min (Dist.Discrete.mean a) (Dist.Discrete.mean b) +. 0.05)
+
+let prop_exponential_positive =
+  QCheck.Test.make ~name:"exponential samples positive" ~count:1000
+    QCheck.(float_range 0.1 100.0)
+    (fun mean ->
+      let rng = Rng.create (int_of_float (mean *. 1000.0)) in
+      Dist.exponential rng ~mean > 0.0)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pqueue_sorted; prop_jain_bounds; prop_summarize_min_max;
+      prop_discrete_min_smaller; prop_exponential_positive ]
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "pick_k distinct" `Quick test_rng_pick_k;
+        ] );
+      ( "special",
+        [
+          Alcotest.test_case "lgamma factorials" `Quick test_log_gamma_factorials;
+          Alcotest.test_case "lgamma half" `Quick test_log_gamma_half;
+          Alcotest.test_case "incomplete beta uniform" `Quick
+            test_incomplete_beta_uniform;
+          Alcotest.test_case "incomplete beta symmetry" `Quick
+            test_incomplete_beta_symmetry;
+          Alcotest.test_case "student t cdf" `Quick test_student_t_cdf_known;
+          Alcotest.test_case "student t quantile roundtrip" `Quick
+            test_student_t_quantile_roundtrip;
+          Alcotest.test_case "erf" `Quick test_erf_known;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "exponential moments" `Slow test_exponential_moments;
+          Alcotest.test_case "normal moments" `Slow test_normal_moments;
+          Alcotest.test_case "gamma moments" `Slow test_gamma_moments;
+          Alcotest.test_case "gamma small shape" `Slow test_gamma_small_shape;
+          Alcotest.test_case "pareto tail" `Slow test_pareto_tail;
+          Alcotest.test_case "poisson process rate" `Slow test_poisson_process_rate;
+          Alcotest.test_case "poisson zero rate" `Quick test_poisson_zero_rate;
+          Alcotest.test_case "weighted index" `Quick test_weighted_index;
+        ] );
+      ( "dist.discrete",
+        [
+          Alcotest.test_case "exponential mean" `Quick test_discrete_exponential_mean;
+          Alcotest.test_case "convolution adds means" `Quick
+            test_discrete_convolve_mean_adds;
+          Alcotest.test_case "erlang" `Quick test_discrete_erlang;
+          Alcotest.test_case "min of exponentials" `Quick
+            test_discrete_min_exponentials;
+          Alcotest.test_case "min list" `Quick test_discrete_min_list;
+          Alcotest.test_case "point mass" `Quick test_discrete_point;
+          Alcotest.test_case "defect tracking" `Quick test_discrete_defect;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "welford known" `Quick test_welford_known;
+          Alcotest.test_case "welford merge" `Quick test_welford_merge;
+          Alcotest.test_case "summary ci" `Quick test_summary_ci;
+          Alcotest.test_case "paired t significant" `Quick
+            test_paired_t_test_significant;
+          Alcotest.test_case "paired t null" `Quick test_paired_t_test_null;
+          Alcotest.test_case "jain index" `Quick test_jain_index;
+          Alcotest.test_case "cdf points" `Quick test_cdf_points;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "peek and clear" `Quick test_pqueue_peek_clear;
+        ] );
+      ( "moving_average",
+        [
+          Alcotest.test_case "cumulative" `Quick test_cumulative_average;
+          Alcotest.test_case "ewma" `Quick test_ewma;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,444 @@
+(* Tests for Rapid_routing: protocol-specific behaviours (spray tokens,
+   prophet predictability gating, maxprop priorities, ack purging) and the
+   Optimal evaluator against brute force. *)
+
+open Rapid_trace
+open Rapid_sim
+open Rapid_routing
+
+let check_close ?(eps = 1e-9) what expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" what expected actual
+
+let spec ~src ~dst ?(size = 10) ?(created = 0.0) ?deadline () =
+  { Workload.src; dst; size; created; deadline }
+
+(* ------------------------------------------------------------------ *)
+(* Spray and Wait *)
+
+let test_spray_wait_limits_copies () =
+  (* Star: source 0 meets relays 1..8 in sequence; dst 9 never appears.
+     Binary spraying with L=4: the source gives 2 tokens to the first
+     relay and 1 to the second, then holds a single token and waits — so
+     exactly 2 transfers and 3 physical copies. *)
+  let contacts =
+    List.init 8 (fun i ->
+        Contact.make ~time:(float_of_int (i + 1)) ~a:0 ~b:(i + 1) ~bytes:100)
+  in
+  let trace = Trace.create ~num_nodes:10 ~duration:20.0 contacts in
+  let workload = [ spec ~src:0 ~dst:9 () ] in
+  let report, env =
+    Engine.run_with_env ~protocol:(Spray_wait.make ~l:4 ()) ~trace ~workload ()
+  in
+  let holders =
+    Array.fold_left
+      (fun acc b -> if Buffer.mem b 0 then acc + 1 else acc)
+      0 env.Env.buffers
+  in
+  Alcotest.(check int) "copies limited by L" 2 report.Metrics.transfers;
+  Alcotest.(check int) "holders = 3 (src + 2)" 3 holders
+
+let test_spray_wait_single_copy_waits () =
+  (* L=1: pure direct delivery; relay never gets the packet. *)
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:10.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100;
+        Contact.make ~time:2.0 ~a:1 ~b:2 ~bytes:100;
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:2 () ] in
+  let report =
+    Engine.run ~protocol:(Spray_wait.make ~l:1 ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "no relay, no delivery" 0 report.Metrics.delivered
+
+let test_spray_wait_direct_delivery_always () =
+  let trace =
+    Trace.create ~num_nodes:2 ~duration:10.0
+      [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100 ]
+  in
+  let workload = [ spec ~src:0 ~dst:1 () ] in
+  let report =
+    Engine.run ~protocol:(Spray_wait.make ~l:1 ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "direct delivered" 1 report.Metrics.delivered
+
+(* ------------------------------------------------------------------ *)
+(* PROPHET *)
+
+let test_prophet_requires_predictability () =
+  (* Node 1 has never met dst 2 when it first meets 0, so no replication;
+     after 1 meets 2 (raising P(1,2)), a later meeting with 0 replicates. *)
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:100.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100;
+        (* no transfer expected: P(1,2)=0 = P(0,2) *)
+        Contact.make ~time:2.0 ~a:1 ~b:2 ~bytes:0;
+        (* 1 meets dst (zero-byte contact still updates predictability) *)
+        Contact.make ~time:3.0 ~a:0 ~b:1 ~bytes:100;
+        (* now P(1,2) > P(0,2): replicate *)
+        Contact.make ~time:4.0 ~a:1 ~b:2 ~bytes:100;
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:2 () ] in
+  let report = Engine.run ~protocol:(Prophet.make ()) ~trace ~workload () in
+  Alcotest.(check int) "delivered via predictable relay" 1 report.Metrics.delivered;
+  check_close "delay" 4.0 report.Metrics.avg_delay
+
+let test_prophet_aging () =
+  (* Verify that gamma-aging decays predictability: same scenario but with a
+     huge gap before the second 0-1 meeting; P(1,2) decays to ~0 and the
+     relay is no better than the source, so no replication happens. *)
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:1e7
+      [
+        Contact.make ~time:1.0 ~a:1 ~b:2 ~bytes:0;
+        Contact.make ~time:9e6 ~a:0 ~b:1 ~bytes:100;
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:2 () ] in
+  let report =
+    Engine.run ~protocol:(Prophet.make ~time_unit:30.0 ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "no transfer after decay" 0 report.Metrics.transfers
+
+(* ------------------------------------------------------------------ *)
+(* MaxProp *)
+
+let test_maxprop_acks_purge () =
+  (* After delivery, the ack must reach the other carrier and purge its
+     stale copy. *)
+  let trace =
+    Trace.create ~num_nodes:4 ~duration:20.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:1000;
+        (* replicate to 1 *)
+        Contact.make ~time:2.0 ~a:0 ~b:3 ~bytes:1000;
+        (* source delivers to dst 3 *)
+        Contact.make ~time:3.0 ~a:0 ~b:1 ~bytes:1000;
+        (* ack flows 0 -> 1; 1 purges *)
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:3 () ] in
+  let report, env =
+    Engine.run_with_env ~protocol:(Maxprop.make ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "delivered" 1 report.Metrics.delivered;
+  Alcotest.(check bool) "stale copy purged" false (Buffer.mem env.Env.buffers.(1) 0);
+  Alcotest.(check bool) "ack purge recorded" true (report.Metrics.ack_purges >= 1)
+
+let test_maxprop_delivers_chain () =
+  let trace =
+    Trace.create ~num_nodes:4 ~duration:20.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:1000;
+        Contact.make ~time:2.0 ~a:1 ~b:2 ~bytes:1000;
+        Contact.make ~time:3.0 ~a:2 ~b:3 ~bytes:1000;
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:3 () ] in
+  let report = Engine.run ~protocol:(Maxprop.make ()) ~trace ~workload () in
+  Alcotest.(check int) "delivered over 3 hops" 1 report.Metrics.delivered
+
+let test_maxprop_metadata_charged () =
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:20.0
+      [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:1000 ]
+  in
+  let report =
+    Engine.run ~protocol:(Maxprop.make ()) ~trace ~workload:[] ()
+  in
+  Alcotest.(check bool) "vectors cost bytes" true (report.Metrics.metadata_bytes > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Random with acks vs without *)
+
+let test_random_acks_reduce_waste () =
+  (* Under storage pressure, purging delivered copies frees buffer space;
+     opportunities are large enough that ack bytes are a minor cost. *)
+  let rng = Rapid_prelude.Rng.create 5 in
+  let trace =
+    Rapid_mobility.Mobility.exponential rng ~num_nodes:8 ~mean_inter_meeting:20.0
+      ~duration:600.0 ~opportunity_bytes:400
+  in
+  let workload =
+    Workload.generate rng ~trace ~pkts_per_hour_per_dest:240.0 ~size:10 ()
+  in
+  let run protocol =
+    Engine.run
+      ~options:{ Engine.default_options with buffer_bytes = Some 100; seed = 1 }
+      ~protocol ~trace ~workload ()
+  in
+  let plain = run (Random_protocol.make ()) in
+  let acked = run (Random_protocol.make ~with_acks:true ()) in
+  Alcotest.(check bool) "acks purge something" true (acked.Metrics.ack_purges > 0);
+  Alcotest.(check bool) "acks never hurt delivery badly" true
+    (acked.Metrics.delivered * 10 >= plain.Metrics.delivered * 9)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle forwarding *)
+
+let test_oracle_forwards_single_copy () =
+  (* Chain 0-1-2-3; the oracle must forward along it, keeping one copy. *)
+  let trace =
+    Trace.create ~num_nodes:4 ~duration:20.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100;
+        Contact.make ~time:2.0 ~a:1 ~b:2 ~bytes:100;
+        Contact.make ~time:3.0 ~a:2 ~b:3 ~bytes:100;
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:3 () ] in
+  let report, env =
+    Engine.run_with_env
+      ~protocol:(Oracle_forwarding.make ~trace ())
+      ~trace ~workload ()
+  in
+  Alcotest.(check int) "delivered" 1 report.Metrics.delivered;
+  check_close "delay" 3.0 report.Metrics.avg_delay;
+  (* Single copy: no node still holds it after delivery. *)
+  Array.iter
+    (fun b -> if Buffer.mem b 0 then Alcotest.fail "stray copy left behind")
+    env.Env.buffers
+
+let test_oracle_refuses_dead_end () =
+  (* Node 1 never reaches dst 3 later; the oracle must not forward to it. *)
+  let trace =
+    Trace.create ~num_nodes:4 ~duration:20.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100;
+        (* dead end: 1 meets nobody afterwards *)
+        Contact.make ~time:5.0 ~a:0 ~b:3 ~bytes:100;
+        (* source delivers directly later *)
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:3 () ] in
+  let report =
+    Engine.run ~protocol:(Oracle_forwarding.make ~trace ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "delivered directly" 1 report.Metrics.delivered;
+  check_close "kept for the direct contact" 5.0 report.Metrics.avg_delay;
+  Alcotest.(check int) "exactly one transfer" 1 report.Metrics.transfers
+
+let test_oracle_no_future_no_forward () =
+  (* No path to the destination at all: the packet never moves. *)
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:10.0
+      [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100 ]
+  in
+  let workload = [ spec ~src:0 ~dst:2 () ] in
+  let report =
+    Engine.run ~protocol:(Oracle_forwarding.make ~trace ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "no transfers" 0 report.Metrics.transfers
+
+(* ------------------------------------------------------------------ *)
+(* Optimal *)
+
+let test_contention_free_simple () =
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:10.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:10;
+        Contact.make ~time:2.0 ~a:1 ~b:2 ~bytes:10;
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:2 ~size:10 () ] in
+  let v = Optimal.contention_free ~trace ~workload in
+  Alcotest.(check int) "delivered" 1 v.Optimal.delivered;
+  check_close "delay" 2.0 v.Optimal.avg_delay_all
+
+let test_contention_free_size_limit () =
+  (* Packet bigger than any opportunity cannot move. *)
+  let trace =
+    Trace.create ~num_nodes:2 ~duration:10.0
+      [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:5 ]
+  in
+  let workload = [ spec ~src:0 ~dst:1 ~size:10 () ] in
+  let v = Optimal.contention_free ~trace ~workload in
+  Alcotest.(check int) "undeliverable" 0 v.Optimal.delivered;
+  check_close "penalty" 10.0 v.Optimal.avg_delay_all
+
+let test_ilp_contention () =
+  (* One unit opportunity, two unit packets to the same dst: only one can
+     cross; the ILP must pick exactly one and charge the other the horizon. *)
+  let trace =
+    Trace.create ~num_nodes:2 ~duration:10.0
+      [ Contact.make ~time:2.0 ~a:0 ~b:1 ~bytes:1 ]
+  in
+  let workload =
+    [ spec ~src:0 ~dst:1 ~size:1 (); spec ~src:0 ~dst:1 ~size:1 () ]
+  in
+  let v = Optimal.evaluate ~trace ~workload () in
+  Alcotest.(check int) "one delivered" 1 v.Optimal.delivered;
+  (* delays: delivered 2.0, undelivered 10.0 => avg 6.0 *)
+  check_close "avg" 6.0 v.Optimal.avg_delay_all;
+  (match v.Optimal.how with
+  | Optimal.Ilp_exact -> ()
+  | Optimal.Ilp_incumbent | Optimal.Bound -> Alcotest.fail "expected exact ILP")
+
+let test_ilp_prefers_two_late_over_one_early () =
+  (* Min total delay: delivering both packets late (t=5, delays 5+5=10) beats
+     one early (t=1, delay 1) + one undelivered (10): 10 < 11. *)
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:10.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:2 ~bytes:1;
+        Contact.make ~time:5.0 ~a:0 ~b:2 ~bytes:1;
+        Contact.make ~time:5.5 ~a:0 ~b:2 ~bytes:1;
+      ]
+  in
+  let workload =
+    [ spec ~src:0 ~dst:2 ~size:1 (); spec ~src:0 ~dst:2 ~size:1 () ]
+  in
+  let v = Optimal.evaluate ~trace ~workload () in
+  Alcotest.(check int) "both delivered" 2 v.Optimal.delivered
+
+let test_ilp_multi_hop_with_contention () =
+  (* Two packets, relay chain with a shared bottleneck link of size 1. *)
+  let trace =
+    Trace.create ~num_nodes:4 ~duration:20.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:2;
+        Contact.make ~time:2.0 ~a:1 ~b:3 ~bytes:1;
+        (* bottleneck *)
+        Contact.make ~time:5.0 ~a:0 ~b:3 ~bytes:1;
+        (* direct fallback for the other *)
+      ]
+  in
+  let workload =
+    [ spec ~src:0 ~dst:3 ~size:1 (); spec ~src:0 ~dst:3 ~size:1 () ]
+  in
+  let v = Optimal.evaluate ~trace ~workload () in
+  Alcotest.(check int) "both delivered" 2 v.Optimal.delivered;
+  (* One at t=2 via relay, one at t=5 direct: avg 3.5. *)
+  check_close "avg delay" 3.5 v.Optimal.avg_delay_all
+
+let test_ilp_fallback_on_big_instance () =
+  let rng = Rapid_prelude.Rng.create 1 in
+  let trace =
+    Rapid_mobility.Mobility.exponential rng ~num_nodes:10 ~mean_inter_meeting:5.0
+      ~duration:500.0 ~opportunity_bytes:10
+  in
+  let workload =
+    Workload.generate rng ~trace ~pkts_per_hour_per_dest:200.0 ~size:1 ()
+  in
+  let v = Optimal.evaluate ~max_vars:50 ~trace ~workload () in
+  match v.Optimal.how with
+  | Optimal.Bound -> ()
+  | Optimal.Ilp_exact | Optimal.Ilp_incumbent ->
+      Alcotest.fail "expected fallback to the bound"
+
+let test_optimal_lower_bounds_protocols () =
+  (* Optimal (even the bound) must not be worse than a protocol run. *)
+  let rng = Rapid_prelude.Rng.create 9 in
+  let trace =
+    Rapid_mobility.Mobility.exponential rng ~num_nodes:6 ~mean_inter_meeting:40.0
+      ~duration:600.0 ~opportunity_bytes:5000
+  in
+  let workload =
+    Workload.generate rng ~trace ~pkts_per_hour_per_dest:30.0 ~size:10 ()
+  in
+  if workload <> [] then begin
+    let bound = Optimal.contention_free ~trace ~workload in
+    let epidemic =
+      Engine.run ~protocol:(Epidemic.make ()) ~trace ~workload ()
+    in
+    if bound.Optimal.avg_delay_all > epidemic.Metrics.avg_delay_all +. 1e-6 then
+      Alcotest.failf "bound %.2f worse than epidemic %.2f"
+        bound.Optimal.avg_delay_all epidemic.Metrics.avg_delay_all
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Property: ILP delivery count equals brute force on tiny instances. *)
+
+let prop_ilp_matches_brute_deliveries =
+  QCheck.Test.make ~name:"optimal ILP = brute force deliveries" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rapid_prelude.Rng.create seed in
+      let num_nodes = 4 in
+      let n_contacts = 2 + Rapid_prelude.Rng.int rng 4 in
+      let contacts =
+        List.init n_contacts (fun i ->
+            let a = Rapid_prelude.Rng.int rng num_nodes in
+            let rec pick () =
+              let b = Rapid_prelude.Rng.int rng num_nodes in
+              if b = a then pick () else b
+            in
+            Contact.make ~time:(float_of_int (i + 1)) ~a ~b:(pick ()) ~bytes:1)
+      in
+      let trace =
+        Trace.create ~num_nodes ~duration:(float_of_int (n_contacts + 2)) contacts
+      in
+      let n_packets = 1 + Rapid_prelude.Rng.int rng 3 in
+      let workload =
+        List.init n_packets (fun _ ->
+            let src = Rapid_prelude.Rng.int rng num_nodes in
+            let rec pick () =
+              let dst = Rapid_prelude.Rng.int rng num_nodes in
+              if dst = src then pick () else dst
+            in
+            spec ~src ~dst:(pick ()) ~size:1 ())
+      in
+      let brute = Rapid_hardness.Edp_reduction.max_deliveries_brute trace workload in
+      match
+        Optimal.evaluate ~objective:Optimal.Max_deliveries ~max_bb_nodes:2000
+          ~trace ~workload ()
+      with
+      | v -> v.Optimal.delivered = brute)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_ilp_matches_brute_deliveries ]
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "spray_wait",
+        [
+          Alcotest.test_case "copies limited" `Quick test_spray_wait_limits_copies;
+          Alcotest.test_case "single copy waits" `Quick
+            test_spray_wait_single_copy_waits;
+          Alcotest.test_case "direct always" `Quick
+            test_spray_wait_direct_delivery_always;
+        ] );
+      ( "prophet",
+        [
+          Alcotest.test_case "predictability gate" `Quick
+            test_prophet_requires_predictability;
+          Alcotest.test_case "aging" `Quick test_prophet_aging;
+        ] );
+      ( "maxprop",
+        [
+          Alcotest.test_case "acks purge" `Quick test_maxprop_acks_purge;
+          Alcotest.test_case "chain delivery" `Quick test_maxprop_delivers_chain;
+          Alcotest.test_case "metadata charged" `Quick test_maxprop_metadata_charged;
+        ] );
+      ( "random",
+        [ Alcotest.test_case "acks reduce waste" `Slow test_random_acks_reduce_waste ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "single copy chain" `Quick
+            test_oracle_forwards_single_copy;
+          Alcotest.test_case "refuses dead end" `Quick test_oracle_refuses_dead_end;
+          Alcotest.test_case "no path no forward" `Quick
+            test_oracle_no_future_no_forward;
+        ] );
+      ( "optimal",
+        [
+          Alcotest.test_case "contention free" `Quick test_contention_free_simple;
+          Alcotest.test_case "size limit" `Quick test_contention_free_size_limit;
+          Alcotest.test_case "ilp contention" `Quick test_ilp_contention;
+          Alcotest.test_case "two late beat one early" `Quick
+            test_ilp_prefers_two_late_over_one_early;
+          Alcotest.test_case "multi-hop contention" `Quick
+            test_ilp_multi_hop_with_contention;
+          Alcotest.test_case "fallback on big instance" `Quick
+            test_ilp_fallback_on_big_instance;
+          Alcotest.test_case "bound below protocols" `Quick
+            test_optimal_lower_bounds_protocols;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,502 @@
+(* Tests for Rapid_sim: packets, buffers, the engine's feasibility
+   guarantees (bandwidth and storage), delivery accounting, metadata
+   capping, ack stores, and the ranking helper. *)
+
+open Rapid_trace
+open Rapid_sim
+
+let check_close ?(eps = 1e-9) what expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" what expected actual
+
+let spec ~src ~dst ?(size = 10) ?(created = 0.0) ?deadline () =
+  { Workload.src; dst; size; created; deadline }
+
+let packet ~id ~src ~dst ?(size = 10) ?(created = 0.0) ?deadline () =
+  Packet.of_spec ~id (spec ~src ~dst ~size ~created ?deadline ())
+
+(* ------------------------------------------------------------------ *)
+(* Packet *)
+
+let test_packet_age_deadline () =
+  let p = packet ~id:0 ~src:0 ~dst:1 ~created:10.0 ~deadline:30.0 () in
+  check_close "age" 15.0 (Packet.age p ~now:25.0);
+  (match Packet.remaining_lifetime p ~now:25.0 with
+  | Some r -> check_close "remaining" 5.0 r
+  | None -> Alcotest.fail "deadline lost");
+  Alcotest.(check bool) "not missed" false (Packet.missed_deadline p ~now:25.0);
+  Alcotest.(check bool) "missed" true (Packet.missed_deadline p ~now:31.0)
+
+let test_packet_validation () =
+  (match packet ~id:0 ~src:1 ~dst:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "src=dst accepted");
+  match packet ~id:0 ~src:0 ~dst:1 ~size:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero size accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Buffer *)
+
+let entry ?(received = 0.0) ?(hops = 0) p = { Buffer.packet = p; received; hops }
+
+let test_buffer_capacity () =
+  let b = Buffer.create ~capacity:(Some 25) in
+  Buffer.add b (entry (packet ~id:0 ~src:0 ~dst:1 ~size:10 ()));
+  Buffer.add b (entry (packet ~id:1 ~src:0 ~dst:1 ~size:10 ()));
+  Alcotest.(check int) "used" 20 (Buffer.used b);
+  Alcotest.(check bool) "no room for 10" false (Buffer.would_fit b 10);
+  Alcotest.(check bool) "room for 5" true (Buffer.would_fit b 5);
+  (match Buffer.add b (entry (packet ~id:2 ~src:0 ~dst:1 ~size:10 ())) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "over-capacity add accepted");
+  ignore (Buffer.remove b 0);
+  Alcotest.(check int) "used after remove" 10 (Buffer.used b);
+  Alcotest.(check bool) "now fits" true (Buffer.would_fit b 10)
+
+let test_buffer_duplicate () =
+  let b = Buffer.create ~capacity:None in
+  let p = packet ~id:5 ~src:0 ~dst:1 () in
+  Buffer.add b (entry p);
+  match Buffer.add b (entry p) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate accepted"
+
+let test_buffer_entries_sorted () =
+  let b = Buffer.create ~capacity:None in
+  List.iter
+    (fun id -> Buffer.add b (entry (packet ~id ~src:0 ~dst:1 ())))
+    [ 5; 1; 3 ];
+  let ids =
+    List.map (fun (e : Buffer.entry) -> e.packet.Packet.id) (Buffer.entries b)
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5 ] ids;
+  Alcotest.(check int) "count" 3 (Buffer.count b)
+
+(* ------------------------------------------------------------------ *)
+(* Ack store *)
+
+let mk_env ?(num_nodes = 4) ?(capacity = None) () =
+  Env.create ~num_nodes ~duration:100.0 ~buffer_capacity:capacity ~seed:1
+
+let test_ack_store () =
+  let env = mk_env () in
+  let acks = Protocol.Ack_store.create ~num_nodes:4 in
+  Protocol.Ack_store.learn acks ~node:0 ~packet_id:7;
+  Alcotest.(check bool) "knows" true (Protocol.Ack_store.knows acks ~node:0 ~packet_id:7);
+  Alcotest.(check bool) "peer unaware" false
+    (Protocol.Ack_store.knows acks ~node:1 ~packet_id:7);
+  let fresh = Protocol.Ack_store.exchange acks ~a:0 ~b:1 in
+  Alcotest.(check int) "one new entry" 1 fresh;
+  Alcotest.(check bool) "peer now knows" true
+    (Protocol.Ack_store.knows acks ~node:1 ~packet_id:7);
+  let fresh2 = Protocol.Ack_store.exchange acks ~a:0 ~b:1 in
+  Alcotest.(check int) "idempotent" 0 fresh2;
+  (* Purge removes buffered delivered copies. *)
+  let p = packet ~id:7 ~src:2 ~dst:3 () in
+  Buffer.add env.Env.buffers.(1) (entry p);
+  let purged = ref [] in
+  Protocol.Ack_store.purge acks env ~node:1 ~on_purge:(fun p -> purged := p :: !purged);
+  Alcotest.(check int) "purged one" 1 (List.length !purged);
+  Alcotest.(check bool) "buffer cleared" false (Buffer.mem env.Env.buffers.(1) 7);
+  Alcotest.(check int) "env counter" 1 env.Env.ack_purges
+
+(* ------------------------------------------------------------------ *)
+(* Ranking *)
+
+let test_ranking_serves_in_order () =
+  let env = mk_env () in
+  let r = Ranking.create () in
+  let p1 = packet ~id:1 ~src:0 ~dst:3 () in
+  let p2 = packet ~id:2 ~src:0 ~dst:3 () in
+  Buffer.add env.Env.buffers.(0) (entry p1);
+  Buffer.add env.Env.buffers.(0) (entry p2);
+  Ranking.begin_contact r;
+  Ranking.set r ~sender:0 ~receiver:1 [ p2; p1 ];
+  (match Ranking.next r env ~sender:0 ~receiver:1 ~budget:100 with
+  | Some p -> Alcotest.(check int) "first" 2 p.Packet.id
+  | None -> Alcotest.fail "empty");
+  (* p1 dropped from the buffer mid-contact: must be skipped. *)
+  ignore (Buffer.remove env.Env.buffers.(0) 1);
+  Alcotest.(check bool) "exhausted" true
+    (Ranking.next r env ~sender:0 ~receiver:1 ~budget:100 = None)
+
+let test_ranking_budget_filter () =
+  let env = mk_env () in
+  let r = Ranking.create () in
+  let big = packet ~id:1 ~src:0 ~dst:3 ~size:50 () in
+  let small = packet ~id:2 ~src:0 ~dst:3 ~size:5 () in
+  Buffer.add env.Env.buffers.(0) (entry big);
+  Buffer.add env.Env.buffers.(0) (entry small);
+  Ranking.begin_contact r;
+  Ranking.set r ~sender:0 ~receiver:1 [ big; small ];
+  match Ranking.next r env ~sender:0 ~receiver:1 ~budget:10 with
+  | Some p -> Alcotest.(check int) "small served" 2 p.Packet.id
+  | None -> Alcotest.fail "small should fit"
+
+let test_ranking_skips_duplicates_at_peer () =
+  let env = mk_env () in
+  let r = Ranking.create () in
+  let p = packet ~id:1 ~src:0 ~dst:3 () in
+  Buffer.add env.Env.buffers.(0) (entry p);
+  Buffer.add env.Env.buffers.(1) (entry p);
+  Ranking.begin_contact r;
+  Ranking.set r ~sender:0 ~receiver:1 [ p ];
+  Alcotest.(check bool) "skipped" true
+    (Ranking.next r env ~sender:0 ~receiver:1 ~budget:100 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Engine with simple protocols *)
+
+let flood_trace =
+  (* 0 -1-> 1 -2-> 2: relay chain. *)
+  Trace.create ~num_nodes:3 ~duration:10.0
+    [
+      Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100;
+      Contact.make ~time:2.0 ~a:1 ~b:2 ~bytes:100;
+    ]
+
+let test_engine_relay_delivery () =
+  let workload = [ spec ~src:0 ~dst:2 ~size:10 ~created:0.0 () ] in
+  let report =
+    Engine.run
+      ~protocol:(Rapid_routing.Epidemic.make ())
+      ~trace:flood_trace ~workload ()
+  in
+  Alcotest.(check int) "delivered" 1 report.Metrics.delivered;
+  check_close "delay" 2.0 report.Metrics.avg_delay;
+  Alcotest.(check int) "two transfers" 2 report.Metrics.transfers
+
+let test_engine_direct_protocol_no_relay () =
+  let workload = [ spec ~src:0 ~dst:2 ~size:10 ~created:0.0 () ] in
+  let report =
+    Engine.run
+      ~protocol:(Rapid_routing.Direct.make ())
+      ~trace:flood_trace ~workload ()
+  in
+  Alcotest.(check int) "not delivered" 0 report.Metrics.delivered;
+  check_close "avg delay all counts horizon" 10.0 report.Metrics.avg_delay_all
+
+let test_engine_bandwidth_respected () =
+  (* Opportunity of 25 bytes, packets of 10: at most 2 cross. *)
+  let trace =
+    Trace.create ~num_nodes:2 ~duration:10.0
+      [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:25 ]
+  in
+  let workload =
+    List.init 5 (fun i ->
+        spec ~src:0 ~dst:1 ~size:10 ~created:(0.1 *. float_of_int i) ())
+  in
+  let report =
+    Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "two delivered" 2 report.Metrics.delivered;
+  Alcotest.(check int) "data bytes" 20 report.Metrics.data_bytes;
+  if report.Metrics.data_bytes + report.Metrics.metadata_bytes > 25 then
+    Alcotest.fail "opportunity size exceeded"
+
+let test_engine_storage_respected () =
+  (* Relay buffer of 15 bytes can hold one 10-byte packet. *)
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:10.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:1000;
+        Contact.make ~time:2.0 ~a:1 ~b:2 ~bytes:1000;
+      ]
+  in
+  let workload =
+    List.init 4 (fun i ->
+        spec ~src:0 ~dst:2 ~size:10 ~created:(0.1 *. float_of_int i) ())
+  in
+  let options = { Engine.default_options with buffer_bytes = Some 15 } in
+  let report, env =
+    Engine.run_with_env ~options ~protocol:(Rapid_routing.Epidemic.make ())
+      ~trace ~workload ()
+  in
+  (* Source buffer also capped: only one packet survives creation. *)
+  Array.iter
+    (fun b ->
+      if Buffer.used b > 15 then Alcotest.fail "buffer capacity exceeded")
+    env.Env.buffers;
+  if report.Metrics.delivered > 1 then
+    Alcotest.failf "impossible deliveries: %d" report.Metrics.delivered
+
+let test_engine_conservation () =
+  (* created = delivered + still buffered somewhere + dropped(evicted). *)
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:10.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:50;
+        Contact.make ~time:2.0 ~a:1 ~b:2 ~bytes:50;
+      ]
+  in
+  let workload =
+    List.init 6 (fun i ->
+        spec ~src:0 ~dst:2 ~size:10 ~created:(0.05 *. float_of_int i) ())
+  in
+  let report, env =
+    Engine.run_with_env ~protocol:(Rapid_routing.Epidemic.make ()) ~trace
+      ~workload ()
+  in
+  let module S = Set.Make (Int) in
+  let buffered =
+    Array.fold_left
+      (fun acc b ->
+        List.fold_left
+          (fun acc (e : Buffer.entry) -> S.add e.packet.Packet.id acc)
+          acc (Buffer.entries b))
+      S.empty env.Env.buffers
+  in
+  let delivered = Hashtbl.length env.Env.delivered in
+  (* With no storage cap nothing is lost: every created packet is delivered
+     or still buffered at its source at least. *)
+  Alcotest.(check int) "created" 6 report.Metrics.created;
+  Alcotest.(check int) "nothing vanished" 6
+    (S.cardinal (S.union buffered (Hashtbl.fold (fun k _ s -> S.add k s) env.Env.delivered S.empty)));
+  Alcotest.(check int) "report matches env" delivered report.Metrics.delivered
+
+let test_engine_deadline_accounting () =
+  let trace =
+    Trace.create ~num_nodes:2 ~duration:10.0
+      [ Contact.make ~time:5.0 ~a:0 ~b:1 ~bytes:100 ]
+  in
+  let workload =
+    [
+      spec ~src:0 ~dst:1 ~size:10 ~created:0.0 ~deadline:6.0 ();
+      (* delivered at 5, deadline 6: hit *)
+      spec ~src:0 ~dst:1 ~size:10 ~created:0.0 ~deadline:3.0 ();
+      (* delivered at 5, deadline 3: miss *)
+    ]
+  in
+  let report =
+    Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "delivered both" 2 report.Metrics.delivered;
+  Alcotest.(check int) "one within deadline" 1 report.Metrics.within_deadline;
+  check_close "rate" 0.5 report.Metrics.within_deadline_rate
+
+let test_engine_meta_cap () =
+  (* MaxProp always emits vector metadata; capping must bound it. *)
+  let trace =
+    Trace.create ~num_nodes:2 ~duration:10.0
+      [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:1000 ]
+  in
+  let workload = [ spec ~src:0 ~dst:1 ~size:10 () ] in
+  let capped =
+    Engine.run
+      ~options:{ Engine.default_options with meta_cap_frac = Some 0.01 }
+      ~protocol:(Rapid_routing.Maxprop.make ())
+      ~trace ~workload ()
+  in
+  if capped.Metrics.metadata_bytes > 10 then
+    Alcotest.failf "metadata above cap: %d" capped.Metrics.metadata_bytes;
+  let free =
+    Engine.run ~protocol:(Rapid_routing.Maxprop.make ()) ~trace ~workload ()
+  in
+  if free.Metrics.metadata_bytes <= capped.Metrics.metadata_bytes then
+    Alcotest.fail "uncapped should exceed capped metadata"
+
+let test_engine_duplicate_delivery_counted_once () =
+  (* Two carriers deliver the same packet; metrics count one delivery. *)
+  let trace =
+    Trace.create ~num_nodes:4 ~duration:10.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100;
+        (* 0 and 1 both hold the packet; both meet 3 later. *)
+        Contact.make ~time:2.0 ~a:0 ~b:3 ~bytes:100;
+        Contact.make ~time:3.0 ~a:1 ~b:3 ~bytes:100;
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:3 ~size:10 () ] in
+  (* Epidemic without acks: node 1 will push the stale copy again at t=3,
+     but Env.has_packet treats a delivered packet as present at its
+     destination, so it is not re-sent. *)
+  let report =
+    Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "one delivery" 1 report.Metrics.delivered;
+  check_close "delay is first arrival" 2.0 report.Metrics.avg_delay
+
+let test_engine_duplicate_push_wastes_bandwidth () =
+  (* Without summary vectors, Random may push a packet the peer already
+     has: the engine must charge the bytes and discard the copy. Node 0
+     and 1 both hold the packet; they meet; dst 3 is absent, so any
+     replication attempt between them is a duplicate. *)
+  let trace =
+    Trace.create ~num_nodes:4 ~duration:10.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:10;
+        (* 0 replicates to 1 (Random has no better idea) *)
+        Contact.make ~time:2.0 ~a:0 ~b:1 ~bytes:10;
+        (* now both hold it: one duplicate push, 10 wasted bytes *)
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:3 ~size:10 () ] in
+  let report =
+    Engine.run
+      ~protocol:(Rapid_routing.Random_protocol.make ())
+      ~trace ~workload ()
+  in
+  Alcotest.(check int) "two transfers (one wasted)" 2 report.Metrics.transfers;
+  Alcotest.(check int) "bytes charged for both" 20 report.Metrics.data_bytes;
+  (* With summary vectors the duplicate is skipped. *)
+  let smart =
+    Engine.run
+      ~protocol:(Rapid_routing.Random_protocol.make ~summary_vector:true ())
+      ~trace ~workload ()
+  in
+  Alcotest.(check int) "sv: single transfer" 1 smart.Metrics.transfers
+
+let test_engine_determinism () =
+  let days = Dieselnet.days ~seed:2 ~n:1 () in
+  let trace = List.hd days in
+  let rng = Rapid_prelude.Rng.create 3 in
+  let workload =
+    Workload.generate rng ~trace ~pkts_per_hour_per_dest:1.0 ~size:1024 ()
+  in
+  let run () =
+    Engine.run
+      ~options:{ Engine.default_options with seed = 42 }
+      ~protocol:(Rapid_routing.Random_protocol.make ~with_acks:true ())
+      ~trace ~workload ()
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check int) "same deliveries" r1.Metrics.delivered r2.Metrics.delivered;
+  check_close "same delay" r1.Metrics.avg_delay_all r2.Metrics.avg_delay_all;
+  Alcotest.(check int) "same bytes" r1.Metrics.data_bytes r2.Metrics.data_bytes
+
+let test_engine_empty_workload () =
+  let trace =
+    Trace.create ~num_nodes:2 ~duration:10.0
+      [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100 ]
+  in
+  let report =
+    Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload:[] ()
+  in
+  Alcotest.(check int) "nothing created" 0 report.Metrics.created;
+  Alcotest.(check int) "nothing moved" 0 report.Metrics.transfers;
+  Alcotest.(check int) "contact observed" 1 report.Metrics.num_contacts
+
+let test_engine_zero_byte_contact () =
+  (* A zero-size opportunity carries nothing but still counts as a meeting
+     (protocols learn from it). *)
+  let trace =
+    Trace.create ~num_nodes:2 ~duration:10.0
+      [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:0 ]
+  in
+  let workload = [ spec ~src:0 ~dst:1 ~size:10 () ] in
+  let report =
+    Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "no transfer" 0 report.Metrics.transfers;
+  Alcotest.(check int) "no delivery" 0 report.Metrics.delivered
+
+let test_engine_packet_bigger_than_buffer () =
+  (* A packet that can never fit its source's buffer is dropped at
+     creation. *)
+  let trace =
+    Trace.create ~num_nodes:2 ~duration:10.0
+      [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100 ]
+  in
+  let workload = [ spec ~src:0 ~dst:1 ~size:50 () ] in
+  let report =
+    Engine.run
+      ~options:{ Engine.default_options with buffer_bytes = Some 20 }
+      ~protocol:(Rapid_routing.Epidemic.make ())
+      ~trace ~workload ()
+  in
+  Alcotest.(check int) "dropped at creation" 1 report.Metrics.drops;
+  Alcotest.(check int) "never delivered" 0 report.Metrics.delivered
+
+(* ------------------------------------------------------------------ *)
+(* Property: feasibility holds for every protocol on random small runs. *)
+
+let protocols () =
+  [
+    Rapid_routing.Epidemic.make ();
+    Rapid_routing.Random_protocol.make ();
+    Rapid_routing.Random_protocol.make ~with_acks:true ();
+    Rapid_routing.Spray_wait.make ();
+    Rapid_routing.Prophet.make ();
+    Rapid_routing.Maxprop.make ();
+    Rapid_routing.Direct.make ();
+  ]
+
+let prop_feasibility =
+  QCheck.Test.make ~name:"schedules are always feasible" ~count:30
+    QCheck.(pair (int_range 0 10_000) (int_range 0 6))
+    (fun (seed, proto_idx) ->
+      let rng = Rapid_prelude.Rng.create seed in
+      let trace =
+        Rapid_mobility.Mobility.exponential rng ~num_nodes:6 ~mean_inter_meeting:30.0
+          ~duration:300.0 ~opportunity_bytes:50
+      in
+      if Trace.num_contacts trace = 0 then true
+      else begin
+        let workload =
+          Workload.generate rng ~trace ~pkts_per_hour_per_dest:120.0 ~size:10
+            ~lifetime:60.0 ()
+        in
+        let protocol = List.nth (protocols ()) proto_idx in
+        let report, env =
+          Engine.run_with_env
+            ~options:
+              { Engine.buffer_bytes = Some 40; meta_cap_frac = None; seed }
+            ~protocol ~trace ~workload ()
+        in
+        (* Storage. *)
+        Array.for_all (fun b -> Buffer.used b <= 40) env.Env.buffers
+        (* Aggregate bandwidth. *)
+        && report.Metrics.data_bytes + report.Metrics.metadata_bytes
+           <= Trace.total_capacity_bytes trace
+        && report.Metrics.delivered <= report.Metrics.created
+      end)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_feasibility ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "age and deadline" `Quick test_packet_age_deadline;
+          Alcotest.test_case "validation" `Quick test_packet_validation;
+        ] );
+      ( "buffer",
+        [
+          Alcotest.test_case "capacity" `Quick test_buffer_capacity;
+          Alcotest.test_case "duplicate" `Quick test_buffer_duplicate;
+          Alcotest.test_case "entries sorted" `Quick test_buffer_entries_sorted;
+        ] );
+      ("acks", [ Alcotest.test_case "ack store" `Quick test_ack_store ]);
+      ( "ranking",
+        [
+          Alcotest.test_case "serves in order" `Quick test_ranking_serves_in_order;
+          Alcotest.test_case "budget filter" `Quick test_ranking_budget_filter;
+          Alcotest.test_case "skips duplicates" `Quick
+            test_ranking_skips_duplicates_at_peer;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "relay delivery" `Quick test_engine_relay_delivery;
+          Alcotest.test_case "direct no relay" `Quick
+            test_engine_direct_protocol_no_relay;
+          Alcotest.test_case "bandwidth respected" `Quick
+            test_engine_bandwidth_respected;
+          Alcotest.test_case "storage respected" `Quick test_engine_storage_respected;
+          Alcotest.test_case "conservation" `Quick test_engine_conservation;
+          Alcotest.test_case "deadline accounting" `Quick
+            test_engine_deadline_accounting;
+          Alcotest.test_case "metadata cap" `Quick test_engine_meta_cap;
+          Alcotest.test_case "duplicate delivery once" `Quick
+            test_engine_duplicate_delivery_counted_once;
+          Alcotest.test_case "duplicate push wastes bandwidth" `Quick
+            test_engine_duplicate_push_wastes_bandwidth;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "empty workload" `Quick test_engine_empty_workload;
+          Alcotest.test_case "zero byte contact" `Quick test_engine_zero_byte_contact;
+          Alcotest.test_case "packet bigger than buffer" `Quick
+            test_engine_packet_bigger_than_buffer;
+        ] );
+      ("properties", qcheck_cases);
+    ]
