@@ -1,13 +1,20 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (printing the same rows/series the paper plots), then runs
-   Bechamel microbenchmarks of the core primitives.
+   Bechamel microbenchmarks of the core primitives. Besides the printed
+   output it writes a machine-readable BENCH.json (per-artifact wall
+   times, microbenchmark ns/run estimates and hot-path counters) so perf
+   regressions can be diffed across commits.
 
    Usage:
      dune exec bench/main.exe                 # quick profile, everything
      dune exec bench/main.exe -- fig4 fig5    # a subset
-     RAPID_PROFILE=full dune exec bench/main.exe   # paper-scale (slow) *)
+     RAPID_PROFILE=full dune exec bench/main.exe   # paper-scale (slow)
+     RAPID_BENCH_OUT=out.json dune exec bench/main.exe  # JSON elsewhere *)
 
 open Rapid_experiments
+module Json = Rapid_obs.Json
+module Counter = Rapid_obs.Counter
+module Timer = Rapid_obs.Timer
 
 let profile () =
   match Sys.getenv_opt "RAPID_PROFILE" with
@@ -16,6 +23,8 @@ let profile () =
   | Some other ->
       Printf.eprintf "unknown RAPID_PROFILE=%S, using quick\n" other;
       Params.Quick
+
+let profile_name = function Params.Quick -> "quick" | Params.Full -> "full"
 
 (* ------------------------------------------------------------------ *)
 (* Figure / table reproductions *)
@@ -36,13 +45,14 @@ let run_artifacts params ids =
   in
   print_endline (Catalog.params_header params);
   print_newline ();
-  List.iter
+  List.map
     (fun (item : Catalog.item) ->
-      let t0 = Unix.gettimeofday () in
-      let rendered = item.Catalog.run params in
+      let timer = Timer.create ("artifact." ^ item.Catalog.id) in
+      let rendered = Timer.time timer (fun () -> item.Catalog.run params) in
       print_string rendered;
-      Printf.printf "  (%s took %.1fs)\n\n%!" item.Catalog.id
-        (Unix.gettimeofday () -. t0))
+      let wall_s = Timer.total_s timer in
+      Printf.printf "  (%s took %.1fs)\n\n%!" item.Catalog.id wall_s;
+      (item.Catalog.id, wall_s))
     items
 
 (* ------------------------------------------------------------------ *)
@@ -140,16 +150,59 @@ let microbenchmarks () =
       ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols instance raw in
+  let estimates =
+    Hashtbl.fold
+      (fun name result acc ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> (name, Some est) :: acc
+        | Some _ | None -> (name, None) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   print_endline "== MICROBENCHMARKS (monotonic clock, ns/run) ==";
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "%-46s %12.0f ns/run\n" name est
-      | Some _ | None -> Printf.printf "%-46s (no estimate)\n" name)
-    results
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "%-46s %12.0f ns/run\n" name est
+      | None -> Printf.printf "%-46s (no estimate)\n" name)
+    estimates;
+  estimates
 
 let () =
   let ids = List.tl (Array.to_list Sys.argv) in
-  let params = Params.get (profile ()) in
-  run_artifacts params ids;
-  microbenchmarks ()
+  let profile = profile () in
+  let params = Params.get profile in
+  let artifacts = run_artifacts params ids in
+  let micro = microbenchmarks () in
+  let out =
+    Option.value (Sys.getenv_opt "RAPID_BENCH_OUT") ~default:"BENCH.json"
+  in
+  Json.to_file out
+    (Json.Obj
+       [
+         ("schema", Json.String "rapid-bench/1");
+         ("profile", Json.String (profile_name profile));
+         ( "artifacts",
+           Json.List
+             (List.map
+                (fun (id, wall_s) ->
+                  Json.Obj
+                    [ ("id", Json.String id); ("wall_s", Json.Float wall_s) ])
+                artifacts) );
+         ( "microbench",
+           Json.List
+             (List.map
+                (fun (name, est) ->
+                  Json.Obj
+                    [
+                      ("name", Json.String name);
+                      ( "ns_per_run",
+                        match est with
+                        | Some e -> Json.Float e
+                        | None -> Json.Null );
+                    ])
+                micro) );
+         ("counters", Counter.to_json ());
+         ("timers", Timer.to_json ());
+       ]);
+  Printf.printf "wrote %s\n" out

@@ -29,6 +29,15 @@ let profile_arg =
     & info [ "p"; "profile" ] ~docv:"PROFILE"
         ~doc:"Experiment profile: quick (scaled, default) or full (paper scale).")
 
+let profile_string = function Params.Quick -> "quick" | Params.Full -> "full"
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:"Also write the result as machine-readable JSON to $(docv).")
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -48,7 +57,7 @@ let figure_cmd =
       & opt (some string) None
       & info [ "i"; "id" ] ~docv:"ID" ~doc:"Artifact id, e.g. fig4 or table3.")
   in
-  let run profile id =
+  let run profile id json_path =
     match Catalog.find id with
     | None ->
         Printf.eprintf "unknown artifact %S; try `rapid list`\n" id;
@@ -57,9 +66,37 @@ let figure_cmd =
         let params = Params.get profile in
         print_endline (Catalog.params_header params);
         print_newline ();
-        print_string (item.Catalog.run params)
+        let open Rapid_obs in
+        let rendered, artifact_json =
+          match item.Catalog.series with
+          | Some f ->
+              let s = f params in
+              (Series.render s, Series.to_json s)
+          | None ->
+              let txt = item.Catalog.run params in
+              ( txt,
+                Json.Obj
+                  [
+                    ("id", Json.String item.Catalog.id);
+                    ("title", Json.String item.Catalog.title);
+                    ("rendered", Json.String txt);
+                  ] )
+        in
+        print_string rendered;
+        Option.iter
+          (fun path ->
+            Json.to_file path
+              (Json.Obj
+                 [
+                   ("schema", Json.String "rapid-figure/1");
+                   ("profile", Json.String (profile_string profile));
+                   ("artifact", artifact_json);
+                   ("counters", Counter.to_json ());
+                 ]);
+            Printf.printf "wrote %s\n" path)
+          json_path
   in
-  Cmd.v (Cmd.info "figure" ~doc) Term.(const run $ profile_arg $ id_arg)
+  Cmd.v (Cmd.info "figure" ~doc) Term.(const run $ profile_arg $ id_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -132,8 +169,18 @@ let run_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Run on a contact trace file instead of synthetic days.")
   in
-  let run profile proto metric load trace_file =
-    match metric_of_string metric with
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"PATH"
+          ~doc:
+            "Stream every simulation event (contacts, transfers, \
+             deliveries, drops, ack purges, metadata) as JSON lines to \
+             $(docv). Bypasses the in-process point cache.")
+  in
+  let run profile proto metric_name load trace_file json_path events_path =
+    match metric_of_string metric_name with
     | Error e ->
         prerr_endline e;
         exit 1
@@ -142,34 +189,85 @@ let run_cmd =
         | Error e ->
             prerr_endline e;
             exit 1
-        | Ok spec -> (
+        | Ok spec ->
             let params = Params.get profile in
-            match trace_file with
-            | Some path ->
-                let trace = Rapid_trace.Trace_io.load path in
-                let rng = Rapid_prelude.Rng.create params.Params.base_seed in
-                let workload =
-                  Rapid_trace.Workload.generate rng ~trace
-                    ~pkts_per_hour_per_dest:load
-                    ~size:params.Params.trace_packet_bytes
-                    ~lifetime:params.Params.trace_deadline ()
-                in
-                let report =
-                  Rapid_sim.Engine.run ~protocol:(spec.Runners.make ()) ~trace
-                    ~workload ()
-                in
-                Format.printf "%s: %a@." spec.Runners.label
-                  Rapid_sim.Metrics.pp_report report
-            | None ->
-                let point = Runners.run_trace_point ~params ~protocol:spec ~load () in
-                List.iteri
-                  (fun day r ->
-                    Format.printf "day %d %s: %a@." day spec.Runners.label
-                      Rapid_sim.Metrics.pp_report r)
-                  point))
+            let with_tracer f =
+              match events_path with
+              | None -> f Rapid_obs.Tracer.null
+              | Some path ->
+                  let oc = open_out path in
+                  Fun.protect
+                    ~finally:(fun () -> close_out oc)
+                    (fun () -> f (Rapid_obs.Tracer.Jsonl.tracer oc))
+            in
+            let reports =
+              with_tracer (fun tracer ->
+                  match trace_file with
+                  | Some path ->
+                      let trace = Rapid_trace.Trace_io.load path in
+                      let rng =
+                        Rapid_prelude.Rng.create params.Params.base_seed
+                      in
+                      let workload =
+                        Rapid_trace.Workload.generate rng ~trace
+                          ~pkts_per_hour_per_dest:load
+                          ~size:params.Params.trace_packet_bytes
+                          ~lifetime:params.Params.trace_deadline ()
+                      in
+                      [
+                        Rapid_sim.Engine.run ~tracer
+                          ~protocol:(spec.Runners.make ()) ~trace ~workload ();
+                      ]
+                  | None ->
+                      if Rapid_obs.Tracer.enabled tracer then
+                        (* Tracing needs live runs, not cached reports. *)
+                        List.init params.Params.days (fun day ->
+                            let trace = Runners.trace_day ~params ~day in
+                            let workload =
+                              Runners.trace_workload ~params ~trace ~load ~day
+                            in
+                            Rapid_sim.Engine.run ~tracer
+                              ~options:
+                                {
+                                  Rapid_sim.Engine.buffer_bytes =
+                                    params.Params.trace_buffer_bytes;
+                                  meta_cap_frac = None;
+                                  seed = params.Params.base_seed + day;
+                                }
+                              ~protocol:(spec.Runners.make ()) ~trace ~workload
+                              ())
+                      else
+                        Runners.run_trace_point ~params ~protocol:spec ~load ())
+            in
+            List.iteri
+              (fun day r ->
+                Format.printf "day %d %s: %a@." day spec.Runners.label
+                  Rapid_sim.Metrics.pp_report r)
+              reports;
+            Option.iter
+              (fun path ->
+                let open Rapid_obs in
+                Json.to_file path
+                  (Json.Obj
+                     [
+                       ("schema", Json.String "rapid-run/1");
+                       ("protocol", Json.String spec.Runners.label);
+                       ("metric", Json.String metric_name);
+                       ("load", Json.Float load);
+                       ("profile", Json.String (profile_string profile));
+                       ( "reports",
+                         Json.List
+                           (List.map Rapid_sim.Metrics.report_to_json reports)
+                       );
+                       ("counters", Counter.to_json ());
+                     ]);
+                Printf.printf "wrote %s\n" path)
+              json_path)
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ profile_arg $ proto_arg $ metric_arg $ load_arg $ trace_file_arg)
+    Term.(
+      const run $ profile_arg $ proto_arg $ metric_arg $ load_arg
+      $ trace_file_arg $ json_arg $ events_arg)
 
 (* ------------------------------------------------------------------ *)
 

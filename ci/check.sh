@@ -1,0 +1,23 @@
+#!/bin/sh
+# Repository check: build everything, run the test suites, and (when the
+# formatter is installed) verify formatting. Run from the repo root:
+#
+#   sh ci/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune fmt =="
+  dune build @fmt
+else
+  echo "== dune fmt skipped (ocamlformat not installed) =="
+fi
+
+echo "All checks passed."

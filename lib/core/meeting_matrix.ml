@@ -23,6 +23,10 @@ let create ~num_nodes =
 
 let key a b = if a < b then (a, b) else (b, a)
 
+(* Closure rebuilds are the matrix's dominant cost (O(h·n³)); the counter
+   makes cache effectiveness visible in --json / BENCH.json output. *)
+let c_closure_rebuilds = Rapid_obs.Counter.create "meeting_matrix.closure_rebuilds"
+
 let observe t ~now ~a ~b =
   if a = b then invalid_arg "Meeting_matrix.observe: self-meeting";
   let x, y = key a b in
@@ -76,6 +80,7 @@ let expected_meeting_time ?(h = 3) t a b =
       match t.closure with
       | Some c when t.closure_h = h -> c
       | Some _ | None ->
+          Rapid_obs.Counter.incr c_closure_rebuilds;
           let c = compute_closure t ~h in
           t.closure <- Some c;
           t.closure_h <- h;

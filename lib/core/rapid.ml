@@ -10,6 +10,7 @@ type params = {
   packet_entry_bytes : int;
   h_hops : int;
   meta_self_cap_frac : float;
+  tracer : Rapid_obs.Tracer.t;
 }
 
 let default_params metric =
@@ -22,12 +23,21 @@ let default_params metric =
     packet_entry_bytes = 20;
     h_hops = 3;
     meta_self_cap_frac = 0.08;
+    tracer = Rapid_obs.Tracer.null;
   }
 
 (* Stand-in for an infinite expected delay when ordering improvements:
    replicating a packet nobody can currently deliver dominates any finite
    improvement. *)
 let big_delay = 1e15
+
+(* Hot-path counters (process-global by name; see lib/obs). Snapshots land
+   in the CLI's --json output and in BENCH.json. *)
+let c_rank_calls = Rapid_obs.Counter.create "rapid.rank_calls"
+let c_position_index_builds = Rapid_obs.Counter.create "rapid.position_index_builds"
+let c_meta_ack_bytes = Rapid_obs.Counter.create "rapid.meta_ack_bytes"
+let c_meta_table_bytes = Rapid_obs.Counter.create "rapid.meta_table_bytes"
+let c_meta_entry_bytes = Rapid_obs.Counter.create "rapid.meta_entry_bytes"
 
 let make params : Protocol.packed =
   (module struct
@@ -51,6 +61,10 @@ let make params : Protocol.packed =
          the "expected meeting times with nodes" row delta (§4.2). *)
       meet_count : int array;
       last_table_sync : int array array;
+      (* Per directed pair, the (packet id, holder id) delta entries a
+         budget cut left unsent; re-offered (re-materialized from the
+         current db) at the next exchange with that peer. *)
+      meta_backlog : (int * int, (int * int, unit) Hashtbl.t) Hashtbl.t;
       (* Per-contact cache of buffer position indexes (cleared each
          contact): transfers would otherwise rescan the receiver's buffer
          per packet. Entries go slightly stale within a contact; the next
@@ -83,6 +97,7 @@ let make params : Protocol.packed =
         last_meta_exchange = Array.init n (fun _ -> Array.make n neg_infinity);
         meet_count = Array.make n 0;
         last_table_sync = Array.init n (fun _ -> Array.make n 0);
+        meta_backlog = Hashtbl.create 16;
         contact_indexes = Hashtbl.create 4;
       }
 
@@ -149,6 +164,7 @@ let make params : Protocol.packed =
        would-be queue position of any packet is a binary search instead of
        a buffer scan per candidate. *)
     let position_index entries =
+      Rapid_obs.Counter.incr c_position_index_builds;
       let by_dst : (int, (float * int * int) list ref) Hashtbl.t =
         Hashtbl.create 16
       in
@@ -282,6 +298,7 @@ let make params : Protocol.packed =
           idx
 
     let rank t ~now ~sender ~receiver =
+      Rapid_obs.Counter.incr c_rank_calls;
       let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
       let direct, rest = Protocol.split_direct ~receiver candidates in
       let recv_index = cached_index t receiver in
@@ -376,9 +393,10 @@ let make params : Protocol.packed =
           end)
         entries
 
-    let purge_delivered_instantly t ~node =
+    let purge_delivered_instantly t ~now ~node =
       (* Instant-global acknowledgments: any buffered copy of an
-         already-delivered packet is cleared on the spot. *)
+         already-delivered packet is cleared on the spot. The env hook is
+         how the run accounts the purge (exactly once, in Metrics). *)
       let buffer = t.env.Env.buffers.(node) in
       let victims =
         List.filter
@@ -390,54 +408,92 @@ let make params : Protocol.packed =
         (fun (e : Buffer.entry) ->
           match Buffer.remove buffer e.packet.Packet.id with
           | Some _ ->
-              t.env.Env.ack_purges <- t.env.Env.ack_purges + 1;
+              t.env.Env.on_ack_purge ~now ~node e.packet;
               Replica_db.remove_packet t.truth ~packet_id:e.packet.Packet.id
           | None -> ())
         victims
 
-    (* Ship [sender]'s metadata delta to [receiver], oldest entries first so
-       a budget cut leaves the remainder eligible next time. Returns bytes
-       spent. *)
+    (* Ship [sender]'s metadata delta to [receiver]: entries changed since
+       the last exchange plus whatever a previous budget cut left unsent,
+       oldest first. The watermark always advances to [now]; the unsent set
+       is tracked precisely in [meta_backlog] instead of by rewinding the
+       watermark — [entries_since] clamps gossip log times and ties on
+       [updated_at], so a rewind re-offered already-shipped entries and
+       double-spent the budget. Returns bytes spent. *)
     let send_delta t ~now ~sender ~receiver ~entry_budget =
       let since = t.last_meta_exchange.(sender).(receiver) in
+      let key = (sender, receiver) in
+      let eligible (e : Replica_db.entry) =
+        match params.channel with
+        | Control_channel.Local_only ->
+            (* Only packets currently in the sender's own buffer. *)
+            Rapid_sim.Buffer.mem
+              t.env.Env.buffers.(sender)
+              e.Replica_db.packet.Packet.id
+        | Control_channel.In_band -> true
+        | Control_channel.Instant_global -> false
+      in
+      (* Re-materialize the backlog from the current db: entries acked or
+         dropped since they were deferred have vanished and are skipped;
+         surviving ones ship their freshest holder info. *)
+      let backlog =
+        match Hashtbl.find_opt t.meta_backlog key with
+        | None -> []
+        | Some set ->
+            Hashtbl.fold
+              (fun (packet_id, holder_id) () acc ->
+                match Replica_db.known_packet t.dbs.(sender) ~packet_id with
+                | None -> acc
+                | Some packet -> (
+                    match
+                      Replica_db.find_holder t.dbs.(sender) ~packet_id
+                        ~holder_id
+                    with
+                    | None -> acc
+                    | Some holder ->
+                        { Replica_db.packet; holder_id; holder } :: acc))
+              set []
+      in
+      let seen = Hashtbl.create 64 in
       let delta =
-        List.rev (Replica_db.entries_since t.dbs.(sender) since)
+        backlog @ Replica_db.entries_since t.dbs.(sender) since
         |> List.filter (fun (e : Replica_db.entry) ->
-               match params.channel with
-               | Control_channel.Local_only ->
-                   (* Only packets currently in the sender's own buffer. *)
-                   Rapid_sim.Buffer.mem
-                     t.env.Env.buffers.(sender)
-                     e.Replica_db.packet.Packet.id
-               | Control_channel.In_band -> true
-               | Control_channel.Instant_global -> false)
+               let k =
+                 (e.Replica_db.packet.Packet.id, e.Replica_db.holder_id)
+               in
+               (not (Hashtbl.mem seen k))
+               && begin
+                    Hashtbl.replace seen k ();
+                    eligible e
+                  end)
+        |> List.sort (fun (x : Replica_db.entry) (y : Replica_db.entry) ->
+               match
+                 Float.compare x.Replica_db.holder.Replica_db.updated_at
+                   y.Replica_db.holder.Replica_db.updated_at
+               with
+               | 0 ->
+                   compare
+                     (x.Replica_db.packet.Packet.id, x.Replica_db.holder_id)
+                     (y.Replica_db.packet.Packet.id, y.Replica_db.holder_id)
+               | n -> n)
       in
+      let unsent = Hashtbl.create 16 in
       let sent = ref 0 in
-      let budget_left = ref entry_budget in
-      let rec ship = function
-        | [] -> t.last_meta_exchange.(sender).(receiver) <- now
-        | (e : Replica_db.entry) :: rest ->
-            if !budget_left <= 0 then begin
-              (* The remainder stays pending: rewind the watermark to just
-                 before the oldest unsent entry. *)
-              let oldest =
-                List.fold_left
-                  (fun acc (u : Replica_db.entry) ->
-                    Float.min acc u.Replica_db.holder.Replica_db.updated_at)
-                  e.Replica_db.holder.Replica_db.updated_at rest
-              in
-              t.last_meta_exchange.(sender).(receiver) <- oldest -. 1e-9
-            end
-            else begin
-              incr sent;
-              decr budget_left;
-              ignore
-                (Replica_db.merge t.dbs.(receiver) ~packet:e.Replica_db.packet
-                   ~holder_id:e.Replica_db.holder_id ~holder:e.Replica_db.holder);
-              ship rest
-            end
-      in
-      ship delta;
+      List.iteri
+        (fun i (e : Replica_db.entry) ->
+          if i < entry_budget then begin
+            incr sent;
+            ignore
+              (Replica_db.merge t.dbs.(receiver) ~packet:e.Replica_db.packet
+                 ~holder_id:e.Replica_db.holder_id ~holder:e.Replica_db.holder)
+          end
+          else
+            Hashtbl.replace unsent
+              (e.Replica_db.packet.Packet.id, e.Replica_db.holder_id) ())
+        delta;
+      if Hashtbl.length unsent = 0 then Hashtbl.remove t.meta_backlog key
+      else Hashtbl.replace t.meta_backlog key unsent;
+      t.last_meta_exchange.(sender).(receiver) <- now;
       !sent * params.packet_entry_bytes
 
     let on_contact t ~now ~a ~b ~budget ~meta_budget =
@@ -462,16 +518,22 @@ let make params : Protocol.packed =
             int_of_float (params.meta_self_cap_frac *. float_of_int budget)
       in
       let remaining () = cap - !bytes in
+      let trace_meta kind spent =
+        if Rapid_obs.Tracer.enabled params.tracer then
+          Rapid_obs.Tracer.emit params.tracer
+            (Rapid_obs.Tracer.Metadata { time = now; a; b; bytes = spent; kind })
+      in
       (match params.channel with
       | Control_channel.Instant_global ->
-          purge_delivered_instantly t ~node:a;
-          purge_delivered_instantly t ~node:b
+          purge_delivered_instantly t ~now ~node:a;
+          purge_delivered_instantly t ~now ~node:b
       | Control_channel.In_band | Control_channel.Local_only ->
           (* 1. Acknowledgments (highest priority). *)
           if params.use_acks && remaining () >= params.ack_entry_bytes then begin
             let fresh = Protocol.Ack_store.exchange t.acks ~a ~b in
             let purge node =
-              Protocol.Ack_store.purge t.acks t.env ~node ~on_purge:(fun p ->
+              Protocol.Ack_store.purge t.acks t.env ~now ~node
+                ~on_purge:(fun p ->
                   Replica_db.remove_packet t.dbs.(node)
                     ~packet_id:p.Packet.id;
                   Replica_db.remove_holder t.truth ~packet_id:p.Packet.id
@@ -479,7 +541,10 @@ let make params : Protocol.packed =
             in
             purge a;
             purge b;
-            bytes := !bytes + (fresh * params.ack_entry_bytes)
+            let ack_bytes = fresh * params.ack_entry_bytes in
+            bytes := !bytes + ack_bytes;
+            Rapid_obs.Counter.add c_meta_ack_bytes ack_bytes;
+            trace_meta "acks" ack_bytes
           end;
           (* 2. Meeting-time table deltas: each side ships the cells of its
              own row that changed since it last synced with this peer (a
@@ -492,6 +557,8 @@ let make params : Protocol.packed =
           let table_bytes = cells * params.table_entry_bytes in
           let table_bytes = min table_bytes (max 0 (remaining ())) in
           bytes := !bytes + table_bytes;
+          Rapid_obs.Counter.add c_meta_table_bytes table_bytes;
+          trace_meta "table" table_bytes;
           t.last_table_sync.(a).(b) <- t.meet_count.(a);
           t.last_table_sync.(b).(a) <- t.meet_count.(b);
           (* 3. Replica metadata deltas, split evenly across directions. *)
@@ -500,13 +567,15 @@ let make params : Protocol.packed =
           let spent_ab =
             send_delta t ~now ~sender:a ~receiver:b ~entry_budget:half
           in
-          bytes := !bytes + spent_ab;
           let rest_budget =
             entry_budget_total - (spent_ab / params.packet_entry_bytes)
           in
-          bytes :=
-            !bytes
-            + send_delta t ~now ~sender:b ~receiver:a ~entry_budget:rest_budget);
+          let spent_ba =
+            send_delta t ~now ~sender:b ~receiver:a ~entry_budget:rest_budget
+          in
+          bytes := !bytes + spent_ab + spent_ba;
+          Rapid_obs.Counter.add c_meta_entry_bytes (spent_ab + spent_ba);
+          trace_meta "entries" (spent_ab + spent_ba));
       Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~now ~sender:a ~receiver:b);
       Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~now ~sender:b ~receiver:a);
       !bytes

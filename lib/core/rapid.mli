@@ -37,11 +37,14 @@ type params = {
       (** Voluntary in-band metadata ceiling as a fraction of each
           opportunity, applied when no administrator cap (Fig. 8) is set;
           keeps gossip from starving data under heavy replica churn. *)
+  tracer : Rapid_obs.Tracer.t;
+      (** Receives per-contact [Metadata] events broken down by kind
+          ("acks", "table", "entries"); default is the null tracer. *)
 }
 
 val default_params : Metric.t -> params
 (** In-band channel, acks on, entry sizes 8/12/20 bytes, h = 3,
-    self-cap 0.08. *)
+    self-cap 0.08, null tracer. *)
 
 val make : params -> Rapid_sim.Protocol.packed
 

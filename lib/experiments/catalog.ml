@@ -1,6 +1,12 @@
-type item = { id : string; title : string; run : Params.t -> string }
+type item = {
+  id : string;
+  title : string;
+  run : Params.t -> string;
+  series : (Params.t -> Series.t) option;
+}
 
-let series id title f = { id; title; run = (fun p -> Series.render (f p)) }
+let series id title f =
+  { id; title; run = (fun p -> Series.render (f p)); series = Some f }
 
 let all =
   [
@@ -8,6 +14,7 @@ let all =
       id = "table3";
       title = "Deployment daily statistics";
       run = (fun p -> Deployment.render_table3 (Deployment.table3 p));
+      series = None;
     };
     series "fig3" "Validation: real vs simulation" Deployment.fig3;
     series "fig4" "Trace: average delay" Fig_trace_load.fig4;
@@ -35,6 +42,7 @@ let all =
       id = "ablations";
       title = "RAPID design-knob ablations (not a paper figure)";
       run = Ablations.run;
+      series = None;
     };
   ]
 

@@ -5,6 +5,10 @@ type item = {
   id : string;
   title : string;
   run : Params.t -> string;  (** Render the paper-style rows/series. *)
+  series : (Params.t -> Series.t) option;
+      (** Structured form when the artifact is a figure series; [None] for
+          prose/table artifacts (table3, ablations). The CLI's [--json]
+          uses it and falls back to the rendered text otherwise. *)
 }
 
 val all : item list

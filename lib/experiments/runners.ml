@@ -58,7 +58,12 @@ let comparison_set metric = [ rapid metric; maxprop; spray_wait; random ]
 
 type point = Metrics.report list
 
-let mean_of point f = Stats.mean (List.map f point)
+(* A day with zero deliveries reports [nan] delays (see Metrics); skip
+   non-finite samples so they cannot poison a figure's mean. *)
+let mean_of point f =
+  match List.filter Float.is_finite (List.map f point) with
+  | [] -> nan
+  | xs -> Stats.mean xs
 
 let trace_day ~(params : Params.t) ~day =
   Dieselnet.day ~params:params.Params.dieselnet ~seed:params.Params.base_seed

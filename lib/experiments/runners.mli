@@ -27,6 +27,9 @@ type point = Rapid_sim.Metrics.report list
 (** One report per day/seed replication. *)
 
 val mean_of : point -> (Rapid_sim.Metrics.report -> float) -> float
+(** Mean of [f] over the point's reports, skipping non-finite samples
+    (a zero-delivery day reports [nan] delays); [nan] when no sample is
+    finite. *)
 
 val run_trace_point :
   params:Params.t ->

@@ -50,6 +50,31 @@ let render t =
 
 let pp fmt t = Format.pp_print_string fmt (render t)
 
+let to_json t =
+  let open Rapid_obs in
+  Json.Obj
+    [
+      ("id", Json.String t.id);
+      ("title", Json.String t.title);
+      ("x_label", Json.String t.x_label);
+      ("y_label", Json.String t.y_label);
+      ("lines",
+       Json.List
+         (List.map
+            (fun l ->
+              Json.Obj
+                [
+                  ("label", Json.String l.label);
+                  ("points",
+                   Json.List
+                     (List.map
+                        (fun (x, y) -> Json.List [ Json.Float x; Json.Float y ])
+                        l.points));
+                ])
+            t.lines));
+      ("notes", Json.List (List.map (fun n -> Json.String n) t.notes));
+    ]
+
 let find_line t label = List.find_opt (fun l -> l.label = label) t.lines
 
 let crossover t ~a ~b =

@@ -22,6 +22,11 @@ val render : t -> string
 
 val pp : Format.formatter -> t -> unit
 
+val to_json : t -> Rapid_obs.Json.t
+(** Machine-readable form: id/title/labels, each line as its label plus
+    [[x, y]] point pairs, and the note rows ([nan] points serialize as
+    [null]). *)
+
 val crossover : t -> a:string -> b:string -> float option
 (** Smallest x at which line [a]'s y exceeds line [b]'s (used to report
     where protocols cross in EXPERIMENTS.md). *)

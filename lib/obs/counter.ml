@@ -1,0 +1,25 @@
+type t = { name : string; mutable count : int }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let create name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+      let c = { name; count = 0 } in
+      Hashtbl.replace registry name c;
+      c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let value c = c.count
+let reset c = c.count <- 0
+
+let snapshot () =
+  Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_all () = Hashtbl.iter (fun _ c -> c.count <- 0) registry
+
+let to_json () =
+  Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) (snapshot ()))

@@ -1,0 +1,32 @@
+(** Process-global named counters for hot-path accounting.
+
+    The costly primitives the ROADMAP's perf work targets — meeting-matrix
+    closure rebuilds, RAPID rank invocations, position-index rebuilds —
+    live deep inside modules that know nothing about runs or reports.
+    They bump a pre-created counter (one [int ref] increment, no lookup,
+    no allocation) and the bench/CLI layer snapshots the registry into
+    BENCH.json, establishing a baseline future perf PRs can diff.
+
+    Counters are process-wide and cumulative across protocol instances;
+    call {!reset_all} before a measured section when per-run numbers are
+    needed. Creating a counter with an existing name returns the existing
+    cell, so module-level [create] calls are idempotent across functor
+    instantiations. *)
+
+type t
+
+val create : string -> t
+(** Register (or look up) the counter named [name]. *)
+
+val incr : t -> unit
+val add : t -> int -> unit
+val value : t -> int
+val reset : t -> unit
+
+val snapshot : unit -> (string * int) list
+(** All registered counters, sorted by name. *)
+
+val reset_all : unit -> unit
+
+val to_json : unit -> Json.t
+(** [snapshot] as a JSON object keyed by counter name. *)

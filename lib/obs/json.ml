@@ -1,0 +1,105 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  if not (Float.is_finite f) then Buffer.add_string buf "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    (* Render exact integers without an exponent so diffs stay readable. *)
+    Buffer.add_string buf (Printf.sprintf "%.1f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | String s -> add_escaped buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  to_buffer buf j;
+  Buffer.contents buf
+
+let rec pretty buf indent = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as leaf -> to_buffer buf leaf
+  | List [] -> Buffer.add_string buf "[]"
+  | Obj [] -> Buffer.add_string buf "{}"
+  | List items ->
+      let pad = String.make (indent + 2) ' ' in
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          pretty buf (indent + 2) item)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      let pad = String.make (indent + 2) ' ' in
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          add_escaped buf k;
+          Buffer.add_string buf ": ";
+          pretty buf (indent + 2) v)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_char buf '}'
+
+let to_string_pretty j =
+  let buf = Buffer.create 1024 in
+  pretty buf 0 j;
+  Buffer.contents buf
+
+let to_file path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string_pretty j);
+      output_char oc '\n')

@@ -1,0 +1,30 @@
+(** Minimal JSON document builder and serializer.
+
+    Deliberately dependency-free (the toolchain image carries no JSON
+    library): the observability layer only ever {e writes} JSON — run
+    reports, benchmark trajectories, event streams — so a constructor
+    type plus a printer is the whole job. Output is strict RFC 8259:
+    strings are escaped, and non-finite floats (which JSON cannot
+    represent) serialize as [null], matching how the metrics layer uses
+    [nan] for "undefined over an empty set". *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Stdlib.Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering (for artifacts meant to be diffed across
+    runs, e.g. BENCH.json). *)
+
+val to_file : string -> t -> unit
+(** Pretty-print to [path] with a trailing newline. *)

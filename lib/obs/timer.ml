@@ -1,0 +1,40 @@
+type t = { name : string; mutable total_s : float; mutable count : int }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let create name =
+  match Hashtbl.find_opt registry name with
+  | Some t -> t
+  | None ->
+      let t = { name; total_s = 0.0; count = 0 } in
+      Hashtbl.replace registry name t;
+      t
+
+let add_s t s =
+  t.total_s <- t.total_s +. s;
+  t.count <- t.count + 1
+
+let time t f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add_s t (Unix.gettimeofday () -. t0)) f
+
+let total_s t = t.total_s
+let count t = t.count
+
+let snapshot () =
+  Hashtbl.fold (fun name t acc -> (name, t.total_s, t.count) :: acc) registry []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let reset_all () =
+  Hashtbl.iter
+    (fun _ t ->
+      t.total_s <- 0.0;
+      t.count <- 0)
+    registry
+
+let to_json () =
+  Json.Obj
+    (List.map
+       (fun (name, total, n) ->
+         (name, Json.Obj [ ("total_s", Json.Float total); ("count", Json.Int n) ]))
+       (snapshot ()))

@@ -1,0 +1,27 @@
+(** Process-global named wall-clock timers, the accumulator counterpart of
+    {!Counter}: [time t f] adds [f]'s wall time to [t]'s total. Used by
+    the bench harness for per-artifact wall-times; same registry
+    semantics as {!Counter} (idempotent [create], {!reset_all} scopes a
+    measured section). *)
+
+type t
+
+val create : string -> t
+
+val time : t -> (unit -> 'a) -> 'a
+(** Run the thunk, accumulate its wall time (also counted on raise). *)
+
+val add_s : t -> float -> unit
+(** Accumulate an externally measured duration, in seconds. *)
+
+val total_s : t -> float
+val count : t -> int
+
+val snapshot : unit -> (string * float * int) list
+(** (name, total seconds, activations), sorted by name. *)
+
+val reset_all : unit -> unit
+
+val to_json : unit -> Json.t
+(** Object keyed by timer name with [{"total_s": ..., "count": ...}]
+    values. *)

@@ -1,0 +1,103 @@
+type event =
+  | Contact of { time : float; a : int; b : int; bytes : int }
+  | Metadata of { time : float; a : int; b : int; bytes : int; kind : string }
+  | Transfer of {
+      time : float;
+      sender : int;
+      receiver : int;
+      packet : int;
+      bytes : int;
+      delivered : bool;
+    }
+  | Delivery of { time : float; packet : int; delay : float }
+  | Drop of { time : float; node : int; packet : int }
+  | Ack_purge of { time : float; node : int; packet : int }
+
+type t = (event -> unit) option
+
+let null = None
+let make f = Some f
+let enabled t = Option.is_some t
+let emit t ev = match t with None -> () | Some f -> f ev
+
+let event_label = function
+  | Contact _ -> "contact"
+  | Metadata _ -> "metadata"
+  | Transfer _ -> "transfer"
+  | Delivery _ -> "delivery"
+  | Drop _ -> "drop"
+  | Ack_purge _ -> "ack_purge"
+
+let event_to_json ev =
+  let fields =
+    match ev with
+    | Contact { time; a; b; bytes } ->
+        [ ("time", Json.Float time); ("a", Json.Int a); ("b", Json.Int b);
+          ("bytes", Json.Int bytes) ]
+    | Metadata { time; a; b; bytes; kind } ->
+        [ ("time", Json.Float time); ("a", Json.Int a); ("b", Json.Int b);
+          ("bytes", Json.Int bytes); ("kind", Json.String kind) ]
+    | Transfer { time; sender; receiver; packet; bytes; delivered } ->
+        [ ("time", Json.Float time); ("sender", Json.Int sender);
+          ("receiver", Json.Int receiver); ("packet", Json.Int packet);
+          ("bytes", Json.Int bytes); ("delivered", Json.Bool delivered) ]
+    | Delivery { time; packet; delay } ->
+        [ ("time", Json.Float time); ("packet", Json.Int packet);
+          ("delay", Json.Float delay) ]
+    | Drop { time; node; packet } ->
+        [ ("time", Json.Float time); ("node", Json.Int node);
+          ("packet", Json.Int packet) ]
+    | Ack_purge { time; node; packet } ->
+        [ ("time", Json.Float time); ("node", Json.Int node);
+          ("packet", Json.Int packet) ]
+  in
+  Json.Obj (("event", Json.String (event_label ev)) :: fields)
+
+module Collector = struct
+  type t = {
+    counts : (string, int ref) Hashtbl.t;
+    mutable events : event list;  (* newest first, bounded *)
+    mutable kept : int;
+    keep_events : int;
+    mutable total : int;
+  }
+
+  let create ?(keep_events = 0) () =
+    { counts = Hashtbl.create 8; events = []; kept = 0; keep_events; total = 0 }
+
+  let record c ev =
+    c.total <- c.total + 1;
+    let label = event_label ev in
+    (match Hashtbl.find_opt c.counts label with
+    | Some r -> Stdlib.incr r
+    | None -> Hashtbl.replace c.counts label (ref 1));
+    if c.kept < c.keep_events then begin
+      c.events <- ev :: c.events;
+      c.kept <- c.kept + 1
+    end
+
+  let tracer c = make (record c)
+
+  let counts c =
+    Hashtbl.fold (fun label r acc -> (label, !r) :: acc) c.counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let events c = List.rev c.events
+  let total c = c.total
+
+  let to_json c =
+    Json.Obj
+      [
+        ("total", Json.Int c.total);
+        ("counts",
+         Json.Obj (List.map (fun (l, n) -> (l, Json.Int n)) (counts c)));
+        ("events", Json.List (List.map event_to_json (events c)));
+      ]
+end
+
+module Jsonl = struct
+  let tracer oc =
+    make (fun ev ->
+        output_string oc (Json.to_string (event_to_json ev));
+        output_char oc '\n')
+end

@@ -139,7 +139,7 @@ let make ?(ack_entry_bytes = 8) ?(vector_entry_bytes = 12) () : Protocol.packed 
         (fun (e : Buffer.entry) -> e.packet)
         (List.sort by_age direct @ List.sort by_hops head @ List.sort by_cost tail)
 
-    let on_contact t ~now:_ ~a ~b ~budget ~meta_budget:_ =
+    let on_contact t ~now ~a ~b ~budget ~meta_budget:_ =
       Ranking.begin_contact t.ranking;
       Hashtbl.reset t.cost_cache;
       Moving_average.Cumulative.add t.avg_transfer (float_of_int budget);
@@ -149,8 +149,8 @@ let make ?(ack_entry_bytes = 8) ?(vector_entry_bytes = 12) () : Protocol.packed 
       t.view.(a).(b) <- Some (Array.copy t.own.(b));
       t.view.(b).(a) <- Some (Array.copy t.own.(a));
       let fresh = Protocol.Ack_store.exchange t.acks ~a ~b in
-      Protocol.Ack_store.purge t.acks t.env ~node:a ~on_purge:(fun _ -> ());
-      Protocol.Ack_store.purge t.acks t.env ~node:b ~on_purge:(fun _ -> ());
+      Protocol.Ack_store.purge t.acks t.env ~now ~node:a ~on_purge:(fun _ -> ());
+      Protocol.Ack_store.purge t.acks t.env ~now ~node:b ~on_purge:(fun _ -> ());
       Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
       Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
       (2 * t.env.Env.num_nodes * vector_entry_bytes) + (fresh * ack_entry_bytes)

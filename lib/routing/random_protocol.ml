@@ -45,13 +45,13 @@ let make ?(with_acks = false) ?(summary_vector = false) ?(ack_entry_bytes = 8)
       Rng.shuffle t.env.Env.rng rest;
       List.map (fun (e : Buffer.entry) -> e.packet) (direct @ Array.to_list rest)
 
-    let on_contact t ~now:_ ~a ~b ~budget:_ ~meta_budget:_ =
+    let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ =
       Ranking.begin_contact t.ranking;
       let meta =
         if with_acks then begin
           let fresh = Protocol.Ack_store.exchange t.acks ~a ~b in
-          Protocol.Ack_store.purge t.acks t.env ~node:a ~on_purge:(fun _ -> ());
-          Protocol.Ack_store.purge t.acks t.env ~node:b ~on_purge:(fun _ -> ());
+          Protocol.Ack_store.purge t.acks t.env ~now ~node:a ~on_purge:(fun _ -> ());
+          Protocol.Ack_store.purge t.acks t.env ~now ~node:b ~on_purge:(fun _ -> ());
           fresh * ack_entry_bytes
         end
         else 0

@@ -1,4 +1,5 @@
 open Rapid_trace
+module Tracer = Rapid_obs.Tracer
 
 type options = {
   buffer_bytes : int option;
@@ -12,7 +13,7 @@ let default_options = { buffer_bytes = None; meta_cap_frac = None; seed = 1 }
    Returns true when the incoming packet now fits. A drop_candidate answer
    of [None] or of the incoming packet itself refuses it. *)
 let make_room (type s) (module P : Protocol.S with type t = s) (st : s)
-    (env : Env.t) metrics ~now ~node ~(incoming : Packet.t) =
+    (env : Env.t) metrics tracer ~now ~node ~(incoming : Packet.t) =
   let buffer = env.Env.buffers.(node) in
   let rec loop () =
     if Buffer.would_fit buffer incoming.Packet.size then true
@@ -28,6 +29,9 @@ let make_room (type s) (module P : Protocol.S with type t = s) (st : s)
                    P.name victim.Packet.id)
           | Some _ ->
               Metrics.record_drop metrics;
+              if Tracer.enabled tracer then
+                Tracer.emit tracer
+                  (Tracer.Drop { time = now; node; packet = victim.Packet.id });
               P.on_dropped st ~now ~node victim;
               loop ())
     end
@@ -35,9 +39,13 @@ let make_room (type s) (module P : Protocol.S with type t = s) (st : s)
   loop ()
 
 let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
-    (env : Env.t) metrics ~meta_cap_frac (c : Contact.t) =
+    (env : Env.t) metrics tracer ~meta_cap_frac (c : Contact.t) =
   let now = c.Contact.time in
   Metrics.record_contact metrics ~capacity:c.Contact.bytes;
+  if Tracer.enabled tracer then
+    Tracer.emit tracer
+      (Tracer.Contact
+         { time = now; a = c.Contact.a; b = c.Contact.b; bytes = c.Contact.bytes });
   let meta_budget =
     Option.map
       (fun f -> int_of_float (f *. float_of_int c.Contact.bytes))
@@ -50,12 +58,25 @@ let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
   let cap = match meta_budget with Some m -> min m c.Contact.bytes | None -> c.Contact.bytes in
   let meta = max 0 (min meta cap) in
   Metrics.record_metadata metrics ~bytes:meta;
+  if Tracer.enabled tracer then
+    Tracer.emit tracer
+      (Tracer.Metadata
+         { time = now; a = c.Contact.a; b = c.Contact.b; bytes = meta;
+           kind = "total" });
   let budget = ref (c.Contact.bytes - meta) in
   (* Alternate directions; guard against protocols re-offering a packet. *)
   let dirs = [| (c.Contact.a, c.Contact.b); (c.Contact.b, c.Contact.a) |] in
   let active = [| true; true |] in
   let seen = Hashtbl.create 16 in
   let turn = ref 0 in
+  let record_transfer ~sender ~receiver (p : Packet.t) ~delivered =
+    Metrics.record_transfer metrics ~bytes:p.Packet.size;
+    if Tracer.enabled tracer then
+      Tracer.emit tracer
+        (Tracer.Transfer
+           { time = now; sender; receiver; packet = p.Packet.id;
+             bytes = p.Packet.size; delivered })
+  in
   while !budget > 0 && (active.(0) || active.(1)) do
     if not active.(!turn) then turn := 1 - !turn
     else begin
@@ -79,9 +100,15 @@ let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
                the sender drops its copy — it has first-hand knowledge the
                packet is delivered. *)
             budget := !budget - p.Packet.size;
-            Metrics.record_transfer metrics ~bytes:p.Packet.size;
-            if not (Env.is_delivered env id) then
+            record_transfer ~sender ~receiver p ~delivered:true;
+            if not (Env.is_delivered env id) then begin
               Hashtbl.replace env.Env.delivered id now;
+              if Tracer.enabled tracer then
+                Tracer.emit tracer
+                  (Tracer.Delivery
+                     { time = now; packet = id;
+                       delay = now -. p.Packet.created })
+            end;
             Metrics.record_delivered metrics p ~now;
             ignore (Buffer.remove env.Env.buffers.(sender) id);
             P.on_transfer st ~now ~sender ~receiver p ~delivered:true
@@ -91,10 +118,12 @@ let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
                vectors (the Random baseline) wastes the bandwidth; the
                receiver discards the copy. *)
             budget := !budget - p.Packet.size;
-            Metrics.record_transfer metrics ~bytes:p.Packet.size
+            record_transfer ~sender ~receiver p ~delivered:false
           end
           else begin
-            if make_room (module P) st env metrics ~now ~node:receiver ~incoming:p
+            if
+              make_room (module P) st env metrics tracer ~now ~node:receiver
+                ~incoming:p
             then begin
               let hops =
                 match Buffer.find env.Env.buffers.(sender) id with
@@ -104,7 +133,7 @@ let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
               Buffer.add env.Env.buffers.(receiver)
                 { Buffer.packet = p; received = now; hops };
               budget := !budget - p.Packet.size;
-              Metrics.record_transfer metrics ~bytes:p.Packet.size;
+              record_transfer ~sender ~receiver p ~delivered:false;
               P.on_transfer st ~now ~sender ~receiver p ~delivered:false
             end
             (* else: receiver refused (storage); no bandwidth consumed. The
@@ -114,25 +143,41 @@ let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
     end
   done
 
-let run_with_env ?(options = default_options) ~protocol ~trace ~workload () =
+let run_with_env ?(options = default_options) ?(tracer = Tracer.null) ~protocol
+    ~trace ~workload () =
   let (module P : Protocol.S) = protocol in
   let env =
     Env.create ~num_nodes:trace.Trace.num_nodes ~duration:trace.Trace.duration
       ~buffer_capacity:options.buffer_bytes ~seed:options.seed
   in
   let metrics = Metrics.create ~duration:trace.Trace.duration in
+  (* Ack-driven purges happen inside protocol callbacks; the env hook is
+     the single accounting path back into the run's metrics. *)
+  env.Env.on_ack_purge <-
+    (fun ~now ~node p ->
+      Metrics.record_ack_purge metrics;
+      if Tracer.enabled tracer then
+        Tracer.emit tracer
+          (Tracer.Ack_purge { time = now; node; packet = p.Packet.id }));
   let st = P.create env in
   let create_packet ~id (spec : Workload.spec) =
     let p = Packet.of_spec ~id spec in
     Metrics.record_created metrics p;
     let now = p.Packet.created in
-    if make_room (module P) st env metrics ~now ~node:p.Packet.src ~incoming:p
+    if
+      make_room (module P) st env metrics tracer ~now ~node:p.Packet.src
+        ~incoming:p
     then begin
       Buffer.add env.Env.buffers.(p.Packet.src)
         { Buffer.packet = p; received = now; hops = 0 };
       P.on_created st ~now p
     end
-    else Metrics.record_drop metrics
+    else begin
+      Metrics.record_drop metrics;
+      if Tracer.enabled tracer then
+        Tracer.emit tracer
+          (Tracer.Drop { time = now; node = p.Packet.src; packet = p.Packet.id })
+    end
   in
   (* Merge creations and contacts in time order (creations first on ties,
      so a packet created "at" a meeting can ride it). *)
@@ -151,13 +196,12 @@ let run_with_env ?(options = default_options) ~protocol ~trace ~workload () =
       incr si
     end
     else begin
-      run_contact (module P) st env metrics
+      run_contact (module P) st env metrics tracer
         ~meta_cap_frac:options.meta_cap_frac contacts.(!ci);
       incr ci
     end
   done;
-  let r = Metrics.report metrics in
-  ({ r with Metrics.ack_purges = env.Env.ack_purges }, env)
+  (Metrics.report metrics, env)
 
-let run ?options ~protocol ~trace ~workload () =
-  fst (run_with_env ?options ~protocol ~trace ~workload ())
+let run ?options ?tracer ~protocol ~trace ~workload () =
+  fst (run_with_env ?options ?tracer ~protocol ~trace ~workload ())

@@ -19,14 +19,19 @@ val default_options : options
 
 val run :
   ?options:options ->
+  ?tracer:Rapid_obs.Tracer.t ->
   protocol:Protocol.packed ->
   trace:Rapid_trace.Trace.t ->
   workload:Rapid_trace.Workload.spec list ->
   unit ->
   Metrics.report
+(** [tracer] receives a structured event per contact, transfer, delivery,
+    drop, ack purge and per-contact metadata total; the default null
+    tracer is free (emission sites do not even build the event). *)
 
 val run_with_env :
   ?options:options ->
+  ?tracer:Rapid_obs.Tracer.t ->
   protocol:Protocol.packed ->
   trace:Rapid_trace.Trace.t ->
   workload:Rapid_trace.Workload.spec list ->

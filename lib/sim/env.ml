@@ -4,7 +4,7 @@ type t = {
   buffers : Buffer.t array;
   delivered : (int, float) Hashtbl.t;
   rng : Rapid_prelude.Rng.t;
-  mutable ack_purges : int;
+  mutable on_ack_purge : now:float -> node:int -> Packet.t -> unit;
 }
 
 let create ~num_nodes ~duration ~buffer_capacity ~seed =
@@ -14,7 +14,7 @@ let create ~num_nodes ~duration ~buffer_capacity ~seed =
     buffers = Array.init num_nodes (fun _ -> Buffer.create ~capacity:buffer_capacity);
     delivered = Hashtbl.create 256;
     rng = Rapid_prelude.Rng.create seed;
-    ack_purges = 0;
+    on_ack_purge = (fun ~now:_ ~node:_ _ -> ());
   }
 
 let is_delivered t id = Hashtbl.mem t.delivered id

@@ -14,9 +14,13 @@ type t = {
   buffers : Buffer.t array;  (** Indexed by node id. *)
   delivered : (int, float) Hashtbl.t;  (** Packet id -> delivery time. *)
   rng : Rapid_prelude.Rng.t;  (** Protocol-visible randomness. *)
-  mutable ack_purges : int;
-      (** Buffered copies cleared because an ack proved them delivered;
-          bumped by {!Protocol.Ack_store.purge}. *)
+  mutable on_ack_purge : now:float -> node:int -> Packet.t -> unit;
+      (** Notification that a buffered copy was cleared because an ack
+          proved it delivered. Protocols must invoke it on every
+          ack-driven purge ({!Protocol.Ack_store.purge} does so
+          automatically); the engine points it at
+          {!Metrics.record_ack_purge} and the run tracer, so purges are
+          accounted exactly once, in one place. Defaults to a no-op. *)
 }
 
 val create :

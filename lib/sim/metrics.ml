@@ -130,7 +130,7 @@ let report t =
       (if Array.length delays = 0 then nan
        else Array.fold_left ( +. ) 0.0 delays /. float_of_int (Array.length delays));
     avg_delay_all = (if t.created = 0 then nan else !sum_all /. createdf);
-    max_delay = !max_delay;
+    max_delay = (if t.delivered = 0 then nan else !max_delay);
     within_deadline = !within;
     within_deadline_rate =
       (if t.created = 0 then 0.0 else float_of_int !within /. createdf);
@@ -158,6 +158,63 @@ let report t =
            (fun o -> (o.packet.Packet.id, o.packet.Packet.created, o.delivered_at))
            outcomes);
   }
+
+let report_to_json (r : report) =
+  let open Rapid_obs in
+  Json.Obj
+    [
+      ("duration", Json.Float r.duration);
+      ("created", Json.Int r.created);
+      ("delivered", Json.Int r.delivered);
+      ("delivery_rate", Json.Float r.delivery_rate);
+      ("avg_delay", Json.Float r.avg_delay);
+      ("avg_delay_all", Json.Float r.avg_delay_all);
+      ("max_delay", Json.Float r.max_delay);
+      ("within_deadline", Json.Int r.within_deadline);
+      ("within_deadline_rate", Json.Float r.within_deadline_rate);
+      ("data_bytes", Json.Int r.data_bytes);
+      ("metadata_bytes", Json.Int r.metadata_bytes);
+      ("capacity_bytes", Json.Int r.capacity_bytes);
+      ("num_contacts", Json.Int r.num_contacts);
+      ("utilization", Json.Float r.utilization);
+      ("metadata_frac_bandwidth", Json.Float r.metadata_frac_bandwidth);
+      ("metadata_frac_data", Json.Float r.metadata_frac_data);
+      ("drops", Json.Int r.drops);
+      ("ack_purges", Json.Int r.ack_purges);
+      ("transfers", Json.Int r.transfers);
+      ("delays",
+       Json.List (Array.to_list (Array.map (fun d -> Json.Float d) r.delays)));
+      ("pair_delays",
+       Json.List
+         (Array.to_list
+            (Array.map
+               (fun ((src, dst), delays) ->
+                 Json.Obj
+                   [
+                     ("src", Json.Int src);
+                     ("dst", Json.Int dst);
+                     ("delays",
+                      Json.List
+                        (Array.to_list
+                           (Array.map (fun d -> Json.Float d) delays)));
+                   ])
+               r.pair_delays)));
+      ("outcomes",
+       Json.List
+         (Array.to_list
+            (Array.map
+               (fun (id, created, delivered_at) ->
+                 Json.Obj
+                   [
+                     ("id", Json.Int id);
+                     ("created", Json.Float created);
+                     ("delivered_at",
+                      match delivered_at with
+                      | Some at -> Json.Float at
+                      | None -> Json.Null);
+                   ])
+               r.outcomes)));
+    ]
 
 let pp_report fmt r =
   Format.fprintf fmt

@@ -27,7 +27,7 @@ type report = {
   delivery_rate : float;
   avg_delay : float;  (** Over delivered packets; [nan] if none. *)
   avg_delay_all : float;  (** Undelivered count as [duration - created]. *)
-  max_delay : float;  (** Over delivered packets; 0 if none. *)
+  max_delay : float;  (** Over delivered packets; [nan] if none. *)
   within_deadline : int;
   within_deadline_rate : float;  (** Fraction of all created packets. *)
   data_bytes : int;
@@ -49,6 +49,11 @@ type report = {
 }
 
 val report : t -> report
+
+val report_to_json : report -> Rapid_obs.Json.t
+(** The full report — scalars, per-packet delays, per-pair delays and
+    outcomes — as a JSON object (non-finite values serialize as [null]).
+    This is what [bin/main.exe run --json] writes. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Compact one-line rendering used by the CLI. *)

@@ -51,7 +51,7 @@ module Ack_store = struct
     push b a;
     !new_entries
 
-  let purge t env ~node ~on_purge =
+  let purge t env ~now ~node ~on_purge =
     let buffer = env.Env.buffers.(node) in
     let victims =
       Buffer.fold buffer ~init:[] ~f:(fun acc entry ->
@@ -62,7 +62,7 @@ module Ack_store = struct
       (fun p ->
         match Buffer.remove buffer p.Packet.id with
         | Some _ ->
-            env.Env.ack_purges <- env.Env.ack_purges + 1;
+            env.Env.on_ack_purge ~now ~node p;
             on_purge p
         | None -> ())
       victims

@@ -81,10 +81,13 @@ module Ack_store : sig
   (** Union the two nodes' ack sets; returns how many entries were new to
       either side (for metadata accounting). *)
 
-  val purge : t -> Env.t -> node:int -> on_purge:(Packet.t -> unit) -> unit
+  val purge :
+    t -> Env.t -> now:float -> node:int -> on_purge:(Packet.t -> unit) -> unit
   (** Remove from [node]'s buffer every packet it knows to be delivered,
       except a source's own undelivered packets are never purged —
-      guaranteed trivially because acks exist only for delivered packets. *)
+      guaranteed trivially because acks exist only for delivered packets.
+      Each removal is reported through [Env.on_ack_purge] (at [now]) so
+      the engine's metrics see it. *)
 end
 
 val candidate_entries :

@@ -30,6 +30,14 @@ let route_affinity d =
   | 3 -> 0.15
   | _ -> 0.0
 
+(* Routes form a loop through town, so the index space is circular: routes
+   0 and num_routes-1 are adjacent. A linear |a - b| would disconnect the
+   wrap-around pairs entirely (distance 7 in an 8-route system instead of
+   1), skewing which pairs ever meet. *)
+let route_distance ~num_routes a b =
+  let d = abs (a - b) mod num_routes in
+  min d (num_routes - d)
+
 (* Assign buses to routes deterministically from the seed: route k gets
    buses k, k+num_routes, ... with a seeded shuffle on top so the mapping
    is not trivially structured. *)
@@ -68,7 +76,7 @@ let day ?(params = default_params) ~seed ~day () =
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
       let a = scheduled.(i) and b = scheduled.(j) in
-      let d = abs (routes.(a) - routes.(b)) in
+      let d = route_distance ~num_routes:params.num_routes routes.(a) routes.(b) in
       let aff = route_affinity d in
       if aff > 0.0 then begin
         pairs := (a, b, aff) :: !pairs;

@@ -32,6 +32,19 @@ type params = {
 
 val default_params : params
 
+val route_distance : num_routes:int -> int -> int -> int
+(** Circular distance between two route indices (routes loop through
+    town, so 0 and [num_routes - 1] are adjacent). *)
+
+val route_affinity : int -> float
+(** Relative meeting intensity for a given {!route_distance}; zero from
+    distance 4 up (those pairs never meet directly). *)
+
+val route_assignment : params:params -> seed:int -> int array
+(** The bus-to-route mapping shared by every day of a given [seed]
+    (index = bus id, value = route index in [0, num_routes)). Exposed so
+    tests can relate generated contacts back to route structure. *)
+
 val day : ?params:params -> seed:int -> day:int -> unit -> Trace.t
 (** One synthetic day. *)
 

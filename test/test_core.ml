@@ -391,12 +391,104 @@ let test_rapid_global_channel_instant_purge () =
       ]
   in
   let workload = [ spec ~src:0 ~dst:2 ~created:6.0 () ] in
-  let _, env =
+  let report, env =
     Engine.run_with_env
       ~protocol:(rapid ~channel:Control_channel.Instant_global ())
       ~trace ~workload ()
   in
-  Alcotest.(check bool) "stale replica purged" false (Buffer.mem env.Env.buffers.(1) 0)
+  Alcotest.(check bool) "stale replica purged" false (Buffer.mem env.Env.buffers.(1) 0);
+  (* The instant purge must flow through the same accounting hook as
+     in-band ack purges and land in the run's report. *)
+  Alcotest.(check int) "purge counted in report" 1 report.Metrics.ack_purges
+
+let test_rapid_meta_watermark_no_resend () =
+  (* Regression: when a budget cut leaves replica entries unsent, the next
+     exchange with that peer must ship only the unsent ones, not rewind the
+     watermark and re-ship what already crossed.
+
+     Setup: acks off, table entries free, 1 byte per replica entry. Node 0
+     holds two own packets for an unreachable destination, so nothing ever
+     moves as data and every metadata byte is a replica entry. First
+     contact has a 1-entry metadata budget (1% of 100 bytes): entry A1
+     ships, A2 and db(1)'s A1 echo are deferred. The second contact has
+     room for everything: A2 and the echo ship, 2 bytes. Total 3. The old
+     watermark rewind re-shipped A1 as well, spending 4. *)
+  let collector = Rapid_obs.Tracer.Collector.create ~keep_events:16 () in
+  let params =
+    {
+      (Rapid.default_params Metric.Average_delay) with
+      Rapid.use_acks = false;
+      table_entry_bytes = 0;
+      packet_entry_bytes = 1;
+      tracer = Rapid_obs.Tracer.Collector.tracer collector;
+    }
+  in
+  let trace =
+    Trace.create ~num_nodes:4 ~duration:10.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100;
+        Contact.make ~time:2.0 ~a:0 ~b:1 ~bytes:10_000;
+      ]
+  in
+  let workload =
+    [
+      spec ~src:0 ~dst:3 ~size:10 ~created:0.5 ();
+      spec ~src:0 ~dst:3 ~size:10 ~created:0.5 ();
+    ]
+  in
+  let report =
+    Engine.run
+      ~options:{ Engine.default_options with meta_cap_frac = Some 0.01 }
+      ~protocol:(Rapid.make params) ~trace ~workload ()
+  in
+  Alcotest.(check int) "nothing moved as data" 0 report.Metrics.transfers;
+  Alcotest.(check int) "each entry shipped exactly once" 3
+    report.Metrics.metadata_bytes;
+  (* Cross-check through the protocol-level tracer: per-kind breakdown. *)
+  let entry_bytes =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Rapid_obs.Tracer.Metadata { bytes; kind = "entries"; _ } ->
+            acc + bytes
+        | _ -> acc)
+      0
+      (Rapid_obs.Tracer.Collector.events collector)
+  in
+  Alcotest.(check int) "tracer agrees on entry bytes" 3 entry_bytes;
+  Alcotest.(check (option int)) "two contacts traced, two kinds each"
+    (Some 4)
+    (List.assoc_opt "metadata" (Rapid_obs.Tracer.Collector.counts collector))
+
+let test_rapid_drop_candidate_own_replacement () =
+  (* §3.4 unit check on the eviction policy itself: with only own packets
+     buffered, a foreign arrival gets no victim, while a fresh own
+     creation may displace an own packet. *)
+  let module P = (val rapid () : Protocol.S) in
+  let env =
+    Env.create ~num_nodes:4 ~duration:100.0 ~buffer_capacity:(Some 20) ~seed:1
+  in
+  let st = P.create env in
+  let own0 = packet ~id:0 ~src:0 ~dst:3 ~size:10 ~created:0.0 () in
+  let own1 = packet ~id:1 ~src:0 ~dst:3 ~size:10 ~created:1.0 () in
+  List.iter
+    (fun p ->
+      Buffer.add env.Env.buffers.(0)
+        { Buffer.packet = p; received = p.Packet.created; hops = 0 };
+      P.on_created st ~now:p.Packet.created p)
+    [ own0; own1 ];
+  (* Foreign replica arriving at the full source: protected own packets
+     yield no candidate. *)
+  let foreign = packet ~id:2 ~src:1 ~dst:3 ~size:10 ~created:2.0 () in
+  (match P.drop_candidate st ~now:2.0 ~node:0 ~incoming:foreign with
+  | None -> ()
+  | Some v -> Alcotest.failf "own packet %d offered to a foreign arrival" v.Packet.id);
+  (* A new own creation may displace an own packet (else a full source
+     deadlocks forever). *)
+  let own2 = packet ~id:3 ~src:0 ~dst:3 ~size:10 ~created:3.0 () in
+  match P.drop_candidate st ~now:3.0 ~node:0 ~incoming:own2 with
+  | Some v -> Alcotest.(check int) "victim is an own packet" 0 v.Packet.src
+  | None -> Alcotest.fail "full source refused its own new packet"
 
 let contention_scenario ~seed =
   let rng = Rapid_prelude.Rng.create seed in
@@ -591,6 +683,10 @@ let () =
             test_rapid_global_no_metadata_cost;
           Alcotest.test_case "local channel lighter" `Quick
             test_rapid_local_sends_less_metadata;
+          Alcotest.test_case "meta watermark no resend" `Quick
+            test_rapid_meta_watermark_no_resend;
+          Alcotest.test_case "drop candidate own replacement" `Quick
+            test_rapid_drop_candidate_own_replacement;
         ] );
       ("properties", qcheck_cases);
     ]

@@ -1,0 +1,191 @@
+(* Tests for Rapid_obs: the JSON writer, counter/timer registries, and
+   tracer sinks. *)
+
+module Json = Rapid_obs.Json
+module Counter = Rapid_obs.Counter
+module Timer = Rapid_obs.Timer
+module Tracer = Rapid_obs.Tracer
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_scalars () =
+  Alcotest.(check string) "null" "null" (Json.to_string Json.Null);
+  Alcotest.(check string) "true" "true" (Json.to_string (Json.Bool true));
+  Alcotest.(check string) "false" "false" (Json.to_string (Json.Bool false));
+  Alcotest.(check string) "int" "42" (Json.to_string (Json.Int 42));
+  Alcotest.(check string) "negative int" "-7" (Json.to_string (Json.Int (-7)));
+  Alcotest.(check string) "float" "1.5" (Json.to_string (Json.Float 1.5));
+  Alcotest.(check string) "integral float keeps point" "3.0"
+    (Json.to_string (Json.Float 3.0))
+
+let test_json_non_finite_is_null () =
+  (* JSON has no nan/inf; the metrics layer relies on them serializing as
+     null (e.g. max_delay over zero deliveries). *)
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "non-finite" "null" (Json.to_string (Json.Float f)))
+    [ nan; infinity; neg_infinity ]
+
+let test_json_string_escaping () =
+  Alcotest.(check string) "plain" {|"abc"|} (Json.to_string (Json.String "abc"));
+  Alcotest.(check string) "quote and backslash" {|"a\"b\\c"|}
+    (Json.to_string (Json.String {|a"b\c|}));
+  Alcotest.(check string) "newline tab cr" {|"a\nb\tc\r"|}
+    (Json.to_string (Json.String "a\nb\tc\r"));
+  Alcotest.(check string) "control char" {|"\u0001"|}
+    (Json.to_string (Json.String "\001"))
+
+let test_json_nesting () =
+  let doc =
+    Json.Obj
+      [
+        ("xs", Json.List [ Json.Int 1; Json.Int 2 ]);
+        ("empty", Json.Obj []);
+        ("s", Json.String "v");
+      ]
+  in
+  Alcotest.(check string) "compact"
+    {|{"xs":[1,2],"empty":{},"s":"v"}|}
+    (Json.to_string doc);
+  (* Pretty form must contain the same atoms, just indented. *)
+  let pretty = Json.to_string_pretty doc in
+  Alcotest.(check bool) "pretty mentions key" true
+    (Astring.String.is_infix ~affix:{|"xs": [|} pretty)
+
+let test_json_to_file () =
+  let path = Filename.temp_file "rapid_obs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Json.to_file path (Json.Obj [ ("k", Json.Int 1) ]);
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let content = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check bool) "trailing newline" true
+        (String.length content > 0 && content.[String.length content - 1] = '\n'))
+
+(* ------------------------------------------------------------------ *)
+(* Counter *)
+
+let test_counter_registry () =
+  let c = Counter.create "test.obs.counter" in
+  Counter.reset c;
+  Alcotest.(check int) "starts at zero" 0 (Counter.value c);
+  Counter.incr c;
+  Counter.add c 4;
+  Alcotest.(check int) "accumulates" 5 (Counter.value c);
+  (* Same name resolves to the same cell (module-level creates are
+     idempotent across functor instantiations). *)
+  let c' = Counter.create "test.obs.counter" in
+  Counter.incr c';
+  Alcotest.(check int) "shared cell" 6 (Counter.value c);
+  Alcotest.(check (option int)) "snapshot sees it" (Some 6)
+    (List.assoc_opt "test.obs.counter" (Counter.snapshot ()));
+  Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Counter.value c)
+
+let test_counter_snapshot_sorted () =
+  ignore (Counter.create "test.obs.b");
+  ignore (Counter.create "test.obs.a");
+  let names = List.map fst (Counter.snapshot ()) in
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names
+
+(* ------------------------------------------------------------------ *)
+(* Timer *)
+
+let test_timer () =
+  let t = Timer.create "test.obs.timer" in
+  let n0 = Timer.count t in
+  let x = Timer.time t (fun () -> 41 + 1) in
+  Alcotest.(check int) "returns result" 42 x;
+  Alcotest.(check int) "activation counted" (n0 + 1) (Timer.count t);
+  let before = Timer.total_s t in
+  Timer.add_s t 1.5;
+  if Timer.total_s t < before +. 1.5 then Alcotest.fail "add_s lost time";
+  Alcotest.(check int) "add_s counted" (n0 + 2) (Timer.count t);
+  (* Exceptions still get timed. *)
+  (match Timer.time t (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  Alcotest.(check int) "raise counted" (n0 + 3) (Timer.count t)
+
+(* ------------------------------------------------------------------ *)
+(* Tracer *)
+
+let ev_contact = Tracer.Contact { time = 1.0; a = 0; b = 1; bytes = 10 }
+let ev_delivery = Tracer.Delivery { time = 2.0; packet = 3; delay = 1.5 }
+let ev_drop = Tracer.Drop { time = 3.0; node = 1; packet = 4 }
+
+let test_tracer_null () =
+  Alcotest.(check bool) "null disabled" false (Tracer.enabled Tracer.null);
+  (* Emitting into the null tracer is a no-op, not an error. *)
+  Tracer.emit Tracer.null ev_contact
+
+let test_tracer_collector () =
+  let c = Tracer.Collector.create ~keep_events:2 () in
+  let tr = Tracer.Collector.tracer c in
+  Alcotest.(check bool) "enabled" true (Tracer.enabled tr);
+  List.iter (Tracer.emit tr) [ ev_contact; ev_delivery; ev_drop; ev_drop ];
+  Alcotest.(check int) "total counts beyond cap" 4 (Tracer.Collector.total c);
+  Alcotest.(check int) "event log capped" 2
+    (List.length (Tracer.Collector.events c));
+  Alcotest.(check (list (pair string int)))
+    "per-label counts"
+    [ ("contact", 1); ("delivery", 1); ("drop", 2) ]
+    (Tracer.Collector.counts c)
+
+let test_tracer_event_labels () =
+  Alcotest.(check string) "contact" "contact" (Tracer.event_label ev_contact);
+  Alcotest.(check string) "delivery" "delivery" (Tracer.event_label ev_delivery);
+  Alcotest.(check string) "ack_purge" "ack_purge"
+    (Tracer.event_label (Tracer.Ack_purge { time = 0.0; node = 0; packet = 0 }))
+
+let test_tracer_jsonl () =
+  let path = Filename.temp_file "rapid_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let tr = Tracer.Jsonl.tracer oc in
+      Tracer.emit tr ev_contact;
+      Tracer.emit tr ev_delivery;
+      close_out oc;
+      let ic = open_in path in
+      let l1 = input_line ic in
+      let l2 = input_line ic in
+      let eof = match input_line ic with exception End_of_file -> true | _ -> false in
+      close_in ic;
+      Alcotest.(check bool) "one object per line" true eof;
+      Alcotest.(check bool) "labelled" true
+        (Astring.String.is_prefix ~affix:{|{"event":"contact"|} l1);
+      Alcotest.(check bool) "second labelled" true
+        (Astring.String.is_prefix ~affix:{|{"event":"delivery"|} l2))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "non-finite is null" `Quick
+            test_json_non_finite_is_null;
+          Alcotest.test_case "string escaping" `Quick test_json_string_escaping;
+          Alcotest.test_case "nesting" `Quick test_json_nesting;
+          Alcotest.test_case "to_file" `Quick test_json_to_file;
+        ] );
+      ( "counter",
+        [
+          Alcotest.test_case "registry" `Quick test_counter_registry;
+          Alcotest.test_case "snapshot sorted" `Quick test_counter_snapshot_sorted;
+        ] );
+      ("timer", [ Alcotest.test_case "accumulation" `Quick test_timer ]);
+      ( "tracer",
+        [
+          Alcotest.test_case "null" `Quick test_tracer_null;
+          Alcotest.test_case "collector" `Quick test_tracer_collector;
+          Alcotest.test_case "event labels" `Quick test_tracer_event_labels;
+          Alcotest.test_case "jsonl" `Quick test_tracer_jsonl;
+        ] );
+    ]

@@ -92,14 +92,21 @@ let test_ack_store () =
     (Protocol.Ack_store.knows acks ~node:1 ~packet_id:7);
   let fresh2 = Protocol.Ack_store.exchange acks ~a:0 ~b:1 in
   Alcotest.(check int) "idempotent" 0 fresh2;
-  (* Purge removes buffered delivered copies. *)
+  (* Purge removes buffered delivered copies, notifying both the caller's
+     [on_purge] and the env hook (the engine points the latter at
+     Metrics.record_ack_purge). *)
   let p = packet ~id:7 ~src:2 ~dst:3 () in
   Buffer.add env.Env.buffers.(1) (entry p);
   let purged = ref [] in
-  Protocol.Ack_store.purge acks env ~node:1 ~on_purge:(fun p -> purged := p :: !purged);
+  let hooked = ref [] in
+  env.Env.on_ack_purge <-
+    (fun ~now ~node p -> hooked := (now, node, p.Packet.id) :: !hooked);
+  Protocol.Ack_store.purge acks env ~now:42.0 ~node:1 ~on_purge:(fun p ->
+      purged := p :: !purged);
   Alcotest.(check int) "purged one" 1 (List.length !purged);
   Alcotest.(check bool) "buffer cleared" false (Buffer.mem env.Env.buffers.(1) 7);
-  Alcotest.(check int) "env counter" 1 env.Env.ack_purges
+  Alcotest.(check (list (triple (float 0.0) int int)))
+    "hook saw the purge" [ (42.0, 1, 7) ] !hooked
 
 (* ------------------------------------------------------------------ *)
 (* Ranking *)
@@ -409,6 +416,146 @@ let test_engine_packet_bigger_than_buffer () =
   Alcotest.(check int) "never delivered" 0 report.Metrics.delivered
 
 (* ------------------------------------------------------------------ *)
+(* Eviction paths: a minimal protocol whose drop_candidate we control. *)
+
+let stub_protocol ?drop () : Protocol.packed =
+  (module struct
+    type t = Env.t
+
+    let name = "stub"
+    let create env = env
+    let on_created _ ~now:_ _ = ()
+    let on_contact _ ~now:_ ~a:_ ~b:_ ~budget:_ ~meta_budget:_ = 0
+    let next_packet _ ~now:_ ~sender:_ ~receiver:_ ~budget:_ = None
+    let on_transfer _ ~now:_ ~sender:_ ~receiver:_ _ ~delivered:_ = ()
+
+    let drop_candidate env ~now:_ ~node ~incoming =
+      match drop with None -> None | Some f -> f env ~node ~incoming
+
+    let on_dropped _ ~now:_ ~node:_ _ = ()
+  end)
+
+let stub_trace =
+  Trace.create ~num_nodes:2 ~duration:10.0
+    [ Contact.make ~time:5.0 ~a:0 ~b:1 ~bytes:0 ]
+
+(* Two creations into a 15-byte buffer: the second needs an eviction. *)
+let stub_workload =
+  [
+    spec ~src:0 ~dst:1 ~size:10 ~created:0.0 ();
+    spec ~src:0 ~dst:1 ~size:10 ~created:0.1 ();
+  ]
+
+let stub_options = { Engine.default_options with buffer_bytes = Some 15 }
+
+let test_eviction_refusal_none () =
+  (* drop_candidate = None refuses the incoming packet: it is dropped and
+     counted, the incumbent survives. *)
+  let report, env =
+    Engine.run_with_env ~options:stub_options ~protocol:(stub_protocol ())
+      ~trace:stub_trace ~workload:stub_workload ()
+  in
+  Alcotest.(check int) "created" 2 report.Metrics.created;
+  Alcotest.(check int) "one drop" 1 report.Metrics.drops;
+  Alcotest.(check bool) "incumbent kept" true (Buffer.mem env.Env.buffers.(0) 0);
+  Alcotest.(check bool) "newcomer refused" false (Buffer.mem env.Env.buffers.(0) 1)
+
+let test_eviction_self_candidate_refuses () =
+  (* Returning the incoming packet itself is the protocol's way of saying
+     "the newcomer loses": same outcome as None, not an eviction loop. *)
+  let drop _env ~node:_ ~incoming = Some incoming in
+  let report, env =
+    Engine.run_with_env ~options:stub_options ~protocol:(stub_protocol ~drop ())
+      ~trace:stub_trace ~workload:stub_workload ()
+  in
+  Alcotest.(check int) "one drop" 1 report.Metrics.drops;
+  Alcotest.(check bool) "incumbent kept" true (Buffer.mem env.Env.buffers.(0) 0);
+  Alcotest.(check bool) "newcomer refused" false (Buffer.mem env.Env.buffers.(0) 1)
+
+let test_eviction_replaces_incumbent () =
+  let drop env ~node ~incoming:_ =
+    match Env.buffered_entries env node with
+    | [] -> None
+    | e :: _ -> Some e.Buffer.packet
+  in
+  let report, env =
+    Engine.run_with_env ~options:stub_options ~protocol:(stub_protocol ~drop ())
+      ~trace:stub_trace ~workload:stub_workload ()
+  in
+  Alcotest.(check int) "eviction counted" 1 report.Metrics.drops;
+  Alcotest.(check bool) "incumbent evicted" false (Buffer.mem env.Env.buffers.(0) 0);
+  Alcotest.(check bool) "newcomer stored" true (Buffer.mem env.Env.buffers.(0) 1)
+
+let test_eviction_unbuffered_victim_rejected () =
+  (* Naming a victim that is not in the buffer is a protocol bug the
+     engine must fail loudly on, not a silent no-op. *)
+  let drop _env ~node:_ ~incoming:_ = Some (packet ~id:99 ~src:0 ~dst:1 ()) in
+  match
+    Engine.run ~options:stub_options ~protocol:(stub_protocol ~drop ())
+      ~trace:stub_trace ~workload:stub_workload ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unbuffered drop candidate accepted"
+
+let test_engine_max_delay_nan_when_undelivered () =
+  (* No deliveries: max_delay must be nan (unknown), not a misleading
+     0.0 that sorts below every real run. *)
+  let workload = [ spec ~src:0 ~dst:2 ~size:10 ~created:0.0 () ] in
+  let report =
+    Engine.run
+      ~protocol:(Rapid_routing.Direct.make ())
+      ~trace:flood_trace ~workload ()
+  in
+  Alcotest.(check int) "none delivered" 0 report.Metrics.delivered;
+  Alcotest.(check bool) "max_delay is nan" true
+    (Float.is_nan report.Metrics.max_delay)
+
+let test_engine_ack_purge_accounting () =
+  (* Ack purges are counted through Metrics via the env hook (the only
+     path), and the tracer sees exactly the same events. *)
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:10.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100;
+        (* 0 replicates to 1 *)
+        Contact.make ~time:2.0 ~a:0 ~b:2 ~bytes:100;
+        (* 0 delivers to dst 2; 0 and 2 learn the ack *)
+        Contact.make ~time:3.0 ~a:0 ~b:1 ~bytes:100;
+        (* acks reach 1: its stale copy is purged *)
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:2 ~size:10 () ] in
+  let run tracer =
+    Engine.run ?tracer
+      ~protocol:(Rapid_routing.Random_protocol.make ~with_acks:true ())
+      ~trace ~workload ()
+  in
+  let module Collector = Rapid_obs.Tracer.Collector in
+  let collector = Collector.create () in
+  let report = run (Some (Collector.tracer collector)) in
+  Alcotest.(check int) "delivered" 1 report.Metrics.delivered;
+  Alcotest.(check int) "purge counted in metrics" 1 report.Metrics.ack_purges;
+  let count label =
+    Option.value ~default:0 (List.assoc_opt label (Collector.counts collector))
+  in
+  Alcotest.(check int) "ack_purge events" report.Metrics.ack_purges
+    (count "ack_purge");
+  Alcotest.(check int) "delivery events" report.Metrics.delivered
+    (count "delivery");
+  Alcotest.(check int) "contact events" report.Metrics.num_contacts
+    (count "contact");
+  Alcotest.(check int) "transfer events" report.Metrics.transfers
+    (count "transfer");
+  (* Tracing must not perturb the run itself. *)
+  let plain = run None in
+  Alcotest.(check int) "same deliveries" plain.Metrics.delivered
+    report.Metrics.delivered;
+  Alcotest.(check int) "same purges" plain.Metrics.ack_purges
+    report.Metrics.ack_purges;
+  Alcotest.(check int) "same bytes" plain.Metrics.data_bytes
+    report.Metrics.data_bytes
+
+(* ------------------------------------------------------------------ *)
 (* Property: feasibility holds for every protocol on random small runs. *)
 
 let protocols () =
@@ -497,6 +644,20 @@ let () =
           Alcotest.test_case "zero byte contact" `Quick test_engine_zero_byte_contact;
           Alcotest.test_case "packet bigger than buffer" `Quick
             test_engine_packet_bigger_than_buffer;
+          Alcotest.test_case "max delay nan when undelivered" `Quick
+            test_engine_max_delay_nan_when_undelivered;
+          Alcotest.test_case "ack purge accounting" `Quick
+            test_engine_ack_purge_accounting;
+        ] );
+      ( "eviction",
+        [
+          Alcotest.test_case "refusal via None" `Quick test_eviction_refusal_none;
+          Alcotest.test_case "self candidate refuses" `Quick
+            test_eviction_self_candidate_refuses;
+          Alcotest.test_case "replaces incumbent" `Quick
+            test_eviction_replaces_incumbent;
+          Alcotest.test_case "unbuffered victim rejected" `Quick
+            test_eviction_unbuffered_victim_rejected;
         ] );
       ("properties", qcheck_cases);
     ]

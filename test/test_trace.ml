@@ -319,6 +319,51 @@ let test_dieselnet_some_pairs_never_meet () =
   if !never = 0 then Alcotest.fail "every pair met: no transitivity exercised";
   if !never = !total then Alcotest.fail "no pair ever met"
 
+let test_route_distance_circular () =
+  (* Routes loop through town: 0 and num_routes-1 are adjacent. The old
+     linear |a - b| put them at distance 7 in an 8-route system, i.e.
+     affinity zero, silently disconnecting every wrap-around pair. *)
+  let d = Dieselnet.route_distance ~num_routes:8 in
+  Alcotest.(check int) "wrap-around adjacency" 1 (d 0 7);
+  Alcotest.(check int) "same route" 0 (d 3 3);
+  Alcotest.(check int) "antipodal" 4 (d 0 4);
+  Alcotest.(check int) "near pair" 2 (d 6 0);
+  Alcotest.(check int) "symmetric" (d 2 7) (d 7 2);
+  (* Circular distance can never exceed half the loop. *)
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      if d a b > 4 then Alcotest.failf "distance %d-%d exceeds half loop" a b
+    done
+  done
+
+let test_dieselnet_wraparound_pairs_meet () =
+  (* Fails under the old linear route distance: buses on routes 0 and 7
+     would never contact each other even though the routes are adjacent
+     on the ground. *)
+  let params = Dieselnet.default_params in
+  let routes = Dieselnet.route_assignment ~params ~seed:3 in
+  let wrap_meetings = ref 0 and checked_days = 10 in
+  List.iter
+    (fun (t : Trace.t) ->
+      Array.iter
+        (fun (c : Contact.t) ->
+          let ra = routes.(c.Contact.a) and rb = routes.(c.Contact.b) in
+          let linear = abs (ra - rb) in
+          let circular =
+            Dieselnet.route_distance ~num_routes:params.Dieselnet.num_routes ra rb
+          in
+          (* Every contacting pair must have positive affinity under the
+             circular metric... *)
+          if Dieselnet.route_affinity circular <= 0.0 then
+            Alcotest.failf "contact between affinity-zero routes %d,%d" ra rb;
+          (* ...and some contacts must span the wrap-around seam, where
+             the linear metric says the pair should never meet. *)
+          if linear >= 4 && circular <= 3 then incr wrap_meetings)
+        t.Trace.contacts)
+    (Dieselnet.days ~seed:3 ~n:checked_days ());
+  if !wrap_meetings = 0 then
+    Alcotest.fail "no wrap-around pair ever met: route space is not circular"
+
 let test_deployment_noise () =
   let rng = Rng.create 4 in
   let d = Dieselnet.day ~seed:5 ~day:0 () in
@@ -472,6 +517,10 @@ let () =
           Alcotest.test_case "scheduled subset" `Quick test_dieselnet_scheduled_subset;
           Alcotest.test_case "pairs never meet" `Quick
             test_dieselnet_some_pairs_never_meet;
+          Alcotest.test_case "route distance circular" `Quick
+            test_route_distance_circular;
+          Alcotest.test_case "wrap-around pairs meet" `Quick
+            test_dieselnet_wraparound_pairs_meet;
           Alcotest.test_case "deployment noise" `Quick test_deployment_noise;
         ] );
       ( "mobility",
