@@ -1,0 +1,80 @@
+(* CI smoke validator for BENCH.json (schema rapid-bench/1): hard-fails
+   when the file does not parse or the schema/hot-path keys are missing,
+   but only *prints* wall times — perf is tracked by diffing BENCH.json
+   across commits, not gated here.
+
+   Usage: dune exec bench/check_bench.exe -- [path]   (default BENCH.json) *)
+
+module Json = Rapid_obs.Json
+
+let errors = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      Printf.eprintf "FAIL: %s\n" msg)
+    fmt
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH.json" in
+  let doc =
+    try Json.of_file path
+    with
+    | Json.Parse_error msg ->
+        Printf.eprintf "FAIL: %s does not parse: %s\n" path msg;
+        exit 1
+    | Sys_error msg ->
+        Printf.eprintf "FAIL: cannot read %s: %s\n" path msg;
+        exit 1
+  in
+  (match Json.member "schema" doc with
+  | Some (Json.String "rapid-bench/1") -> ()
+  | Some j -> fail "schema is %s, want \"rapid-bench/1\"" (Json.to_string j)
+  | None -> fail "missing \"schema\"");
+  (match Json.member "artifacts" doc with
+  | Some (Json.List (_ :: _ as items)) ->
+      List.iter
+        (fun item ->
+          match (Json.member "id" item, Json.member "wall_s" item) with
+          | Some (Json.String id), Some (Json.Float s) ->
+              Printf.printf "artifact %-10s %.2fs\n" id s
+          | _ -> fail "artifact entry %s lacks id/wall_s" (Json.to_string item))
+        items
+  | Some _ -> fail "\"artifacts\" empty or not a list"
+  | None -> fail "missing \"artifacts\"");
+  let counter name =
+    match Json.member "counters" doc with
+    | Some counters -> (
+        match Json.member name counters with
+        | Some (Json.Int v) -> Some v
+        | Some _ | None -> None)
+    | None -> None
+  in
+  (match counter "meeting_matrix.row_builds" with
+  | Some v -> Printf.printf "meeting_matrix.row_builds = %d\n" v
+  | None -> fail "missing counter \"meeting_matrix.row_builds\"");
+  if counter "rapid.rank_calls" = None then
+    fail "missing counter \"rapid.rank_calls\"";
+  let timer name =
+    match Json.member "timers" doc with
+    | Some timers -> (
+        match Json.member name timers with
+        | Some t -> (
+            match (Json.member "total_s" t, Json.member "count" t) with
+            | Some (Json.Float total), Some (Json.Int n) -> Some (total, n)
+            | _ -> None)
+        | None -> None)
+    | None -> None
+  in
+  List.iter
+    (fun name ->
+      match timer name with
+      | Some (total, n) -> Printf.printf "timer %-26s %.3fs / %d\n" name total n
+      | None -> fail "missing timer \"%s\" (total_s/count)" name)
+    [ "meeting_matrix.row_build"; "rapid.rank" ];
+  if !errors > 0 then begin
+    Printf.eprintf "%s: %d schema error(s)\n" path !errors;
+    exit 1
+  end;
+  Printf.printf "%s: schema ok\n" path

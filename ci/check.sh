@@ -20,4 +20,13 @@ else
   echo "== dune fmt skipped (ocamlformat not installed) =="
 fi
 
+# Bench smoke: one quick artifact end to end, then hard-validate the
+# BENCH.json schema (parse + hot-path counter/timer keys). Perf numbers
+# are printed for eyeballing only — regressions are diffed across
+# commits, never gated here.
+echo "== bench smoke =="
+BENCH_SMOKE_OUT="${TMPDIR:-/tmp}/rapid_bench_smoke.json"
+RAPID_BENCH_OUT="$BENCH_SMOKE_OUT" dune exec bench/main.exe -- table3 >/dev/null
+dune exec bench/check_bench.exe -- "$BENCH_SMOKE_OUT"
+
 echo "All checks passed."

@@ -34,6 +34,7 @@ let big_delay = 1e15
 (* Hot-path counters (process-global by name; see lib/obs). Snapshots land
    in the CLI's --json output and in BENCH.json. *)
 let c_rank_calls = Rapid_obs.Counter.create "rapid.rank_calls"
+let t_rank = Rapid_obs.Timer.create "rapid.rank"
 let c_position_index_builds = Rapid_obs.Counter.create "rapid.position_index_builds"
 let c_meta_ack_bytes = Rapid_obs.Counter.create "rapid.meta_ack_bytes"
 let c_meta_table_bytes = Rapid_obs.Counter.create "rapid.meta_table_bytes"
@@ -48,19 +49,19 @@ let make params : Protocol.packed =
       matrix : Meeting_matrix.t;
       (* Expected transfer-opportunity bytes per pair and globally
          (Algorithm 2 step 3). *)
-      pair_transfer : Moving_average.Cumulative.t array array;
+      pair_transfer : Dense.Cumulative_grid.t;
       global_transfer : Moving_average.Cumulative.t;
       (* Per-node believed replica locations; [truth] is ground truth,
          maintained from first-hand events, read only by the
          instant-global channel. *)
       dbs : Replica_db.t array;
       truth : Replica_db.t;
-      last_meta_exchange : float array array;
+      last_meta_exchange : Dense.Mat.t;
       (* meet_count.(x): meetings x has participated in; last_table_sync
          tracks the counter at the last exchange with each peer, pricing
          the "expected meeting times with nodes" row delta (§4.2). *)
       meet_count : int array;
-      last_table_sync : int array array;
+      last_table_sync : Dense.Int_mat.t;
       (* Per directed pair, the (packet id, holder id) delta entries a
          budget cut left unsent; re-offered (re-materialized from the
          current db) at the next exchange with that peer. *)
@@ -71,6 +72,12 @@ let make params : Protocol.packed =
          contact's refresh corrects them. *)
       contact_indexes :
         (int, (int, (float * int * int) array * int array) Hashtbl.t) Hashtbl.t;
+      (* Reused per-call scratch (reset, never re-created): the
+         position-index accumulation arena, the metadata-delta dedup set,
+         and the delta sort buffer. *)
+      scratch_by_dst : (int, (float * int * int) list ref) Hashtbl.t;
+      scratch_seen : (int * int, unit) Hashtbl.t;
+      delta_buf : Replica_db.entry Sortbuf.t;
     }
 
     let name =
@@ -88,17 +95,18 @@ let make params : Protocol.packed =
         ranking = Ranking.create ();
         acks = Protocol.Ack_store.create ~num_nodes:n;
         matrix = Meeting_matrix.create ~num_nodes:n;
-        pair_transfer =
-          Array.init n (fun _ ->
-              Array.init n (fun _ -> Moving_average.Cumulative.create ()));
+        pair_transfer = Dense.Cumulative_grid.create n;
         global_transfer = Moving_average.Cumulative.create ();
         dbs = Array.init n (fun _ -> Replica_db.create ());
         truth = Replica_db.create ();
-        last_meta_exchange = Array.init n (fun _ -> Array.make n neg_infinity);
+        last_meta_exchange = Dense.Mat.create ~init:neg_infinity n;
         meet_count = Array.make n 0;
-        last_table_sync = Array.init n (fun _ -> Array.make n 0);
+        last_table_sync = Dense.Int_mat.create n;
         meta_backlog = Hashtbl.create 16;
         contact_indexes = Hashtbl.create 4;
+        scratch_by_dst = Hashtbl.create 16;
+        scratch_seen = Hashtbl.create 64;
+        delta_buf = Sortbuf.create ();
       }
 
     (* -------------------------------------------------------------- *)
@@ -112,7 +120,7 @@ let make params : Protocol.packed =
     (* B_j: expected transfer opportunity between [holder] and [dst]. *)
     let b_avg t ~holder ~dst =
       let x, y = if holder < dst then (holder, dst) else (dst, holder) in
-      match Moving_average.Cumulative.value t.pair_transfer.(x).(y) with
+      match Dense.Cumulative_grid.value t.pair_transfer x y with
       | Some v -> v
       | None ->
           Moving_average.Cumulative.value_or t.global_transfer ~default:1e6
@@ -159,15 +167,25 @@ let make params : Protocol.packed =
                ~meeting_time:(meeting_time t holder_id dst)
                ~n_meet:h.Replica_db.n_meet)
 
+    (* Delivery order within a destination cell: (created, id, size)
+       triples, id unique — a total order, so any comparison sort yields
+       the same sequence. Monomorphic on purpose: polymorphic [compare]
+       on boxed tuples costs a C call per comparison in the hot sorts. *)
+    let cmp_cell (c1, i1, s1) (c2, i2, s2) =
+      match Float.compare c1 c2 with
+      | 0 -> ( match Int.compare i1 i2 with 0 -> Int.compare s1 s2 | n -> n)
+      | n -> n
+
     (* Per-destination index over a node's buffer: entries sorted in
        delivery order (created, then id) with byte prefix sums, so the
        would-be queue position of any packet is a binary search instead of
-       a buffer scan per candidate. *)
-    let position_index entries =
+       a buffer scan per candidate. [t.scratch_by_dst] is the reused
+       accumulation arena; the returned index is fresh because it outlives
+       the call (cached for the rest of the contact). *)
+    let position_index t entries =
       Rapid_obs.Counter.incr c_position_index_builds;
-      let by_dst : (int, (float * int * int) list ref) Hashtbl.t =
-        Hashtbl.create 16
-      in
+      let by_dst = t.scratch_by_dst in
+      Hashtbl.reset by_dst;
       List.iter
         (fun (e : Buffer.entry) ->
           let p = e.packet in
@@ -185,7 +203,7 @@ let make params : Protocol.packed =
       Hashtbl.iter
         (fun dst cell ->
           let arr = Array.of_list !cell in
-          Array.sort compare arr;
+          Array.sort cmp_cell arr;
           let prefix = Array.make (Array.length arr + 1) 0 in
           Array.iteri
             (fun i (_, _, size) -> prefix.(i + 1) <- prefix.(i) + size)
@@ -204,7 +222,7 @@ let make params : Protocol.packed =
           let lo = ref 0 and hi = ref (Array.length arr) in
           while !lo < !hi do
             let mid = (!lo + !hi) / 2 in
-            if compare arr.(mid) key < 0 then lo := mid + 1 else hi := mid
+            if cmp_cell arr.(mid) key < 0 then lo := mid + 1 else hi := mid
           done;
           prefix.(!lo)
 
@@ -293,12 +311,13 @@ let make params : Protocol.packed =
       match Hashtbl.find_opt t.contact_indexes node with
       | Some idx -> idx
       | None ->
-          let idx = position_index (Env.buffered_entries t.env node) in
+          let idx = position_index t (Env.buffered_entries t.env node) in
           Hashtbl.replace t.contact_indexes node idx;
           idx
 
     let rank t ~now ~sender ~receiver =
       Rapid_obs.Counter.incr c_rank_calls;
+      Rapid_obs.Timer.time t_rank @@ fun () ->
       let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
       let direct, rest = Protocol.split_direct ~receiver candidates in
       let recv_index = cached_index t receiver in
@@ -367,7 +386,7 @@ let make params : Protocol.packed =
          information about packets whose information changed since the
          last exchange" (§4.2). *)
       let entries = Env.buffered_entries t.env node in
-      let index = position_index entries in
+      let index = position_index t entries in
       List.iter
         (fun (e : Buffer.entry) ->
           let p = e.packet in
@@ -420,8 +439,25 @@ let make params : Protocol.packed =
        watermark — [entries_since] clamps gossip log times and ties on
        [updated_at], so a rewind re-offered already-shipped entries and
        double-spent the budget. Returns bytes spent. *)
+    (* Oldest-first delta order; (packet id, holder id) is unique after
+       the dedup pass, so the order is total and the (unstable) scratch
+       sort is deterministic. *)
+    let cmp_delta (x : Replica_db.entry) (y : Replica_db.entry) =
+      match
+        Float.compare x.Replica_db.holder.Replica_db.updated_at
+          y.Replica_db.holder.Replica_db.updated_at
+      with
+      | 0 -> (
+          match
+            Int.compare x.Replica_db.packet.Packet.id
+              y.Replica_db.packet.Packet.id
+          with
+          | 0 -> Int.compare x.Replica_db.holder_id y.Replica_db.holder_id
+          | n -> n)
+      | n -> n
+
     let send_delta t ~now ~sender ~receiver ~entry_budget =
-      let since = t.last_meta_exchange.(sender).(receiver) in
+      let since = Dense.Mat.get t.last_meta_exchange sender receiver in
       let key = (sender, receiver) in
       let eligible (e : Replica_db.entry) =
         match params.channel with
@@ -454,46 +490,48 @@ let make params : Protocol.packed =
                         { Replica_db.packet; holder_id; holder } :: acc))
               set []
       in
-      let seen = Hashtbl.create 64 in
-      let delta =
-        backlog @ Replica_db.entries_since t.dbs.(sender) since
-        |> List.filter (fun (e : Replica_db.entry) ->
-               let k =
-                 (e.Replica_db.packet.Packet.id, e.Replica_db.holder_id)
-               in
-               (not (Hashtbl.mem seen k))
-               && begin
-                    Hashtbl.replace seen k ();
-                    eligible e
-                  end)
-        |> List.sort (fun (x : Replica_db.entry) (y : Replica_db.entry) ->
-               match
-                 Float.compare x.Replica_db.holder.Replica_db.updated_at
-                   y.Replica_db.holder.Replica_db.updated_at
-               with
-               | 0 ->
-                   compare
-                     (x.Replica_db.packet.Packet.id, x.Replica_db.holder_id)
-                     (y.Replica_db.packet.Packet.id, y.Replica_db.holder_id)
-               | n -> n)
+      let seen = t.scratch_seen in
+      Hashtbl.reset seen;
+      let delta = t.delta_buf in
+      Sortbuf.clear delta;
+      let consider (e : Replica_db.entry) =
+        let k = (e.Replica_db.packet.Packet.id, e.Replica_db.holder_id) in
+        if
+          (not (Hashtbl.mem seen k))
+          && begin
+               Hashtbl.replace seen k ();
+               eligible e
+             end
+        then Sortbuf.push delta e
       in
-      let unsent = Hashtbl.create 16 in
+      List.iter consider backlog;
+      List.iter consider (Replica_db.entries_since t.dbs.(sender) since);
+      Sortbuf.sort delta ~cmp:cmp_delta;
+      let unsent = ref None in
       let sent = ref 0 in
-      List.iteri
-        (fun i (e : Replica_db.entry) ->
+      Sortbuf.iteri delta (fun i (e : Replica_db.entry) ->
           if i < entry_budget then begin
             incr sent;
             ignore
               (Replica_db.merge t.dbs.(receiver) ~packet:e.Replica_db.packet
                  ~holder_id:e.Replica_db.holder_id ~holder:e.Replica_db.holder)
           end
-          else
-            Hashtbl.replace unsent
-              (e.Replica_db.packet.Packet.id, e.Replica_db.holder_id) ())
-        delta;
-      if Hashtbl.length unsent = 0 then Hashtbl.remove t.meta_backlog key
-      else Hashtbl.replace t.meta_backlog key unsent;
-      t.last_meta_exchange.(sender).(receiver) <- now;
+          else begin
+            let set =
+              match !unsent with
+              | Some set -> set
+              | None ->
+                  let set = Hashtbl.create 16 in
+                  unsent := Some set;
+                  set
+            in
+            Hashtbl.replace set
+              (e.Replica_db.packet.Packet.id, e.Replica_db.holder_id) ()
+          end);
+      (match !unsent with
+      | None -> Hashtbl.remove t.meta_backlog key
+      | Some set -> Hashtbl.replace t.meta_backlog key set);
+      Dense.Mat.set t.last_meta_exchange sender receiver now;
       !sent * params.packet_entry_bytes
 
     let on_contact t ~now ~a ~b ~budget ~meta_budget =
@@ -503,7 +541,7 @@ let make params : Protocol.packed =
       t.meet_count.(a) <- t.meet_count.(a) + 1;
       t.meet_count.(b) <- t.meet_count.(b) + 1;
       let x, y = if a < b then (a, b) else (b, a) in
-      Moving_average.Cumulative.add t.pair_transfer.(x).(y) (float_of_int budget);
+      Dense.Cumulative_grid.add t.pair_transfer x y (float_of_int budget);
       Moving_average.Cumulative.add t.global_transfer (float_of_int budget);
       refresh_own t ~now a;
       refresh_own t ~now b;
@@ -551,7 +589,7 @@ let make params : Protocol.packed =
              row has at most n-1 cells). *)
           let row_cells x y =
             min (t.env.Env.num_nodes - 1)
-              (t.meet_count.(x) - t.last_table_sync.(x).(y))
+              (t.meet_count.(x) - Dense.Int_mat.get t.last_table_sync x y)
           in
           let cells = row_cells a b + row_cells b a in
           let table_bytes = cells * params.table_entry_bytes in
@@ -559,8 +597,8 @@ let make params : Protocol.packed =
           bytes := !bytes + table_bytes;
           Rapid_obs.Counter.add c_meta_table_bytes table_bytes;
           trace_meta "table" table_bytes;
-          t.last_table_sync.(a).(b) <- t.meet_count.(a);
-          t.last_table_sync.(b).(a) <- t.meet_count.(b);
+          Dense.Int_mat.set t.last_table_sync a b t.meet_count.(a);
+          Dense.Int_mat.set t.last_table_sync b a t.meet_count.(b);
           (* 3. Replica metadata deltas, split evenly across directions. *)
           let entry_budget_total = max 0 (remaining ()) / params.packet_entry_bytes in
           let half = (entry_budget_total + 1) / 2 in

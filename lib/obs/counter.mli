@@ -1,7 +1,7 @@
 (** Process-global named counters for hot-path accounting.
 
     The costly primitives the ROADMAP's perf work targets — meeting-matrix
-    closure rebuilds, RAPID rank invocations, position-index rebuilds —
+    row builds, RAPID rank invocations, position-index rebuilds —
     live deep inside modules that know nothing about runs or reports.
     They bump a pre-created counter (one [int ref] increment, no lookup,
     no allocation) and the bench/CLI layer snapshots the registry into

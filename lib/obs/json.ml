@@ -96,6 +96,180 @@ let to_string_pretty j =
   pretty buf 0 j;
   Buffer.contents buf
 
+exception Parse_error of string
+
+(* Minimal recursive-descent reader, the inverse of the writer above; it
+   exists so tooling (ci bench smoke) can validate emitted artifacts
+   without a JSON dependency. Numbers without '.', 'e' or 'E' parse as
+   [Int], everything else as [Float]. *)
+let of_string s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+  in
+  let skip_ws () =
+    while
+      !pos < len
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < len && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let n = String.length lit in
+    if !pos + n <= len && String.sub s !pos n = lit then begin
+      pos := !pos + n;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let add_utf8 buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+          incr pos;
+          Buffer.contents buf
+      | '\\' ->
+          incr pos;
+          if !pos >= len then fail "truncated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 >= len then fail "truncated \\u escape";
+              let code =
+                match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+                | Some c -> c
+                | None -> fail "bad \\u escape"
+              in
+              pos := !pos + 4;
+              add_utf8 buf code
+          | _ -> fail "unknown escape");
+          incr pos;
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && is_num_char s.[!pos] do
+      incr pos
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i when not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok)
+      -> Int i
+    | _ -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    if !pos >= len then fail "unexpected end of input";
+    match s.[!pos] with
+    | '{' ->
+        incr pos;
+        skip_ws ();
+        if !pos < len && s.[!pos] = '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            if !pos < len && s.[!pos] = ',' then begin
+              incr pos;
+              fields ((k, v) :: acc)
+            end
+            else begin
+              expect '}';
+              List.rev ((k, v) :: acc)
+            end
+          in
+          Obj (fields [])
+        end
+    | '[' ->
+        incr pos;
+        skip_ws ();
+        if !pos < len && s.[!pos] = ']' then begin
+          incr pos;
+          List []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            if !pos < len && s.[!pos] = ',' then begin
+              incr pos;
+              items (v :: acc)
+            end
+            else begin
+              expect ']';
+              List.rev (v :: acc)
+            end
+          in
+          List (items [])
+        end
+    | '"' -> String (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
 let to_file path j =
   let oc = open_out path in
   Fun.protect

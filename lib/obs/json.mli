@@ -1,9 +1,9 @@
-(** Minimal JSON document builder and serializer.
+(** Minimal JSON document builder, serializer, and reader.
 
     Deliberately dependency-free (the toolchain image carries no JSON
-    library): the observability layer only ever {e writes} JSON — run
-    reports, benchmark trajectories, event streams — so a constructor
-    type plus a printer is the whole job. Output is strict RFC 8259:
+    library): the observability layer {e writes} JSON — run reports,
+    benchmark trajectories, event streams — and the ci tooling reads the
+    artifacts back to validate them. Output is strict RFC 8259:
     strings are escaped, and non-finite floats (which JSON cannot
     represent) serialize as [null], matching how the metrics layer uses
     [nan] for "undefined over an empty set". *)
@@ -28,3 +28,18 @@ val to_string_pretty : t -> string
 
 val to_file : string -> t -> unit
 (** Pretty-print to [path] with a trailing newline. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a JSON document — the inverse of {!to_string} /
+    {!to_string_pretty}, so tooling (the ci bench smoke check) can
+    validate emitted artifacts without an external JSON library. Numbers
+    without a fraction or exponent parse as [Int], others as [Float].
+    Raises {!Parse_error} on malformed input. *)
+
+val of_file : string -> t
+(** [of_string] over the file's contents. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] when absent or not an [Obj]. *)

@@ -14,9 +14,14 @@ let add_s t s =
   t.total_s <- t.total_s +. s;
   t.count <- t.count + 1
 
+(* CLOCK_MONOTONIC (ns) via bechamel's stub: wall clock is NTP-jumpable,
+   and a step during a timed span would record a wildly wrong (even
+   negative) duration. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 let time t f =
-  let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> add_s t (Unix.gettimeofday () -. t0)) f
+  let t0 = now_s () in
+  Fun.protect ~finally:(fun () -> add_s t (now_s () -. t0)) f
 
 let total_s t = t.total_s
 let count t = t.count

@@ -1,8 +1,10 @@
-(** Process-global named wall-clock timers, the accumulator counterpart of
-    {!Counter}: [time t f] adds [f]'s wall time to [t]'s total. Used by
-    the bench harness for per-artifact wall-times; same registry
-    semantics as {!Counter} (idempotent [create], {!reset_all} scopes a
-    measured section). *)
+(** Process-global named elapsed-time accumulators, the counterpart of
+    {!Counter}: [time t f] adds [f]'s elapsed time to [t]'s total. Spans
+    are measured on CLOCK_MONOTONIC (immune to NTP wall-clock jumps);
+    totals are reported in seconds, so the JSON schema is unchanged. Used
+    by the bench harness for per-artifact wall-times and by the hot-path
+    spans (row builds, rank); same registry semantics as {!Counter}
+    (idempotent [create], {!reset_all} scopes a measured section). *)
 
 type t
 

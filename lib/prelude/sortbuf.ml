@@ -1,0 +1,53 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+let clear t = t.len <- 0
+let get t i = if i >= t.len then invalid_arg "Sortbuf.get" else t.data.(i)
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let data = Array.make (max 16 (2 * cap)) x in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+(* In-place heapsort over [data.(0..len-1)]: the stdlib only sorts whole
+   arrays, which would force a fresh right-sized copy per call — the
+   allocation this buffer exists to avoid. Not stable, so [cmp] must be a
+   total order for deterministic output. *)
+let sort t ~cmp =
+  let a = t.data and n = t.len in
+  let swap i j =
+    let x = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- x
+  in
+  let rec sift_down root last =
+    let child = (2 * root) + 1 in
+    if child <= last then begin
+      let child =
+        if child < last && cmp a.(child) a.(child + 1) < 0 then child + 1
+        else child
+      in
+      if cmp a.(root) a.(child) < 0 then begin
+        swap root child;
+        sift_down child last
+      end
+    end
+  in
+  for root = (n - 2) / 2 downto 0 do
+    sift_down root (n - 1)
+  done;
+  for last = n - 1 downto 1 do
+    swap 0 last;
+    sift_down 0 (last - 1)
+  done
+
+let iteri t f =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done

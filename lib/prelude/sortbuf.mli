@@ -1,0 +1,29 @@
+(** Reusable push-then-sort arena.
+
+    The per-contact hot paths collect a batch of items, sort it, and
+    consume it in order ([position_index] destination cells, metadata
+    delta ordering). [List.sort] / [Array.of_list] allocate a fresh
+    intermediate per batch; a [Sortbuf.t] owned by the caller amortizes
+    that to zero once the high-water mark is reached: [clear], [push]
+    each item, [sort], then [iteri].
+
+    [clear] only resets the length — slots keep their last elements alive
+    until overwritten, so don't park a long-lived buffer holding large
+    values. Sorting is in-place heapsort, hence NOT stable: pass a total
+    order (break ties on a unique key) whenever deterministic output
+    matters. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val clear : 'a t -> unit
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] beyond [length]. *)
+
+val sort : 'a t -> cmp:('a -> 'a -> int) -> unit
+(** Sort the live prefix ascending per [cmp], in place. *)
+
+val iteri : 'a t -> (int -> 'a -> unit) -> unit

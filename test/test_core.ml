@@ -69,6 +69,94 @@ let test_matrix_transitive_vs_direct () =
   (* Direct 0-2 mean 100 vs via-1 10+20=30: transitive wins. *)
   check_close "min path" 30.0 (Meeting_matrix.expected_meeting_time m 0 2)
 
+let row_builds_counter = Rapid_obs.Counter.create "meeting_matrix.row_builds"
+
+let test_matrix_same_instant_keeps_cache () =
+  (* Regression: a same-instant repeat meeting adds no gap observation, so
+     no mean changes and the memoized rows must survive — the old code
+     dropped the whole closure cache on every observe. *)
+  let m = Meeting_matrix.create ~num_nodes:4 in
+  Meeting_matrix.observe m ~now:10.0 ~a:0 ~b:1;
+  Meeting_matrix.observe m ~now:20.0 ~a:1 ~b:2;
+  let before = Meeting_matrix.expected_meeting_time m 0 2 in
+  let builds0 = Rapid_obs.Counter.value row_builds_counter in
+  Meeting_matrix.observe m ~now:20.0 ~a:1 ~b:2;
+  let after = Meeting_matrix.expected_meeting_time m 0 2 in
+  Alcotest.(check int) "no row rebuilt" builds0
+    (Rapid_obs.Counter.value row_builds_counter);
+  check_close "estimate unchanged" before after;
+  (* A later (informative) meeting does invalidate. *)
+  Meeting_matrix.observe m ~now:30.0 ~a:1 ~b:2;
+  ignore (Meeting_matrix.expected_meeting_time m 0 2);
+  Alcotest.(check int) "informative gap rebuilds" (builds0 + 1)
+    (Rapid_obs.Counter.value row_builds_counter)
+
+(* The seed implementation's full O(h·n³) closure, kept as the reference
+   the lazy per-source rows must reproduce bit for bit. *)
+let reference_closure m ~n ~h =
+  let d1 =
+    Array.init n (fun a ->
+        Array.init n (fun b ->
+            if a = b then 0.0
+            else
+              match Meeting_matrix.direct_mean m a b with
+              | Some v -> v
+              | None -> infinity))
+  in
+  let extend prev =
+    Array.init n (fun a ->
+        Array.init n (fun b ->
+            if a = b then 0.0
+            else begin
+              let best = ref prev.(a).(b) in
+              for y = 0 to n - 1 do
+                if y <> a && y <> b then begin
+                  let via = d1.(a).(y) +. prev.(y).(b) in
+                  if via < !best then best := via
+                end
+              done;
+              !best
+            end))
+  in
+  let rec go acc k = if k >= h then acc else go (extend acc) (k + 1) in
+  go d1 1
+
+let prop_lazy_rows_equal_full_closure =
+  QCheck.Test.make ~name:"lazy rows = full closure (h=1..3)" ~count:60
+    QCheck.(pair (int_range 4 10) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rapid_prelude.Rng.create seed in
+      let m = Meeting_matrix.create ~num_nodes:n in
+      (* Random sparse meeting history: ~half the pairs never meet (their
+         cells stay at infinity), some pairs meet twice so the mean is a
+         true average, and means span three orders of magnitude. *)
+      for a = 0 to n - 1 do
+        for b = a + 1 to n - 1 do
+          if Rapid_prelude.Rng.float rng < 0.5 then begin
+            let t0 = 1.0 +. (999.0 *. Rapid_prelude.Rng.float rng) in
+            Meeting_matrix.observe m ~now:t0 ~a ~b;
+            if Rapid_prelude.Rng.float rng < 0.3 then
+              Meeting_matrix.observe m
+                ~now:(t0 +. 1.0 +. (99.0 *. Rapid_prelude.Rng.float rng))
+                ~a ~b
+          end
+        done
+      done;
+      List.for_all
+        (fun h ->
+          let closure = reference_closure m ~n ~h in
+          let ok = ref true in
+          for a = 0 to n - 1 do
+            for b = 0 to n - 1 do
+              let want = closure.(a).(b) in
+              let got = Meeting_matrix.expected_meeting_time ~h m a b in
+              (* Bit-exact, including infinity for unreachable pairs. *)
+              if got <> want then ok := false
+            done
+          done;
+          !ok)
+        [ 1; 2; 3 ])
+
 let test_matrix_global_mean () =
   let m = Meeting_matrix.create ~num_nodes:3 in
   Alcotest.(check (option (float 0.0))) "empty" None (Meeting_matrix.global_mean m);
@@ -571,6 +659,78 @@ let test_rapid_local_sends_less_metadata () =
   let local = run Control_channel.Local_only in
   Alcotest.(check bool) "local <= in-band metadata" true (local <= in_band)
 
+(* Golden fixed-seed runs. The ten report fields below were captured from
+   the pre-rewrite engine (full O(h·n³) closure rebuilt on every observe)
+   and must stay bit-identical: the lazy-row/dense-matrix hot path is a
+   pure perf change, not a behavioural one. Floats printed with %.17g
+   round-trip exactly, so [check_close ~eps:0.0] is an equality check. *)
+let exponential_scenario ~seed =
+  let rng = Rapid_prelude.Rng.create seed in
+  let trace =
+    Rapid_mobility.Mobility.exponential rng ~num_nodes:10
+      ~mean_inter_meeting:50.0 ~duration:1500.0 ~opportunity_bytes:4000
+  in
+  let workload =
+    Workload.generate rng ~trace ~pkts_per_hour_per_dest:30.0 ~size:800
+      ~lifetime:250.0 ()
+  in
+  (trace, workload)
+
+let check_golden name (r : Metrics.report)
+    ~(delivered : int) ~(transfers : int) ~(drops : int) ~(ack_purges : int)
+    ~(data : int) ~(meta : int) ~(within : int) ~(avg_delay : float)
+    ~(avg_delay_all : float) ~(max_delay : float) =
+  let ck what = Alcotest.(check int) (name ^ " " ^ what) in
+  ck "delivered" delivered r.Metrics.delivered;
+  ck "transfers" transfers r.Metrics.transfers;
+  ck "drops" drops r.Metrics.drops;
+  ck "ack purges" ack_purges r.Metrics.ack_purges;
+  ck "data bytes" data r.Metrics.data_bytes;
+  ck "metadata bytes" meta r.Metrics.metadata_bytes;
+  ck "within deadline" within r.Metrics.within_deadline;
+  check_close ~eps:0.0 (name ^ " avg delay") avg_delay r.Metrics.avg_delay;
+  check_close ~eps:0.0 (name ^ " avg delay all") avg_delay_all
+    r.Metrics.avg_delay_all;
+  check_close ~eps:0.0 (name ^ " max delay") max_delay r.Metrics.max_delay
+
+let test_rapid_golden_reports () =
+  let t1, w1 = contention_scenario ~seed:7 in
+  let r1 =
+    Engine.run
+      ~options:
+        { Engine.default_options with buffer_bytes = Some 20_000; seed = 11 }
+      ~protocol:(Rapid.make_default Metric.Average_delay) ~trace:t1
+      ~workload:w1 ()
+  in
+  check_golden "powerlaw/avg" r1 ~delivered:1214 ~transfers:2615 ~drops:1406
+    ~ack_purges:323 ~data:2615000 ~meta:310164 ~within:1086
+    ~avg_delay:122.67328088408885 ~avg_delay_all:212.16894533953294
+    ~max_delay:1022.8141160740481;
+  let t2, w2 = exponential_scenario ~seed:5 in
+  let r2 =
+    Engine.run
+      ~options:
+        { Engine.default_options with buffer_bytes = Some 16_000; seed = 3 }
+      ~protocol:(Rapid.make_default Metric.Missed_deadlines) ~trace:t2
+      ~workload:w2 ()
+  in
+  check_golden "exponential/deadline" r2 ~delivered:1133 ~transfers:4815
+    ~drops:0 ~ack_purges:3637 ~data:3852000 ~meta:401480 ~within:1133
+    ~avg_delay:22.640752200477063 ~avg_delay_all:22.504559343422542
+    ~max_delay:105.25903834844821;
+  let t3, w3 = contention_scenario ~seed:9 in
+  let r3 =
+    Engine.run
+      ~options:
+        { Engine.default_options with buffer_bytes = Some 12_000; seed = 2 }
+      ~protocol:(Rapid.make_default Metric.Maximum_delay) ~trace:t3
+      ~workload:w3 ()
+  in
+  check_golden "powerlaw/max" r3 ~delivered:1057 ~transfers:2494 ~drops:1708
+    ~ack_purges:279 ~data:2494000 ~meta:294816 ~within:1051
+    ~avg_delay:80.632460869601246 ~avg_delay_all:244.37462959613663
+    ~max_delay:384.35386238667138
+
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 
@@ -625,7 +785,7 @@ let prop_more_holders_never_slower =
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_nmeet_monotone_in_position; prop_more_holders_never_slower;
-      prop_rapid_meta_cap_respected ]
+      prop_rapid_meta_cap_respected; prop_lazy_rows_equal_full_closure ]
 
 let () =
   Alcotest.run "core"
@@ -639,6 +799,8 @@ let () =
           Alcotest.test_case "transitive vs direct" `Quick
             test_matrix_transitive_vs_direct;
           Alcotest.test_case "global mean" `Quick test_matrix_global_mean;
+          Alcotest.test_case "same-instant keeps cache" `Quick
+            test_matrix_same_instant_keeps_cache;
         ] );
       ( "estimate_delay",
         [
@@ -687,6 +849,8 @@ let () =
             test_rapid_meta_watermark_no_resend;
           Alcotest.test_case "drop candidate own replacement" `Quick
             test_rapid_drop_candidate_own_replacement;
+          Alcotest.test_case "golden fixed-seed reports" `Slow
+            test_rapid_golden_reports;
         ] );
       ("properties", qcheck_cases);
     ]

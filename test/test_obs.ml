@@ -67,6 +67,81 @@ let test_json_to_file () =
         (String.length content > 0 && content.[String.length content - 1] = '\n'))
 
 (* ------------------------------------------------------------------ *)
+(* Json reader *)
+
+let test_json_parse_scalars () =
+  Alcotest.(check bool) "null" true (Json.of_string "null" = Json.Null);
+  Alcotest.(check bool) "true" true (Json.of_string "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (Json.of_string " false " = Json.Bool false);
+  Alcotest.(check bool) "int" true (Json.of_string "42" = Json.Int 42);
+  Alcotest.(check bool) "negative" true (Json.of_string "-7" = Json.Int (-7));
+  (* A decimal point or exponent makes it a Float, otherwise an Int. *)
+  Alcotest.(check bool) "float" true (Json.of_string "1.5" = Json.Float 1.5);
+  Alcotest.(check bool) "exponent" true (Json.of_string "2e3" = Json.Float 2000.0);
+  Alcotest.(check bool) "string" true (Json.of_string {|"hi"|} = Json.String "hi")
+
+let test_json_parse_roundtrip () =
+  (* Everything the writer emits must read back structurally equal —
+     check_bench.exe depends on this for BENCH.json. *)
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "rapid-bench/1");
+        ("xs", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null; Json.Bool true ]);
+        ("nested", Json.Obj [ ("s", Json.String "a\"b\\c\n\t") ]);
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+      ]
+  in
+  Alcotest.(check bool) "compact roundtrip" true
+    (Json.of_string (Json.to_string doc) = doc);
+  Alcotest.(check bool) "pretty roundtrip" true
+    (Json.of_string (Json.to_string_pretty doc) = doc)
+
+let test_json_parse_escapes () =
+  Alcotest.(check bool) "named escapes" true
+    (Json.of_string {|"a\nb\tc\r\/\"\\"|} = Json.String "a\nb\tc\r/\"\\");
+  (* \u escapes decode to UTF-8 bytes. *)
+  Alcotest.(check bool) "ascii \\u" true
+    (Json.of_string {|"A"|} = Json.String "A");
+  Alcotest.(check bool) "two-byte \\u" true
+    (Json.of_string {|"é"|} = Json.String "\xc3\xa9")
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected Parse_error on %S" s
+  in
+  fails "";
+  fails "{";
+  fails "[1,]";
+  fails {|{"a":1,}|};
+  fails {|{"a" 1}|};
+  fails "nul";
+  fails {|"unterminated|};
+  (* Trailing garbage after a complete value is rejected too. *)
+  fails "1 2";
+  fails "{} x"
+
+let test_json_of_file () =
+  let path = Filename.temp_file "rapid_obs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let doc = Json.Obj [ ("k", Json.List [ Json.Int 1; Json.Int 2 ]) ] in
+      Json.to_file path doc;
+      Alcotest.(check bool) "file roundtrip" true (Json.of_file path = doc))
+
+let test_json_member () =
+  let doc = Json.Obj [ ("a", Json.Int 1); ("b", Json.Null) ] in
+  Alcotest.(check bool) "present" true (Json.member "a" doc = Some (Json.Int 1));
+  Alcotest.(check bool) "null member is found" true
+    (Json.member "b" doc = Some Json.Null);
+  Alcotest.(check bool) "absent" true (Json.member "c" doc = None);
+  Alcotest.(check bool) "non-object" true (Json.member "a" (Json.Int 1) = None)
+
+(* ------------------------------------------------------------------ *)
 (* Counter *)
 
 let test_counter_registry () =
@@ -174,6 +249,12 @@ let () =
           Alcotest.test_case "string escaping" `Quick test_json_string_escaping;
           Alcotest.test_case "nesting" `Quick test_json_nesting;
           Alcotest.test_case "to_file" `Quick test_json_to_file;
+          Alcotest.test_case "parse scalars" `Quick test_json_parse_scalars;
+          Alcotest.test_case "parse roundtrip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "parse escapes" `Quick test_json_parse_escapes;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "of_file" `Quick test_json_of_file;
+          Alcotest.test_case "member" `Quick test_json_member;
         ] );
       ( "counter",
         [

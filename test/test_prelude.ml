@@ -449,10 +449,90 @@ let prop_exponential_positive =
       let rng = Rng.create (int_of_float (mean *. 1000.0)) in
       Dist.exponential rng ~mean > 0.0)
 
+(* ------------------------------------------------------------------ *)
+(* Dense flat matrices *)
+
+let test_dense_mat_roundtrip () =
+  let m = Dense.Mat.create ~init:nan 3 in
+  Alcotest.(check int) "dim" 3 (Dense.Mat.dim m);
+  Alcotest.(check bool) "init" true (Float.is_nan (Dense.Mat.get m 2 1));
+  Dense.Mat.set m 0 2 1.5;
+  Dense.Mat.set m 2 0 (-2.0);
+  check_close "cell (0,2)" 1.5 (Dense.Mat.get m 0 2);
+  check_close "cell (2,0)" (-2.0) (Dense.Mat.get m 2 0);
+  (* Row-major backing store: (i,j) lives at i*dim + j. *)
+  check_close "flat layout" 1.5 (Dense.Mat.data m).(2);
+  Dense.Int_mat.(
+    let im = create ~init:7 2 in
+    set im 1 0 42;
+    Alcotest.(check int) "int cell" 42 (get im 1 0);
+    Alcotest.(check int) "int init" 7 (get im 0 1))
+
+let test_dense_cumulative_grid () =
+  (* Cell means must match Moving_average.Cumulative exactly — the grid
+     is its flat drop-in replacement in the inference hot path. *)
+  let g = Dense.Cumulative_grid.create 3 in
+  let c = Moving_average.Cumulative.create () in
+  Alcotest.(check (option (float 0.0))) "empty" None
+    (Dense.Cumulative_grid.value g 0 1);
+  List.iter
+    (fun x ->
+      Dense.Cumulative_grid.add g 0 1 x;
+      Moving_average.Cumulative.add c x)
+    [ 10.0; 0.3; 7.7; 1e-3 ];
+  Alcotest.(check int) "count" (Moving_average.Cumulative.count c)
+    (Dense.Cumulative_grid.count g 0 1);
+  (match
+     (Dense.Cumulative_grid.value g 0 1, Moving_average.Cumulative.value c)
+   with
+  | Some a, Some b ->
+      if a <> b then Alcotest.failf "mean mismatch: %.17g vs %.17g" a b
+  | _ -> Alcotest.fail "missing mean");
+  Alcotest.(check int) "other cell untouched" 0
+    (Dense.Cumulative_grid.count g 1 0);
+  check_close "default" 9.0
+    (Dense.Cumulative_grid.value_or g 2 2 ~default:9.0)
+
+let test_dense_scratch_reuse () =
+  let s = Dense.Scratch.create () in
+  let a1, b1 = Dense.Scratch.rows s 4 in
+  Alcotest.(check bool) "distinct buffers" false (a1 == b1);
+  Alcotest.(check bool) "long enough" true
+    (Array.length a1 >= 4 && Array.length b1 >= 4);
+  let a2, _ = Dense.Scratch.rows s 3 in
+  Alcotest.(check bool) "same buffer reused" true (a1 == a2);
+  let a3, b3 = Dense.Scratch.rows s 32 in
+  Alcotest.(check bool) "grown" true
+    (Array.length a3 >= 32 && Array.length b3 >= 32)
+
+let prop_sortbuf_matches_list_sort =
+  QCheck.Test.make ~name:"sortbuf sorts like List.sort" ~count:200
+    QCheck.(list (float_range (-100.0) 100.0))
+    (fun values ->
+      (* The index component makes the order total (ties broken on a
+         unique key), so the unstable heap sort must agree with List.sort
+         exactly — the property the send_delta rewrite depends on. *)
+      let items = List.mapi (fun i v -> (i, v)) values in
+      let cmp (i, x) (j, y) =
+        match Float.compare x y with 0 -> Int.compare i j | n -> n
+      in
+      let buf = Sortbuf.create () in
+      (* Two rounds through the same buffer: clear must fully reset. *)
+      List.iter (fun x -> Sortbuf.push buf x) items;
+      Sortbuf.sort buf ~cmp;
+      Sortbuf.clear buf;
+      List.iter (fun x -> Sortbuf.push buf x) items;
+      Sortbuf.sort buf ~cmp;
+      let out = ref [] in
+      Sortbuf.iteri buf (fun _ x -> out := x :: !out);
+      List.rev !out = List.sort cmp items
+      && Sortbuf.length buf = List.length items)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_pqueue_sorted; prop_jain_bounds; prop_summarize_min_max;
-      prop_discrete_min_smaller; prop_exponential_positive ]
+      prop_discrete_min_smaller; prop_exponential_positive;
+      prop_sortbuf_matches_list_sort ]
 
 let () =
   Alcotest.run "prelude"
@@ -525,6 +605,12 @@ let () =
         [
           Alcotest.test_case "cumulative" `Quick test_cumulative_average;
           Alcotest.test_case "ewma" `Quick test_ewma;
+        ] );
+      ( "dense",
+        [
+          Alcotest.test_case "mat roundtrip" `Quick test_dense_mat_roundtrip;
+          Alcotest.test_case "cumulative grid" `Quick test_dense_cumulative_grid;
+          Alcotest.test_case "scratch reuse" `Quick test_dense_scratch_reuse;
         ] );
       ("properties", qcheck_cases);
     ]
