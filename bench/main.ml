@@ -8,6 +8,7 @@
    Usage:
      dune exec bench/main.exe                 # quick profile, everything
      dune exec bench/main.exe -- fig4 fig5    # a subset
+     dune exec bench/main.exe -- --jobs 4 fig4     # parallel figure cells
      RAPID_PROFILE=full dune exec bench/main.exe   # paper-scale (slow)
      RAPID_BENCH_OUT=out.json dune exec bench/main.exe  # JSON elsewhere *)
 
@@ -25,6 +26,25 @@ let profile () =
       Params.Quick
 
 let profile_name = function Params.Quick -> "quick" | Params.Full -> "full"
+
+(* Split "--jobs N" (or -j N) out of argv; the rest are artifact ids.
+   Counter/timer totals in BENCH.json are merge-exact, so they match the
+   sequential run's for any job count. *)
+let parse_args argv =
+  let rec go jobs ids = function
+    | [] -> (jobs, List.rev ids)
+    | ("--jobs" | "-j") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j -> go j ids rest
+        | None ->
+            Printf.eprintf "bad --jobs %S (want an integer)\n" n;
+            exit 2)
+    | [ ("--jobs" | "-j") ] ->
+        prerr_endline "--jobs needs a value";
+        exit 2
+    | id :: rest -> go jobs (id :: ids) rest
+  in
+  go 1 [] (List.tl (Array.to_list argv))
 
 (* ------------------------------------------------------------------ *)
 (* Figure / table reproductions *)
@@ -136,10 +156,11 @@ let microbenchmarks () =
     Test.make ~name:"engine: RAPID over 600s/8-node scenario"
       (Staged.stage (fun () ->
            ignore
-             (Rapid_sim.Engine.run
-                ~protocol:
-                  (Rapid_core.Rapid.make_default Rapid_core.Metric.Average_delay)
-                ~trace ~workload ())))
+             ((Rapid_sim.Engine.run
+                 ~protocol:
+                   (Rapid_core.Rapid.make_default Rapid_core.Metric.Average_delay)
+                 ~trace ~workload ())
+                .Rapid_sim.Engine.report)))
   in
   let tests =
     Test.make_grouped ~name:"primitives"
@@ -173,10 +194,17 @@ let microbenchmarks () =
   estimates
 
 let () =
-  let ids = List.tl (Array.to_list Sys.argv) in
+  let jobs, ids = parse_args Sys.argv in
+  Rapid_par.Pool.set_jobs jobs;
   let profile = profile () in
   let params = Params.get profile in
   let artifacts = run_artifacts params ids in
+  (* Snapshot before the microbenchmarks: their iteration counts are
+     time-quota dependent, so counters taken afterwards would vary run to
+     run. Taken here they cover exactly the artifact reproductions —
+     deterministic, and identical for any --jobs width. *)
+  let counters = Counter.to_json () in
+  let timers = Timer.to_json () in
   let micro = microbenchmarks () in
   let out =
     Option.value (Sys.getenv_opt "RAPID_BENCH_OUT") ~default:"BENCH.json"
@@ -206,7 +234,7 @@ let () =
                         | None -> Json.Null );
                     ])
                 micro) );
-         ("counters", Counter.to_json ());
-         ("timers", Timer.to_json ());
+         ("counters", counters);
+         ("timers", timers);
        ]);
   Printf.printf "wrote %s\n" out

@@ -38,6 +38,18 @@ let json_arg =
     & info [ "json" ] ~docv:"PATH"
         ~doc:"Also write the result as machine-readable JSON to $(docv).")
 
+(* Parallelism only changes wall time: every simulation cell is seeded
+   explicitly, and the worker pool preserves result order, so reports
+   (and the JSON artifacts) are bit-identical across --jobs settings. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run independent simulation cells (days, seeds) on $(docv) \
+           domains; 1 (default) is fully sequential. Results are \
+           bit-identical for every value of $(docv).")
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -57,7 +69,8 @@ let figure_cmd =
       & opt (some string) None
       & info [ "i"; "id" ] ~docv:"ID" ~doc:"Artifact id, e.g. fig4 or table3.")
   in
-  let run profile id json_path =
+  let run profile id json_path jobs =
+    Rapid_par.Pool.set_jobs jobs;
     match Catalog.find id with
     | None ->
         Printf.eprintf "unknown artifact %S; try `rapid list`\n" id;
@@ -96,7 +109,8 @@ let figure_cmd =
             Printf.printf "wrote %s\n" path)
           json_path
   in
-  Cmd.v (Cmd.info "figure" ~doc) Term.(const run $ profile_arg $ id_arg $ json_arg)
+  Cmd.v (Cmd.info "figure" ~doc)
+    Term.(const run $ profile_arg $ id_arg $ json_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -179,7 +193,8 @@ let run_cmd =
              deliveries, drops, ack purges, metadata) as JSON lines to \
              $(docv). Bypasses the in-process point cache.")
   in
-  let run profile proto metric_name load trace_file json_path events_path =
+  let run profile proto metric_name load trace_file json_path events_path jobs =
+    Rapid_par.Pool.set_jobs jobs;
     match metric_of_string metric_name with
     | Error e ->
         prerr_endline e;
@@ -215,27 +230,31 @@ let run_cmd =
                           ~lifetime:params.Params.trace_deadline ()
                       in
                       [
-                        Rapid_sim.Engine.run ~tracer
-                          ~protocol:(spec.Runners.make ()) ~trace ~workload ();
+                        (Rapid_sim.Engine.run ~tracer
+                           ~protocol:(spec.Runners.make ()) ~trace ~workload ())
+                          .Rapid_sim.Engine.report;
                       ]
                   | None ->
                       if Rapid_obs.Tracer.enabled tracer then
-                        (* Tracing needs live runs, not cached reports. *)
+                        (* Tracing needs live runs, not cached reports —
+                           and a single ordered event stream, so this
+                           path stays sequential regardless of --jobs. *)
                         List.init params.Params.days (fun day ->
                             let trace = Runners.trace_day ~params ~day in
                             let workload =
                               Runners.trace_workload ~params ~trace ~load ~day
                             in
-                            Rapid_sim.Engine.run ~tracer
-                              ~options:
-                                {
-                                  Rapid_sim.Engine.buffer_bytes =
-                                    params.Params.trace_buffer_bytes;
-                                  meta_cap_frac = None;
-                                  seed = params.Params.base_seed + day;
-                                }
-                              ~protocol:(spec.Runners.make ()) ~trace ~workload
-                              ())
+                            (Rapid_sim.Engine.run ~tracer
+                               ~options:
+                                 {
+                                   Rapid_sim.Engine.buffer_bytes =
+                                     params.Params.trace_buffer_bytes;
+                                   meta_cap_frac = None;
+                                   seed = params.Params.base_seed + day;
+                                 }
+                               ~protocol:(spec.Runners.make ()) ~trace ~workload
+                               ())
+                              .Rapid_sim.Engine.report)
                       else
                         Runners.run_trace_point ~params ~protocol:spec ~load ())
             in
@@ -267,7 +286,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ profile_arg $ proto_arg $ metric_arg $ load_arg
-      $ trace_file_arg $ json_arg $ events_arg)
+      $ trace_file_arg $ json_arg $ events_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -29,4 +29,13 @@ BENCH_SMOKE_OUT="${TMPDIR:-/tmp}/rapid_bench_smoke.json"
 RAPID_BENCH_OUT="$BENCH_SMOKE_OUT" dune exec bench/main.exe -- table3 >/dev/null
 dune exec bench/check_bench.exe -- "$BENCH_SMOKE_OUT"
 
+# Parallel determinism smoke: the same figure with --jobs 2 must be
+# byte-identical to the sequential run (the Rapid_par contract).
+echo "== parallel determinism smoke =="
+FIG_SEQ="${TMPDIR:-/tmp}/rapid_fig3_seq.json"
+FIG_PAR="${TMPDIR:-/tmp}/rapid_fig3_par.json"
+dune exec bin/main.exe -- figure -i fig3 --json "$FIG_SEQ" >/dev/null
+dune exec bin/main.exe -- figure -i fig3 --jobs 2 --json "$FIG_PAR" >/dev/null
+cmp "$FIG_SEQ" "$FIG_PAR"
+
 echo "All checks passed."

@@ -28,7 +28,7 @@ let () =
   Format.printf "%-14s %9s %10s %9s %10s %9s@." "protocol" "delivered"
     "avg (min)" "max (min)" "deadline%" "meta/data";
   let race label protocol =
-    let r = Engine.run ~protocol ~trace ~workload () in
+    let r = (Engine.run ~protocol ~trace ~workload ()).Engine.report in
     Format.printf "%-14s %8.1f%% %10.1f %9.1f %9.1f%% %9.4f@." label
       (100.0 *. r.Metrics.delivery_rate)
       (r.Metrics.avg_delay /. 60.0)

@@ -43,9 +43,10 @@ let () =
     (List.length workload);
   let run label protocol =
     let report =
-      Engine.run
-        ~options:{ Engine.default_options with buffer_bytes = Some 20_480 }
-        ~protocol ~trace ~workload ()
+      (Engine.run
+         ~options:{ Engine.default_options with buffer_bytes = Some 20_480 }
+         ~protocol ~trace ~workload ())
+        .Engine.report
     in
     Format.printf "%-22s fresh: %4.1f%%   eventually delivered: %4.1f%%@." label
       (100.0 *. report.Metrics.within_deadline_rate)

@@ -28,17 +28,19 @@ let () =
   in
   Format.printf "workload: %d packets@." (List.length workload);
   let report =
-    Engine.run
-      ~options:{ Engine.default_options with buffer_bytes = Some 65_536 }
-      ~protocol:(Rapid.make_default Metric.Average_delay)
-      ~trace ~workload ()
+    (Engine.run
+       ~options:{ Engine.default_options with buffer_bytes = Some 65_536 }
+       ~protocol:(Rapid.make_default Metric.Average_delay)
+       ~trace ~workload ())
+      .Engine.report
   in
   Format.printf "RAPID: %a@." Metrics.pp_report report;
   (* The same network under Random replication, for contrast. *)
   let baseline =
-    Engine.run
-      ~options:{ Engine.default_options with buffer_bytes = Some 65_536 }
-      ~protocol:(Rapid_routing.Random_protocol.make ())
-      ~trace ~workload ()
+    (Engine.run
+       ~options:{ Engine.default_options with buffer_bytes = Some 65_536 }
+       ~protocol:(Rapid_routing.Random_protocol.make ())
+       ~trace ~workload ())
+      .Engine.report
   in
   Format.printf "Random: %a@." Metrics.pp_report baseline

@@ -42,16 +42,17 @@ let run (params : Params.t) =
     variants;
   (* The P2 contrast: single-copy forwarding with a full future oracle. *)
   let oracle_point =
-    List.init params.Params.days (fun day ->
+    Rapid_par.Pool.init params.Params.days (fun day ->
         let trace = Runners.trace_day ~params ~day in
         let workload = Runners.trace_workload ~params ~trace ~load ~day in
-        Engine.run
-          ~options:
-            { Engine.default_options with
-              buffer_bytes = params.Params.trace_buffer_bytes;
-              seed = params.Params.base_seed + day }
-          ~protocol:(Rapid_routing.Oracle_forwarding.make ~trace ())
-          ~trace ~workload ())
+        (Engine.run
+           ~options:
+             { Engine.default_options with
+               buffer_bytes = params.Params.trace_buffer_bytes;
+               seed = params.Params.base_seed + day }
+           ~protocol:(Rapid_routing.Oracle_forwarding.make ~trace ())
+           ~trace ~workload ())
+          .Engine.report)
   in
   row "oracle fwd (P2, 1 copy)" oracle_point;
   Stdlib.Buffer.add_string buf

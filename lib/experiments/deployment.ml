@@ -28,15 +28,18 @@ let run_day ~(params : Params.t) ~day ~noisy =
     Runners.trace_workload ~params ~trace ~load:deployment_load ~day
   in
   let report =
-    Engine.run
-      ~options:{ Engine.default_options with seed = params.Params.base_seed + day }
-      ~protocol:(Rapid.make_default Metric.Average_delay)
-      ~trace ~workload ()
+    (Engine.run
+       ~options:{ Engine.default_options with seed = params.Params.base_seed + day }
+       ~protocol:(Rapid.make_default Metric.Average_delay)
+       ~trace ~workload ())
+      .Engine.report
   in
   (trace, report)
 
 let table3 (params : Params.t) =
-  let days = List.init params.Params.days (fun d -> run_day ~params ~day:d ~noisy:true) in
+  let days =
+    Rapid_par.Pool.init params.Params.days (fun d -> run_day ~params ~day:d ~noisy:true)
+  in
   let mean f = Stats.mean (List.map f days) in
   {
     avg_buses_scheduled = mean (fun (t, _) -> float_of_int (Array.length t.Trace.active));
@@ -65,7 +68,7 @@ let render_table3 t =
 
 let fig3 (params : Params.t) =
   let per_day noisy =
-    List.init params.Params.days (fun day ->
+    Rapid_par.Pool.init params.Params.days (fun day ->
         let _, r = run_day ~params ~day ~noisy in
         (float_of_int day, r.Metrics.avg_delay /. 60.0))
   in

@@ -22,7 +22,7 @@ let fig15 (params : Params.t) =
   let batch_fracs = [ 0.1; 0.2; 0.3; 0.4; 0.5 ] in
   let indices n =
     List.concat
-      (List.init params.Params.days (fun day ->
+      (Rapid_par.Pool.init params.Params.days (fun day ->
            let trace = Runners.trace_day ~params ~day in
            let rng = Rng.create ((params.Params.base_seed * 131) + day) in
            let ats =
@@ -46,11 +46,12 @@ let fig15 (params : Params.t) =
                (batches @ background)
            in
            let report =
-             Engine.run
-               ~options:
-                 { Engine.default_options with seed = params.Params.base_seed + day }
-               ~protocol:(Rapid.make_default Metric.Average_delay)
-               ~trace ~workload ()
+             (Engine.run
+                ~options:
+                  { Engine.default_options with seed = params.Params.base_seed + day }
+                ~protocol:(Rapid.make_default Metric.Average_delay)
+                ~trace ~workload ())
+               .Engine.report
            in
            List.filter_map (fun at -> batch_index report ~batch_time:at) ats))
   in

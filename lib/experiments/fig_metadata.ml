@@ -17,7 +17,8 @@ let fig8 params =
             (fun cap ->
               let point =
                 Runners.run_trace_point ~params ~protocol ~load
-                  ~meta_cap_frac:cap ()
+                  ~spec:{ Runners.default_spec with meta_cap_frac = Some cap }
+                  ()
               in
               ( cap,
                 Runners.mean_of point (fun r -> r.Metrics.avg_delay /. 60.0) ))

@@ -30,12 +30,14 @@ let fig13 (params : Params.t) =
       ("MaxProp", Runners.maxprop);
     ]
   in
-  let bound_count = ref 0 and exact_count = ref 0 in
   let per_day load day =
     let trace = day_slice ~params ~day ~frac in
     let workload = Runners.trace_workload ~params ~trace ~load ~day in
     (trace, workload)
   in
+  (* Solver-method counts are tallied from the returned tags, not bumped
+     inside the parallel region. *)
+  let bound_count = ref 0 and exact_count = ref 0 in
   let optimal_line =
     {
       Series.label = "Optimal";
@@ -43,18 +45,22 @@ let fig13 (params : Params.t) =
         List.map
           (fun load ->
             let vals =
-              List.init days (fun day ->
+              Rapid_par.Pool.init days (fun day ->
                   let trace, workload = per_day load day in
                   let v =
                     Rapid_routing.Optimal.evaluate ~trace ~workload ()
                   in
-                  (match v.Rapid_routing.Optimal.how with
-                  | Rapid_routing.Optimal.Bound -> incr bound_count
-                  | Rapid_routing.Optimal.Ilp_exact
-                  | Rapid_routing.Optimal.Ilp_incumbent -> incr exact_count);
-                  v.Rapid_routing.Optimal.avg_delay_all /. 60.0)
+                  ( v.Rapid_routing.Optimal.avg_delay_all /. 60.0,
+                    v.Rapid_routing.Optimal.how ))
             in
-            (load, Rapid_prelude.Stats.mean vals))
+            List.iter
+              (fun (_, how) ->
+                match how with
+                | Rapid_routing.Optimal.Bound -> incr bound_count
+                | Rapid_routing.Optimal.Ilp_exact
+                | Rapid_routing.Optimal.Ilp_incumbent -> incr exact_count)
+              vals;
+            (load, Rapid_prelude.Stats.mean (List.map fst vals)))
           loads;
     }
   in
@@ -67,11 +73,12 @@ let fig13 (params : Params.t) =
             List.map
               (fun load ->
                 let vals =
-                  List.init days (fun day ->
+                  Rapid_par.Pool.init days (fun day ->
                       let trace, workload = per_day load day in
                       let r =
-                        Engine.run ~protocol:(proto.Runners.make ()) ~trace
-                          ~workload ()
+                        (Engine.run ~protocol:(proto.Runners.make ()) ~trace
+                           ~workload ())
+                          .Engine.report
                       in
                       r.Metrics.avg_delay_all /. 60.0)
                 in

@@ -48,7 +48,11 @@ let sweep ~(params : Params.t) ~mobility ~axis ~which =
         ( List.map float_of_int params.Params.syn_buffers,
           fun p bytes ->
             Runners.run_synthetic_point ~params ~protocol:p ~mobility
-              ~load:20.0 ~buffer_bytes:(int_of_float bytes) () )
+              ~load:20.0
+              ~spec:
+                { Runners.default_spec with
+                  buffer = Runners.Bytes (int_of_float bytes) }
+              () )
   in
   List.map
     (fun (p : Runners.protocol_spec) ->

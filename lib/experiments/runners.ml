@@ -2,6 +2,7 @@ open Rapid_prelude
 open Rapid_trace
 open Rapid_sim
 open Rapid_core
+module Pool = Rapid_par.Pool
 
 type protocol_spec = {
   label : string;
@@ -75,55 +76,115 @@ let trace_workload ~(params : Params.t) ~trace ~load ~day =
     ~size:params.Params.trace_packet_bytes
     ~lifetime:params.Params.trace_deadline ()
 
-let trace_point_cache : (string, Metrics.report list) Hashtbl.t =
+(* ------------------------------------------------------------------ *)
+(* Point specs: the non-default knobs of a figure point, folded into one
+   record instead of a sprawl of per-call optional arguments. *)
+
+type buffer_spec = Profile_default | Unlimited | Bytes of int
+
+type point_spec = {
+  meta_cap_frac : float option;
+  buffer : buffer_spec;
+  deployment_noise : bool;
+}
+
+let default_spec =
+  { meta_cap_frac = None; buffer = Profile_default; deployment_noise = false }
+
+module Point_key = struct
+  type t = {
+    cache_id : string;
+    load : float;
+    meta_cap_frac : float option;
+    buffer_bytes : int option;  (* resolved: [None] = unlimited storage *)
+    deployment_noise : bool;
+    days : int;
+    base_seed : int;
+    packet_bytes : int;
+    deadline : float;
+  }
+end
+
+(* Guards [trace_point_cache]: points may be computed from fig drivers
+   that themselves run on pool workers, and the pool makes no promise
+   about which domain executes a task. *)
+let cache_lock = Mutex.create ()
+
+let trace_point_cache : (Point_key.t, Metrics.report list) Hashtbl.t =
   Hashtbl.create 64
 
-let run_trace_point_uncached ~(params : Params.t) ~protocol ~load
-    ~meta_cap_frac ~buffer_bytes ~deployment_noise =
-  List.init params.Params.days (fun day ->
+let reset_point_cache () =
+  Mutex.protect cache_lock (fun () -> Hashtbl.reset trace_point_cache)
+
+(* Each day is an independent cell: trace, workload and engine seed all
+   derive from (base_seed, day), so the pool fan-out is bit-identical to
+   the sequential List.init. *)
+let run_trace_point_uncached ~(params : Params.t) ~protocol ~load ~spec
+    ~buffer_bytes =
+  Pool.init params.Params.days (fun day ->
       let trace = trace_day ~params ~day in
       let trace =
-        if deployment_noise then begin
+        if spec.deployment_noise then begin
           let rng = Rng.create ((params.Params.base_seed * 31) + day) in
           Dieselnet.with_deployment_noise rng trace
         end
         else trace
       in
       let workload = trace_workload ~params ~trace ~load ~day in
-      Engine.run
-        ~options:
-          { Engine.buffer_bytes; meta_cap_frac; seed = params.Params.base_seed + day }
-        ~protocol:(protocol.make ()) ~trace ~workload ())
+      (Engine.run
+         ~options:
+           {
+             Engine.buffer_bytes;
+             meta_cap_frac = spec.meta_cap_frac;
+             seed = params.Params.base_seed + day;
+           }
+         ~protocol:(protocol.make ()) ~trace ~workload ())
+        .Engine.report)
 
-let run_trace_point ~(params : Params.t) ~protocol ~load ?meta_cap_frac
-    ?buffer_bytes ?(deployment_noise = false) () =
+let run_trace_point ~(params : Params.t) ~protocol ~load ?(spec = default_spec)
+    () =
   let buffer_bytes =
-    match buffer_bytes with
-    | Some b -> b
-    | None -> params.Params.trace_buffer_bytes
+    match spec.buffer with
+    | Profile_default -> params.Params.trace_buffer_bytes
+    | Unlimited -> None
+    | Bytes b -> Some b
   in
   let key =
-    Printf.sprintf "%s|%g|%s|%s|%b|%d" protocol.cache_id load
-      (match meta_cap_frac with None -> "-" | Some f -> string_of_float f)
-      (match buffer_bytes with None -> "-" | Some b -> string_of_int b)
-      deployment_noise params.Params.days
+    {
+      Point_key.cache_id = protocol.cache_id;
+      load;
+      meta_cap_frac = spec.meta_cap_frac;
+      buffer_bytes;
+      deployment_noise = spec.deployment_noise;
+      days = params.Params.days;
+      base_seed = params.Params.base_seed;
+      packet_bytes = params.Params.trace_packet_bytes;
+      deadline = params.Params.trace_deadline;
+    }
   in
-  match Hashtbl.find_opt trace_point_cache key with
+  match
+    Mutex.protect cache_lock (fun () ->
+        Hashtbl.find_opt trace_point_cache key)
+  with
   | Some pt -> pt
   | None ->
-      let pt =
-        run_trace_point_uncached ~params ~protocol ~load ~meta_cap_frac
-          ~buffer_bytes ~deployment_noise
-      in
-      Hashtbl.replace trace_point_cache key pt;
+      (* Computed outside the lock (a point is seconds of simulation);
+         a racing duplicate computation would produce the identical
+         value, so a lost replace is harmless. *)
+      let pt = run_trace_point_uncached ~params ~protocol ~load ~spec ~buffer_bytes in
+      Mutex.protect cache_lock (fun () ->
+          Hashtbl.replace trace_point_cache key pt);
       pt
 
 let run_synthetic_point ~(params : Params.t) ~protocol ~mobility ~load
-    ?buffer_bytes () =
+    ?(spec = default_spec) () =
   let buffer_bytes =
-    Option.value buffer_bytes ~default:params.Params.syn_buffer_bytes
+    match spec.buffer with
+    | Profile_default -> Some params.Params.syn_buffer_bytes
+    | Unlimited -> None
+    | Bytes b -> Some b
   in
-  List.init params.Params.syn_runs (fun run ->
+  Pool.init params.Params.syn_runs (fun run ->
       let seed = params.Params.base_seed + (1000 * run) in
       let rng = Rng.create seed in
       let trace =
@@ -147,11 +208,8 @@ let run_synthetic_point ~(params : Params.t) ~protocol ~mobility ~load
           ~size:params.Params.syn_packet_bytes
           ~lifetime:params.Params.syn_deadline ()
       in
-      Engine.run
-        ~options:
-          {
-            Engine.buffer_bytes = Some buffer_bytes;
-            meta_cap_frac = None;
-            seed;
-          }
-        ~protocol:(protocol.make ()) ~trace ~workload ())
+      (Engine.run
+         ~options:
+           { Engine.buffer_bytes; meta_cap_frac = spec.meta_cap_frac; seed }
+         ~protocol:(protocol.make ()) ~trace ~workload ())
+        .Engine.report)

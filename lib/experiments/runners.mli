@@ -1,5 +1,10 @@
 (** Shared machinery for the figure reproductions: protocol zoo, workload
-    construction, and averaging over trace days / seeds. *)
+    construction, and averaging over trace days / seeds.
+
+    Point runners fan their independent day/seed cells out through
+    [Rapid_par.Pool] (the global pool; sequential unless the CLI set
+    [--jobs]). Every cell derives its RNGs from explicit seeds, so a
+    parallel point is bit-identical to a sequential one. *)
 
 type protocol_spec = {
   label : string;  (** Line label in the rendered figure. *)
@@ -31,29 +36,69 @@ val mean_of : point -> (Rapid_sim.Metrics.report -> float) -> float
     (a zero-delivery day reports [nan] delays); [nan] when no sample is
     finite. *)
 
+(** Storage override for one point. *)
+type buffer_spec =
+  | Profile_default  (** The profile's trace/synthetic buffer setting. *)
+  | Unlimited
+  | Bytes of int
+
+type point_spec = {
+  meta_cap_frac : float option;
+      (** Administrator metadata cap (the Fig. 8 knob); [None] leaves the
+          protocol's own policy in charge. *)
+  buffer : buffer_spec;
+  deployment_noise : bool;
+      (** Apply the Table-3 deployment-imperfection layer to each trace
+          day (trace points only). *)
+}
+
+val default_spec : point_spec
+(** No cap, profile buffers, no noise — override fields as needed:
+    [{ default_spec with buffer = Bytes b }]. *)
+
 val run_trace_point :
   params:Params.t ->
   protocol:protocol_spec ->
   load:float ->
-  ?meta_cap_frac:float ->
-  ?buffer_bytes:int option ->
-  ?deployment_noise:bool ->
+  ?spec:point_spec ->
   unit ->
   point
 (** Run the protocol over the profile's DieselNet days at the given load
     (packets/hour/destination), with the profile's packet size, deadline
-    and buffers. *)
+    and buffers unless [spec] overrides them. Cached per process under a
+    typed {!Point_key.t} (protocol configuration, load, spec overrides,
+    and the profile inputs the run depends on — days, base seed, packet
+    size, deadline — so two profiles in one process never alias). *)
 
 val run_synthetic_point :
   params:Params.t ->
   protocol:protocol_spec ->
   mobility:[ `Powerlaw | `Exponential ] ->
   load:float ->
-  ?buffer_bytes:int ->
+  ?spec:point_spec ->
   unit ->
   point
 (** Run the profile's Table-4 synthetic scenario over [syn_runs] seeds;
-    [load] is packets per 50 s per destination. *)
+    [load] is packets per 50 s per destination. [spec.deployment_noise]
+    is ignored (it is a trace-layer effect). *)
+
+(** The typed trace-point cache key (exposed for tests). *)
+module Point_key : sig
+  type t = {
+    cache_id : string;
+    load : float;
+    meta_cap_frac : float option;
+    buffer_bytes : int option;
+    deployment_noise : bool;
+    days : int;
+    base_seed : int;
+    packet_bytes : int;
+    deadline : float;
+  }
+end
+
+val reset_point_cache : unit -> unit
+(** Drop every cached trace point (tests use this to force live runs). *)
 
 val trace_day :
   params:Params.t -> day:int -> Rapid_trace.Trace.t

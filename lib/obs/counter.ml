@@ -1,25 +1,68 @@
-type t = { name : string; mutable count : int }
+(* Each counter owns one cell *per domain* (a [Domain.DLS] slot): the hot
+   path is a DLS array load plus an int-ref increment, with no lock and no
+   sharing, so parallel workers never contend or race. Totals from worker
+   domains are folded into [merged] (under [lock]) at task boundaries by
+   {!merge_domain}; reads compose the calling domain's cell with the
+   merged total, so a snapshot taken on the main domain after a parallel
+   map equals the sequential run's. *)
 
+type t = {
+  name : string;
+  local : int ref Domain.DLS.key;
+  mutable merged : int;  (* flushed worker totals; protected by [lock] *)
+}
+
+let lock = Mutex.create ()
 let registry : (string, t) Hashtbl.t = Hashtbl.create 32
 
 let create name =
-  match Hashtbl.find_opt registry name with
-  | Some c -> c
-  | None ->
-      let c = { name; count = 0 } in
-      Hashtbl.replace registry name c;
-      c
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+          let c =
+            { name; local = Domain.DLS.new_key (fun () -> ref 0); merged = 0 }
+          in
+          Hashtbl.replace registry name c;
+          c)
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let value c = c.count
-let reset c = c.count <- 0
+let incr c = Stdlib.incr (Domain.DLS.get c.local)
+
+let add c n =
+  let r = Domain.DLS.get c.local in
+  r := !r + n
+
+let value c = !(Domain.DLS.get c.local) + c.merged
+
+let reset c =
+  Domain.DLS.get c.local := 0;
+  Mutex.protect lock (fun () -> c.merged <- 0)
+
+let merge_domain () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter
+        (fun _ c ->
+          let r = Domain.DLS.get c.local in
+          if !r <> 0 then begin
+            c.merged <- c.merged + !r;
+            r := 0
+          end)
+        registry)
 
 let snapshot () =
-  Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) registry []
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold
+        (fun name c acc -> (name, !(Domain.DLS.get c.local) + c.merged) :: acc)
+        registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let reset_all () = Hashtbl.iter (fun _ c -> c.count <- 0) registry
+let reset_all () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter
+        (fun _ c ->
+          Domain.DLS.get c.local := 0;
+          c.merged <- 0)
+        registry)
 
 let to_json () =
   Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) (snapshot ()))

@@ -11,7 +11,16 @@
     call {!reset_all} before a measured section when per-run numbers are
     needed. Creating a counter with an existing name returns the existing
     cell, so module-level [create] calls are idempotent across functor
-    instantiations. *)
+    instantiations.
+
+    Counters are domain-safe: each counter keeps one private cell per
+    domain ([incr]/[add] touch only the calling domain's cell, lock-free),
+    and {!merge_domain} folds a domain's cells into the shared merged
+    totals. [Rapid_par] workers call it at every task boundary, so reads
+    taken on the main domain after a parallel map see exactly the
+    sequential run's totals. Reads ({!value}, {!snapshot}) compose the
+    calling domain's cell with the merged total — mid-task increments on
+    other live domains are not yet visible. *)
 
 type t
 
@@ -27,6 +36,12 @@ val snapshot : unit -> (string * int) list
 (** All registered counters, sorted by name. *)
 
 val reset_all : unit -> unit
+
+val merge_domain : unit -> unit
+(** Fold every counter's calling-domain cell into its shared merged total
+    and zero the local cells. Called by worker domains when they finish a
+    task (before completion is signalled); harmless on the main domain
+    (reads already compose local + merged). *)
 
 val to_json : unit -> Json.t
 (** [snapshot] as a JSON object keyed by counter name. *)

@@ -1,18 +1,39 @@
-type t = { name : string; mutable total_s : float; mutable count : int }
+(* Same per-domain-cell scheme as Counter: [time]/[add_s] touch only the
+   calling domain's cell (lock-free), worker totals fold into [merged_*]
+   under [lock] at task boundaries via [merge_domain]. *)
 
+type cell = { mutable total_s : float; mutable count : int }
+
+type t = {
+  name : string;
+  local : cell Domain.DLS.key;
+  mutable merged_s : float;  (* protected by [lock] *)
+  mutable merged_count : int;  (* protected by [lock] *)
+}
+
+let lock = Mutex.create ()
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 
 let create name =
-  match Hashtbl.find_opt registry name with
-  | Some t -> t
-  | None ->
-      let t = { name; total_s = 0.0; count = 0 } in
-      Hashtbl.replace registry name t;
-      t
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some t -> t
+      | None ->
+          let t =
+            {
+              name;
+              local = Domain.DLS.new_key (fun () -> { total_s = 0.0; count = 0 });
+              merged_s = 0.0;
+              merged_count = 0;
+            }
+          in
+          Hashtbl.replace registry name t;
+          t)
 
 let add_s t s =
-  t.total_s <- t.total_s +. s;
-  t.count <- t.count + 1
+  let c = Domain.DLS.get t.local in
+  c.total_s <- c.total_s +. s;
+  c.count <- c.count + 1
 
 (* CLOCK_MONOTONIC (ns) via bechamel's stub: wall clock is NTP-jumpable,
    and a step during a timed span would record a wildly wrong (even
@@ -23,19 +44,41 @@ let time t f =
   let t0 = now_s () in
   Fun.protect ~finally:(fun () -> add_s t (now_s () -. t0)) f
 
-let total_s t = t.total_s
-let count t = t.count
+let total_s t = (Domain.DLS.get t.local).total_s +. t.merged_s
+let count t = (Domain.DLS.get t.local).count + t.merged_count
+
+let merge_domain () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter
+        (fun _ t ->
+          let c = Domain.DLS.get t.local in
+          if c.count <> 0 || c.total_s <> 0.0 then begin
+            t.merged_s <- t.merged_s +. c.total_s;
+            t.merged_count <- t.merged_count + c.count;
+            c.total_s <- 0.0;
+            c.count <- 0
+          end)
+        registry)
 
 let snapshot () =
-  Hashtbl.fold (fun name t acc -> (name, t.total_s, t.count) :: acc) registry []
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold
+        (fun name t acc ->
+          let c = Domain.DLS.get t.local in
+          (name, c.total_s +. t.merged_s, c.count + t.merged_count) :: acc)
+        registry [])
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
 let reset_all () =
-  Hashtbl.iter
-    (fun _ t ->
-      t.total_s <- 0.0;
-      t.count <- 0)
-    registry
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter
+        (fun _ t ->
+          let c = Domain.DLS.get t.local in
+          c.total_s <- 0.0;
+          c.count <- 0;
+          t.merged_s <- 0.0;
+          t.merged_count <- 0)
+        registry)
 
 let to_json () =
   Json.Obj

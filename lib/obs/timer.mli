@@ -4,7 +4,11 @@
     totals are reported in seconds, so the JSON schema is unchanged. Used
     by the bench harness for per-artifact wall-times and by the hot-path
     spans (row builds, rank); same registry semantics as {!Counter}
-    (idempotent [create], {!reset_all} scopes a measured section). *)
+    (idempotent [create], {!reset_all} scopes a measured section, one
+    private cell per domain merged by {!merge_domain} at [Rapid_par] task
+    boundaries). Note that under a parallel run a timer's total sums the
+    spans of every domain, so it can exceed elapsed wall time — that is
+    the same CPU-seconds a sequential run would have accumulated. *)
 
 type t
 
@@ -23,6 +27,10 @@ val snapshot : unit -> (string * float * int) list
 (** (name, total seconds, activations), sorted by name. *)
 
 val reset_all : unit -> unit
+
+val merge_domain : unit -> unit
+(** Fold the calling domain's cells into the shared merged totals (see
+    {!Counter.merge_domain}). *)
 
 val to_json : unit -> Json.t
 (** Object keyed by timer name with [{"total_s": ..., "count": ...}]

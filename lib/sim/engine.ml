@@ -143,7 +143,9 @@ let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
     end
   done
 
-let run_with_env ?(options = default_options) ?(tracer = Tracer.null) ~protocol
+type result = { report : Metrics.report; env : Env.t }
+
+let run ?(options = default_options) ?(tracer = Tracer.null) ~protocol
     ~trace ~workload () =
   let (module P : Protocol.S) = protocol in
   let env =
@@ -201,7 +203,4 @@ let run_with_env ?(options = default_options) ?(tracer = Tracer.null) ~protocol
       incr ci
     end
   done;
-  (Metrics.report metrics, env)
-
-let run ?options ?tracer ~protocol ~trace ~workload () =
-  fst (run_with_env ?options ?tracer ~protocol ~trace ~workload ())
+  { report = Metrics.report metrics; env }

@@ -17,6 +17,11 @@ type options = {
 
 val default_options : options
 
+type result = { report : Metrics.report; env : Env.t }
+(** One run's outcome: the measured report plus the final environment
+    (tests use [env] to check conservation invariants; most callers read
+    only [report]). *)
+
 val run :
   ?options:options ->
   ?tracer:Rapid_obs.Tracer.t ->
@@ -24,18 +29,8 @@ val run :
   trace:Rapid_trace.Trace.t ->
   workload:Rapid_trace.Workload.spec list ->
   unit ->
-  Metrics.report
-(** [tracer] receives a structured event per contact, transfer, delivery,
-    drop, ack purge and per-contact metadata total; the default null
-    tracer is free (emission sites do not even build the event). *)
-
-val run_with_env :
-  ?options:options ->
-  ?tracer:Rapid_obs.Tracer.t ->
-  protocol:Protocol.packed ->
-  trace:Rapid_trace.Trace.t ->
-  workload:Rapid_trace.Workload.spec list ->
-  unit ->
-  Metrics.report * Env.t
-(** Like {!run} but also exposes the final environment (tests use it to
-    check conservation invariants). *)
+  result
+(** The single engine entry point. [tracer] receives a structured event
+    per contact, transfer, delivery, drop, ack purge and per-contact
+    metadata total; the default null tracer is free (emission sites do
+    not even build the event). *)

@@ -304,7 +304,7 @@ let test_rapid_direct_delivery () =
       [ Contact.make ~time:3.0 ~a:0 ~b:1 ~bytes:1000 ]
   in
   let workload = [ spec ~src:0 ~dst:1 () ] in
-  let report = Engine.run ~protocol:(rapid ()) ~trace ~workload () in
+  let report = (Engine.run ~protocol:(rapid ()) ~trace ~workload ()).Engine.report in
   Alcotest.(check int) "delivered" 1 report.Metrics.delivered;
   check_close "delay" 3.0 report.Metrics.avg_delay
 
@@ -322,7 +322,7 @@ let test_rapid_replicates_after_learning () =
       (cycle 10.0 @ cycle 30.0 @ cycle 50.0)
   in
   let workload = [ spec ~src:0 ~dst:2 ~created:20.0 () ] in
-  let report = Engine.run ~protocol:(rapid ()) ~trace ~workload () in
+  let report = (Engine.run ~protocol:(rapid ()) ~trace ~workload ()).Engine.report in
   Alcotest.(check int) "delivered via relay" 1 report.Metrics.delivered
 
 let test_rapid_cold_start_direct_only () =
@@ -332,7 +332,7 @@ let test_rapid_cold_start_direct_only () =
       [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:1000 ]
   in
   let workload = [ spec ~src:0 ~dst:2 () ] in
-  let report = Engine.run ~protocol:(rapid ()) ~trace ~workload () in
+  let report = (Engine.run ~protocol:(rapid ()) ~trace ~workload ()).Engine.report in
   Alcotest.(check int) "no blind replication" 0 report.Metrics.transfers
 
 let test_rapid_acks_purge_replicas () =
@@ -347,8 +347,8 @@ let test_rapid_acks_purge_replicas () =
       (List.concat_map cycle [ 10.0; 20.0; 30.0; 40.0 ])
   in
   let workload = [ spec ~src:0 ~dst:2 ~created:15.0 () ] in
-  let report, env =
-    Engine.run_with_env ~protocol:(rapid ()) ~trace ~workload ()
+  let { Engine.report; env } =
+    Engine.run ~protocol:(rapid ()) ~trace ~workload ()
   in
   Alcotest.(check int) "delivered" 1 report.Metrics.delivered;
   (* After delivery + subsequent contacts, no stale copies remain. *)
@@ -374,8 +374,8 @@ let test_rapid_deadline_skips_dead_packets () =
     [ spec ~src:0 ~dst:2 ~created:45.0 ~deadline:46.0 () ]
   in
   let report =
-    Engine.run ~protocol:(rapid ~metric:Metric.Missed_deadlines ()) ~trace
-      ~workload ()
+    (Engine.run ~protocol:(rapid ~metric:Metric.Missed_deadlines ()) ~trace
+      ~workload ()).Engine.report
   in
   Alcotest.(check int) "dead packet not replicated" 0 report.Metrics.transfers
 
@@ -402,8 +402,8 @@ let test_rapid_metric3_prioritizes_old () =
       spec ~src:0 ~dst:2 ~size:1000 ~created:45.0 ();
     ]
   in
-  let report, env =
-    Engine.run_with_env
+  let { Engine.report; env } =
+    Engine.run
       ~protocol:(rapid ~metric:Metric.Maximum_delay ())
       ~trace ~workload ()
   in
@@ -422,8 +422,8 @@ let test_rapid_storage_own_creation_pressure () =
   let workload =
     List.init 3 (fun i -> spec ~src:0 ~dst:1 ~size:10 ~created:(float_of_int i) ())
   in
-  let report, env =
-    Engine.run_with_env
+  let { Engine.report; env } =
+    Engine.run
       ~options:{ Engine.default_options with buffer_bytes = Some 20 }
       ~protocol:(rapid ()) ~trace ~workload ()
   in
@@ -454,8 +454,8 @@ let test_rapid_evicts_foreign_before_own () =
       spec ~src:2 ~dst:3 ~size:1000 ~created:2.0 ();
     ]
   in
-  let report, env =
-    Engine.run_with_env
+  let { Engine.report; env } =
+    Engine.run
       ~options:{ Engine.default_options with buffer_bytes = Some 2000 }
       ~protocol:(rapid ()) ~trace ~workload ()
   in
@@ -479,8 +479,8 @@ let test_rapid_global_channel_instant_purge () =
       ]
   in
   let workload = [ spec ~src:0 ~dst:2 ~created:6.0 () ] in
-  let report, env =
-    Engine.run_with_env
+  let { Engine.report; env } =
+    Engine.run
       ~protocol:(rapid ~channel:Control_channel.Instant_global ())
       ~trace ~workload ()
   in
@@ -525,9 +525,9 @@ let test_rapid_meta_watermark_no_resend () =
     ]
   in
   let report =
-    Engine.run
+    (Engine.run
       ~options:{ Engine.default_options with meta_cap_frac = Some 0.01 }
-      ~protocol:(Rapid.make params) ~trace ~workload ()
+      ~protocol:(Rapid.make params) ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "nothing moved as data" 0 report.Metrics.transfers;
   Alcotest.(check int) "each entry shipped exactly once" 3
@@ -598,9 +598,9 @@ let test_rapid_beats_random_avg_delay () =
   let run proto seed =
     let trace, workload = contention_scenario ~seed in
     let r =
-      Engine.run
+      (Engine.run
         ~options:{ Engine.default_options with buffer_bytes = Some 20_000; seed }
-        ~protocol:proto ~trace ~workload ()
+        ~protocol:proto ~trace ~workload ()).Engine.report
     in
     r.Metrics.avg_delay_all
   in
@@ -615,9 +615,9 @@ let test_rapid_beats_random_avg_delay () =
 let test_rapid_deterministic () =
   let trace, workload = contention_scenario ~seed:7 in
   let run () =
-    Engine.run
+    (Engine.run
       ~options:{ Engine.default_options with seed = 11 }
-      ~protocol:(rapid ()) ~trace ~workload ()
+      ~protocol:(rapid ()) ~trace ~workload ()).Engine.report
   in
   let a = run () and b = run () in
   Alcotest.(check int) "same deliveries" a.Metrics.delivered b.Metrics.delivered;
@@ -627,9 +627,9 @@ let test_rapid_deterministic () =
 let test_rapid_metadata_cap_respected () =
   let trace, workload = contention_scenario ~seed:3 in
   let run frac =
-    Engine.run
+    (Engine.run
       ~options:{ Engine.default_options with meta_cap_frac = frac; seed = 1 }
-      ~protocol:(rapid ()) ~trace ~workload ()
+      ~protocol:(rapid ()) ~trace ~workload ()).Engine.report
   in
   let capped = run (Some 0.02) in
   let free = run None in
@@ -643,16 +643,16 @@ let test_rapid_metadata_cap_respected () =
 let test_rapid_global_no_metadata_cost () =
   let trace, workload = contention_scenario ~seed:4 in
   let r =
-    Engine.run
+    (Engine.run
       ~protocol:(rapid ~channel:Control_channel.Instant_global ())
-      ~trace ~workload ()
+      ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "oracle channel is free" 0 r.Metrics.metadata_bytes
 
 let test_rapid_local_sends_less_metadata () =
   let trace, workload = contention_scenario ~seed:5 in
   let run channel =
-    (Engine.run ~protocol:(rapid ~channel ()) ~trace ~workload ())
+    ((Engine.run ~protocol:(rapid ~channel ()) ~trace ~workload ()).Engine.report)
       .Metrics.metadata_bytes
   in
   let in_band = run Control_channel.In_band in
@@ -696,11 +696,11 @@ let check_golden name (r : Metrics.report)
 let test_rapid_golden_reports () =
   let t1, w1 = contention_scenario ~seed:7 in
   let r1 =
-    Engine.run
+    (Engine.run
       ~options:
         { Engine.default_options with buffer_bytes = Some 20_000; seed = 11 }
       ~protocol:(Rapid.make_default Metric.Average_delay) ~trace:t1
-      ~workload:w1 ()
+      ~workload:w1 ()).Engine.report
   in
   check_golden "powerlaw/avg" r1 ~delivered:1214 ~transfers:2615 ~drops:1406
     ~ack_purges:323 ~data:2615000 ~meta:310164 ~within:1086
@@ -708,11 +708,11 @@ let test_rapid_golden_reports () =
     ~max_delay:1022.8141160740481;
   let t2, w2 = exponential_scenario ~seed:5 in
   let r2 =
-    Engine.run
+    (Engine.run
       ~options:
         { Engine.default_options with buffer_bytes = Some 16_000; seed = 3 }
       ~protocol:(Rapid.make_default Metric.Missed_deadlines) ~trace:t2
-      ~workload:w2 ()
+      ~workload:w2 ()).Engine.report
   in
   check_golden "exponential/deadline" r2 ~delivered:1133 ~transfers:4815
     ~drops:0 ~ack_purges:3637 ~data:3852000 ~meta:401480 ~within:1133
@@ -720,11 +720,11 @@ let test_rapid_golden_reports () =
     ~max_delay:105.25903834844821;
   let t3, w3 = contention_scenario ~seed:9 in
   let r3 =
-    Engine.run
+    (Engine.run
       ~options:
         { Engine.default_options with buffer_bytes = Some 12_000; seed = 2 }
       ~protocol:(Rapid.make_default Metric.Maximum_delay) ~trace:t3
-      ~workload:w3 ()
+      ~workload:w3 ()).Engine.report
   in
   check_golden "powerlaw/max" r3 ~delivered:1057 ~transfers:2494 ~drops:1708
     ~ack_purges:279 ~data:2494000 ~meta:294816 ~within:1051
@@ -740,11 +740,11 @@ let prop_rapid_meta_cap_respected =
     (fun (seed, cap) ->
       let trace, workload = contention_scenario ~seed in
       let r =
-        Engine.run
+        (Engine.run
           ~options:
             { Engine.buffer_bytes = Some 20_000; meta_cap_frac = Some cap;
               seed }
-          ~protocol:(rapid ()) ~trace ~workload ()
+          ~protocol:(rapid ()) ~trace ~workload ()).Engine.report
       in
       float_of_int r.Metrics.metadata_bytes
       <= (cap *. float_of_int r.Metrics.capacity_bytes) +. 1.0)

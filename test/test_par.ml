@@ -1,0 +1,241 @@
+(* Tests for Rapid_par: the pool's List.map contract (order, exception
+   choice, nested inlining), the jobs=4 vs jobs=1 report-equality
+   guarantee over the protocol comparison set, and exact Counter/Timer
+   merging under multi-domain hammering. *)
+
+module Pool = Rapid_par.Pool
+module Counter = Rapid_obs.Counter
+module Timer = Rapid_obs.Timer
+open Rapid_experiments
+
+let with_pool ~jobs f =
+  let p = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+(* Restore the global pool to sequential no matter how the test exits —
+   other suites in this binary assume the default. *)
+let with_global_jobs jobs f =
+  Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs 1) f
+
+(* ------------------------------------------------------------------ *)
+(* Pool semantics *)
+
+let test_map_order () =
+  with_pool ~jobs:4 (fun p ->
+      let xs = List.init 200 (fun i -> i) in
+      let f i = (i * i) - (3 * i) in
+      Alcotest.(check (list int)) "order preserved" (List.map f xs)
+        (Pool.map_pool p f xs))
+
+let test_map_degenerate () =
+  with_pool ~jobs:4 (fun p ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map_pool p (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 9 ]
+        (Pool.map_pool p (fun x -> x * 3) [ 3 ]));
+  (* A jobs<=1 pool spawns no domains and degrades to List.map. *)
+  with_pool ~jobs:1 (fun p ->
+      Alcotest.(check (list int)) "sequential pool" [ 0; 2; 4 ]
+        (Pool.map_pool p (fun x -> 2 * x) [ 0; 1; 2 ]))
+
+exception Boom of int
+
+let test_exception_lowest_index () =
+  with_pool ~jobs:4 (fun p ->
+      match
+        Pool.map_pool p
+          (fun i -> if i mod 10 = 7 then raise (Boom i) else i)
+          (List.init 50 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom i ->
+          (* Failures at 7, 17, 27, 37, 47: the sequential map would have
+             raised the first one. *)
+          Alcotest.(check int) "lowest failing index" 7 i)
+
+let test_nested_map_inlines () =
+  with_pool ~jobs:4 (fun p ->
+      Alcotest.(check bool) "main domain is not a worker" false
+        (Pool.inside_worker ());
+      let got =
+        Pool.map_pool p
+          (fun i ->
+            let inner =
+              Pool.map_pool p (fun j -> (i * 10) + j) (List.init 5 Fun.id)
+            in
+            (Pool.inside_worker (), inner))
+          (List.init 12 Fun.id)
+      in
+      List.iteri
+        (fun i (in_worker, inner) ->
+          Alcotest.(check bool) "ran inside a worker" true in_worker;
+          Alcotest.(check (list int)) "nested map correct"
+            (List.init 5 (fun j -> (i * 10) + j))
+            inner)
+        got)
+
+let test_global_pool () =
+  Alcotest.(check int) "default sequential" 1 (Pool.configured ());
+  with_global_jobs 3 (fun () ->
+      Alcotest.(check int) "configured" 3 (Pool.configured ());
+      Alcotest.(check (list int)) "init through global"
+        (List.init 40 (fun i -> i * 7))
+        (Pool.init 40 (fun i -> i * 7)));
+  Alcotest.(check int) "restored" 1 (Pool.configured ())
+
+(* ------------------------------------------------------------------ *)
+(* Report determinism: jobs=4 must be bit-identical to jobs=1 *)
+
+(* Two short trace days keep the suite fast while still exercising a
+   parallel fan-out; the load sits mid-range so queues and drops are
+   non-trivial. *)
+let quick2 =
+  let q = Params.get Params.Quick in
+  {
+    q with
+    Params.days = 2;
+    dieselnet =
+      {
+        q.Params.dieselnet with
+        Rapid_trace.Dieselnet.fleet_size = 20;
+        mean_scheduled = 6;
+        day_seconds = 3600.0;
+        meetings_per_day = 40.0;
+      };
+    syn_duration = 300.0;
+  }
+
+let det_load = 6.0
+
+(* Reports carry nan fields (e.g. max delay over zero deliveries), so
+   bit-identity is structural [compare], not [=]. *)
+let check_identical label a b =
+  Alcotest.(check bool) (label ^ ": jobs=4 = jobs=1") true (compare a b = 0)
+
+let trace_points () =
+  Runners.reset_point_cache ();
+  List.map
+    (fun proto ->
+      ( proto.Runners.label,
+        Runners.run_trace_point ~params:quick2 ~protocol:proto ~load:det_load
+          () ))
+    (Runners.comparison_set Rapid_core.Metric.Average_delay)
+
+let test_trace_point_determinism () =
+  let seq = trace_points () in
+  let par = with_global_jobs 4 trace_points in
+  List.iter2
+    (fun (label, a) (label', b) ->
+      Alcotest.(check string) "same protocol order" label label';
+      check_identical label a b)
+    seq par
+
+let synthetic_point () =
+  Runners.reset_point_cache ();
+  Runners.run_synthetic_point ~params:quick2
+    ~protocol:(Runners.rapid Rapid_core.Metric.Average_delay)
+    ~mobility:`Exponential ~load:20.0 ()
+
+let test_synthetic_point_determinism () =
+  let seq = synthetic_point () in
+  let par = with_global_jobs 4 synthetic_point in
+  check_identical "synthetic rapid" seq par
+
+(* A spec override must flow through the parallel path unchanged too
+   (and exercises the typed cache key's non-default fields). *)
+let noisy_point () =
+  Runners.reset_point_cache ();
+  Runners.run_trace_point ~params:quick2
+    ~protocol:(Runners.rapid Rapid_core.Metric.Average_delay)
+    ~load:det_load
+    ~spec:{ Runners.default_spec with deployment_noise = true }
+    ()
+
+let test_spec_point_determinism () =
+  let seq = noisy_point () in
+  let par = with_global_jobs 4 noisy_point in
+  check_identical "noisy rapid" seq par
+
+(* ------------------------------------------------------------------ *)
+(* Observability parity: a parallel run's merged counters (and timer
+   activation counts) equal the sequential run's. Timer totals are real
+   wall spans and so not bit-comparable. *)
+
+let obs_snapshots run =
+  Runners.reset_point_cache ();
+  Counter.reset_all ();
+  Timer.reset_all ();
+  ignore (run ());
+  ( Counter.snapshot (),
+    List.map (fun (name, _, count) -> (name, count)) (Timer.snapshot ()) )
+
+let test_obs_parity () =
+  let run () =
+    Runners.run_trace_point ~params:quick2
+      ~protocol:(Runners.rapid Rapid_core.Metric.Average_delay)
+      ~load:det_load ()
+  in
+  let counters_seq, timer_counts_seq = obs_snapshots run in
+  let counters_par, timer_counts_par =
+    with_global_jobs 4 (fun () -> obs_snapshots run)
+  in
+  Alcotest.(check (list (pair string int)))
+    "counter totals merge-exact" counters_seq counters_par;
+  Alcotest.(check (list (pair string int)))
+    "timer activation counts merge-exact" timer_counts_seq timer_counts_par
+
+let test_obs_hammer () =
+  let c = Counter.create "test.par.hammer" in
+  let t = Timer.create "test.par.hammer" in
+  Counter.reset c;
+  let count0 = Timer.count t in
+  let total0 = Timer.total_s t in
+  let tasks = 64 and per = 1_000 in
+  with_pool ~jobs:4 (fun p ->
+      ignore
+        (Pool.map_pool p
+           (fun _ ->
+             for _ = 1 to per do
+               Counter.incr c
+             done;
+             Counter.add c per;
+             Timer.add_s t 0.001)
+           (List.init tasks Fun.id)));
+  (* Workers merged at every task boundary, so main-domain reads see
+     every increment — exactly, not approximately. *)
+  Alcotest.(check int) "counter exact under contention" (2 * tasks * per)
+    (Counter.value c);
+  Alcotest.(check int) "timer activations exact" (count0 + tasks)
+    (Timer.count t);
+  let added = Timer.total_s t -. total0 in
+  if Float.abs (added -. (0.001 *. float_of_int tasks)) > 1e-9 then
+    Alcotest.failf "timer total off: added %.12f" added
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_map_order;
+          Alcotest.test_case "degenerate maps" `Quick test_map_degenerate;
+          Alcotest.test_case "lowest-index exception" `Quick
+            test_exception_lowest_index;
+          Alcotest.test_case "nested map inlines" `Quick
+            test_nested_map_inlines;
+          Alcotest.test_case "global pool" `Quick test_global_pool;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "trace points, all protocols" `Quick
+            test_trace_point_determinism;
+          Alcotest.test_case "synthetic point" `Quick
+            test_synthetic_point_determinism;
+          Alcotest.test_case "spec override point" `Quick
+            test_spec_point_determinism;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "snapshot parity" `Quick test_obs_parity;
+          Alcotest.test_case "multi-domain hammer" `Quick test_obs_hammer;
+        ] );
+    ]

@@ -27,8 +27,8 @@ let test_spray_wait_limits_copies () =
   in
   let trace = Trace.create ~num_nodes:10 ~duration:20.0 contacts in
   let workload = [ spec ~src:0 ~dst:9 () ] in
-  let report, env =
-    Engine.run_with_env ~protocol:(Spray_wait.make ~l:4 ()) ~trace ~workload ()
+  let { Engine.report; env } =
+    Engine.run ~protocol:(Spray_wait.make ~l:4 ()) ~trace ~workload ()
   in
   let holders =
     Array.fold_left
@@ -49,7 +49,7 @@ let test_spray_wait_single_copy_waits () =
   in
   let workload = [ spec ~src:0 ~dst:2 () ] in
   let report =
-    Engine.run ~protocol:(Spray_wait.make ~l:1 ()) ~trace ~workload ()
+    (Engine.run ~protocol:(Spray_wait.make ~l:1 ()) ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "no relay, no delivery" 0 report.Metrics.delivered
 
@@ -60,7 +60,7 @@ let test_spray_wait_direct_delivery_always () =
   in
   let workload = [ spec ~src:0 ~dst:1 () ] in
   let report =
-    Engine.run ~protocol:(Spray_wait.make ~l:1 ()) ~trace ~workload ()
+    (Engine.run ~protocol:(Spray_wait.make ~l:1 ()) ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "direct delivered" 1 report.Metrics.delivered
 
@@ -83,7 +83,7 @@ let test_prophet_requires_predictability () =
       ]
   in
   let workload = [ spec ~src:0 ~dst:2 () ] in
-  let report = Engine.run ~protocol:(Prophet.make ()) ~trace ~workload () in
+  let report = (Engine.run ~protocol:(Prophet.make ()) ~trace ~workload ()).Engine.report in
   Alcotest.(check int) "delivered via predictable relay" 1 report.Metrics.delivered;
   check_close "delay" 4.0 report.Metrics.avg_delay
 
@@ -100,7 +100,7 @@ let test_prophet_aging () =
   in
   let workload = [ spec ~src:0 ~dst:2 () ] in
   let report =
-    Engine.run ~protocol:(Prophet.make ~time_unit:30.0 ()) ~trace ~workload ()
+    (Engine.run ~protocol:(Prophet.make ~time_unit:30.0 ()) ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "no transfer after decay" 0 report.Metrics.transfers
 
@@ -122,8 +122,8 @@ let test_maxprop_acks_purge () =
       ]
   in
   let workload = [ spec ~src:0 ~dst:3 () ] in
-  let report, env =
-    Engine.run_with_env ~protocol:(Maxprop.make ()) ~trace ~workload ()
+  let { Engine.report; env } =
+    Engine.run ~protocol:(Maxprop.make ()) ~trace ~workload ()
   in
   Alcotest.(check int) "delivered" 1 report.Metrics.delivered;
   Alcotest.(check bool) "stale copy purged" false (Buffer.mem env.Env.buffers.(1) 0);
@@ -139,7 +139,7 @@ let test_maxprop_delivers_chain () =
       ]
   in
   let workload = [ spec ~src:0 ~dst:3 () ] in
-  let report = Engine.run ~protocol:(Maxprop.make ()) ~trace ~workload () in
+  let report = (Engine.run ~protocol:(Maxprop.make ()) ~trace ~workload ()).Engine.report in
   Alcotest.(check int) "delivered over 3 hops" 1 report.Metrics.delivered
 
 let test_maxprop_metadata_charged () =
@@ -148,7 +148,7 @@ let test_maxprop_metadata_charged () =
       [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:1000 ]
   in
   let report =
-    Engine.run ~protocol:(Maxprop.make ()) ~trace ~workload:[] ()
+    (Engine.run ~protocol:(Maxprop.make ()) ~trace ~workload:[] ()).Engine.report
   in
   Alcotest.(check bool) "vectors cost bytes" true (report.Metrics.metadata_bytes > 0)
 
@@ -167,9 +167,9 @@ let test_random_acks_reduce_waste () =
     Workload.generate rng ~trace ~pkts_per_hour_per_dest:240.0 ~size:10 ()
   in
   let run protocol =
-    Engine.run
+    (Engine.run
       ~options:{ Engine.default_options with buffer_bytes = Some 100; seed = 1 }
-      ~protocol ~trace ~workload ()
+      ~protocol ~trace ~workload ()).Engine.report
   in
   let plain = run (Random_protocol.make ()) in
   let acked = run (Random_protocol.make ~with_acks:true ()) in
@@ -191,8 +191,8 @@ let test_oracle_forwards_single_copy () =
       ]
   in
   let workload = [ spec ~src:0 ~dst:3 () ] in
-  let report, env =
-    Engine.run_with_env
+  let { Engine.report; env } =
+    Engine.run
       ~protocol:(Oracle_forwarding.make ~trace ())
       ~trace ~workload ()
   in
@@ -216,7 +216,7 @@ let test_oracle_refuses_dead_end () =
   in
   let workload = [ spec ~src:0 ~dst:3 () ] in
   let report =
-    Engine.run ~protocol:(Oracle_forwarding.make ~trace ()) ~trace ~workload ()
+    (Engine.run ~protocol:(Oracle_forwarding.make ~trace ()) ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "delivered directly" 1 report.Metrics.delivered;
   check_close "kept for the direct contact" 5.0 report.Metrics.avg_delay;
@@ -230,7 +230,7 @@ let test_oracle_no_future_no_forward () =
   in
   let workload = [ spec ~src:0 ~dst:2 () ] in
   let report =
-    Engine.run ~protocol:(Oracle_forwarding.make ~trace ()) ~trace ~workload ()
+    (Engine.run ~protocol:(Oracle_forwarding.make ~trace ()) ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "no transfers" 0 report.Metrics.transfers
 
@@ -344,7 +344,7 @@ let test_optimal_lower_bounds_protocols () =
   if workload <> [] then begin
     let bound = Optimal.contention_free ~trace ~workload in
     let epidemic =
-      Engine.run ~protocol:(Epidemic.make ()) ~trace ~workload ()
+      (Engine.run ~protocol:(Epidemic.make ()) ~trace ~workload ()).Engine.report
     in
     if bound.Optimal.avg_delay_all > epidemic.Metrics.avg_delay_all +. 1e-6 then
       Alcotest.failf "bound %.2f worse than epidemic %.2f"

@@ -166,9 +166,9 @@ let flood_trace =
 let test_engine_relay_delivery () =
   let workload = [ spec ~src:0 ~dst:2 ~size:10 ~created:0.0 () ] in
   let report =
-    Engine.run
+    (Engine.run
       ~protocol:(Rapid_routing.Epidemic.make ())
-      ~trace:flood_trace ~workload ()
+      ~trace:flood_trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "delivered" 1 report.Metrics.delivered;
   check_close "delay" 2.0 report.Metrics.avg_delay;
@@ -177,9 +177,9 @@ let test_engine_relay_delivery () =
 let test_engine_direct_protocol_no_relay () =
   let workload = [ spec ~src:0 ~dst:2 ~size:10 ~created:0.0 () ] in
   let report =
-    Engine.run
+    (Engine.run
       ~protocol:(Rapid_routing.Direct.make ())
-      ~trace:flood_trace ~workload ()
+      ~trace:flood_trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "not delivered" 0 report.Metrics.delivered;
   check_close "avg delay all counts horizon" 10.0 report.Metrics.avg_delay_all
@@ -195,7 +195,7 @@ let test_engine_bandwidth_respected () =
         spec ~src:0 ~dst:1 ~size:10 ~created:(0.1 *. float_of_int i) ())
   in
   let report =
-    Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload ()
+    (Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "two delivered" 2 report.Metrics.delivered;
   Alcotest.(check int) "data bytes" 20 report.Metrics.data_bytes;
@@ -216,8 +216,8 @@ let test_engine_storage_respected () =
         spec ~src:0 ~dst:2 ~size:10 ~created:(0.1 *. float_of_int i) ())
   in
   let options = { Engine.default_options with buffer_bytes = Some 15 } in
-  let report, env =
-    Engine.run_with_env ~options ~protocol:(Rapid_routing.Epidemic.make ())
+  let { Engine.report; env } =
+    Engine.run ~options ~protocol:(Rapid_routing.Epidemic.make ())
       ~trace ~workload ()
   in
   (* Source buffer also capped: only one packet survives creation. *)
@@ -241,8 +241,8 @@ let test_engine_conservation () =
     List.init 6 (fun i ->
         spec ~src:0 ~dst:2 ~size:10 ~created:(0.05 *. float_of_int i) ())
   in
-  let report, env =
-    Engine.run_with_env ~protocol:(Rapid_routing.Epidemic.make ()) ~trace
+  let { Engine.report; env } =
+    Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace
       ~workload ()
   in
   let module S = Set.Make (Int) in
@@ -276,7 +276,7 @@ let test_engine_deadline_accounting () =
     ]
   in
   let report =
-    Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload ()
+    (Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "delivered both" 2 report.Metrics.delivered;
   Alcotest.(check int) "one within deadline" 1 report.Metrics.within_deadline;
@@ -290,15 +290,15 @@ let test_engine_meta_cap () =
   in
   let workload = [ spec ~src:0 ~dst:1 ~size:10 () ] in
   let capped =
-    Engine.run
+    (Engine.run
       ~options:{ Engine.default_options with meta_cap_frac = Some 0.01 }
       ~protocol:(Rapid_routing.Maxprop.make ())
-      ~trace ~workload ()
+      ~trace ~workload ()).Engine.report
   in
   if capped.Metrics.metadata_bytes > 10 then
     Alcotest.failf "metadata above cap: %d" capped.Metrics.metadata_bytes;
   let free =
-    Engine.run ~protocol:(Rapid_routing.Maxprop.make ()) ~trace ~workload ()
+    (Engine.run ~protocol:(Rapid_routing.Maxprop.make ()) ~trace ~workload ()).Engine.report
   in
   if free.Metrics.metadata_bytes <= capped.Metrics.metadata_bytes then
     Alcotest.fail "uncapped should exceed capped metadata"
@@ -319,7 +319,7 @@ let test_engine_duplicate_delivery_counted_once () =
      but Env.has_packet treats a delivered packet as present at its
      destination, so it is not re-sent. *)
   let report =
-    Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload ()
+    (Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "one delivery" 1 report.Metrics.delivered;
   check_close "delay is first arrival" 2.0 report.Metrics.avg_delay
@@ -340,17 +340,17 @@ let test_engine_duplicate_push_wastes_bandwidth () =
   in
   let workload = [ spec ~src:0 ~dst:3 ~size:10 () ] in
   let report =
-    Engine.run
+    (Engine.run
       ~protocol:(Rapid_routing.Random_protocol.make ())
-      ~trace ~workload ()
+      ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "two transfers (one wasted)" 2 report.Metrics.transfers;
   Alcotest.(check int) "bytes charged for both" 20 report.Metrics.data_bytes;
   (* With summary vectors the duplicate is skipped. *)
   let smart =
-    Engine.run
+    (Engine.run
       ~protocol:(Rapid_routing.Random_protocol.make ~summary_vector:true ())
-      ~trace ~workload ()
+      ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "sv: single transfer" 1 smart.Metrics.transfers
 
@@ -362,10 +362,10 @@ let test_engine_determinism () =
     Workload.generate rng ~trace ~pkts_per_hour_per_dest:1.0 ~size:1024 ()
   in
   let run () =
-    Engine.run
+    (Engine.run
       ~options:{ Engine.default_options with seed = 42 }
       ~protocol:(Rapid_routing.Random_protocol.make ~with_acks:true ())
-      ~trace ~workload ()
+      ~trace ~workload ()).Engine.report
   in
   let r1 = run () and r2 = run () in
   Alcotest.(check int) "same deliveries" r1.Metrics.delivered r2.Metrics.delivered;
@@ -378,7 +378,7 @@ let test_engine_empty_workload () =
       [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100 ]
   in
   let report =
-    Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload:[] ()
+    (Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload:[] ()).Engine.report
   in
   Alcotest.(check int) "nothing created" 0 report.Metrics.created;
   Alcotest.(check int) "nothing moved" 0 report.Metrics.transfers;
@@ -393,7 +393,7 @@ let test_engine_zero_byte_contact () =
   in
   let workload = [ spec ~src:0 ~dst:1 ~size:10 () ] in
   let report =
-    Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload ()
+    (Engine.run ~protocol:(Rapid_routing.Epidemic.make ()) ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "no transfer" 0 report.Metrics.transfers;
   Alcotest.(check int) "no delivery" 0 report.Metrics.delivered
@@ -407,10 +407,10 @@ let test_engine_packet_bigger_than_buffer () =
   in
   let workload = [ spec ~src:0 ~dst:1 ~size:50 () ] in
   let report =
-    Engine.run
+    (Engine.run
       ~options:{ Engine.default_options with buffer_bytes = Some 20 }
       ~protocol:(Rapid_routing.Epidemic.make ())
-      ~trace ~workload ()
+      ~trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "dropped at creation" 1 report.Metrics.drops;
   Alcotest.(check int) "never delivered" 0 report.Metrics.delivered
@@ -451,8 +451,8 @@ let stub_options = { Engine.default_options with buffer_bytes = Some 15 }
 let test_eviction_refusal_none () =
   (* drop_candidate = None refuses the incoming packet: it is dropped and
      counted, the incumbent survives. *)
-  let report, env =
-    Engine.run_with_env ~options:stub_options ~protocol:(stub_protocol ())
+  let { Engine.report; env } =
+    Engine.run ~options:stub_options ~protocol:(stub_protocol ())
       ~trace:stub_trace ~workload:stub_workload ()
   in
   Alcotest.(check int) "created" 2 report.Metrics.created;
@@ -464,8 +464,8 @@ let test_eviction_self_candidate_refuses () =
   (* Returning the incoming packet itself is the protocol's way of saying
      "the newcomer loses": same outcome as None, not an eviction loop. *)
   let drop _env ~node:_ ~incoming = Some incoming in
-  let report, env =
-    Engine.run_with_env ~options:stub_options ~protocol:(stub_protocol ~drop ())
+  let { Engine.report; env } =
+    Engine.run ~options:stub_options ~protocol:(stub_protocol ~drop ())
       ~trace:stub_trace ~workload:stub_workload ()
   in
   Alcotest.(check int) "one drop" 1 report.Metrics.drops;
@@ -478,8 +478,8 @@ let test_eviction_replaces_incumbent () =
     | [] -> None
     | e :: _ -> Some e.Buffer.packet
   in
-  let report, env =
-    Engine.run_with_env ~options:stub_options ~protocol:(stub_protocol ~drop ())
+  let { Engine.report; env } =
+    Engine.run ~options:stub_options ~protocol:(stub_protocol ~drop ())
       ~trace:stub_trace ~workload:stub_workload ()
   in
   Alcotest.(check int) "eviction counted" 1 report.Metrics.drops;
@@ -491,8 +491,8 @@ let test_eviction_unbuffered_victim_rejected () =
      engine must fail loudly on, not a silent no-op. *)
   let drop _env ~node:_ ~incoming:_ = Some (packet ~id:99 ~src:0 ~dst:1 ()) in
   match
-    Engine.run ~options:stub_options ~protocol:(stub_protocol ~drop ())
-      ~trace:stub_trace ~workload:stub_workload ()
+    (Engine.run ~options:stub_options ~protocol:(stub_protocol ~drop ())
+      ~trace:stub_trace ~workload:stub_workload ()).Engine.report
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "unbuffered drop candidate accepted"
@@ -502,9 +502,9 @@ let test_engine_max_delay_nan_when_undelivered () =
      0.0 that sorts below every real run. *)
   let workload = [ spec ~src:0 ~dst:2 ~size:10 ~created:0.0 () ] in
   let report =
-    Engine.run
+    (Engine.run
       ~protocol:(Rapid_routing.Direct.make ())
-      ~trace:flood_trace ~workload ()
+      ~trace:flood_trace ~workload ()).Engine.report
   in
   Alcotest.(check int) "none delivered" 0 report.Metrics.delivered;
   Alcotest.(check bool) "max_delay is nan" true
@@ -526,9 +526,9 @@ let test_engine_ack_purge_accounting () =
   in
   let workload = [ spec ~src:0 ~dst:2 ~size:10 () ] in
   let run tracer =
-    Engine.run ?tracer
+    (Engine.run ?tracer
       ~protocol:(Rapid_routing.Random_protocol.make ~with_acks:true ())
-      ~trace ~workload ()
+      ~trace ~workload ()).Engine.report
   in
   let module Collector = Rapid_obs.Tracer.Collector in
   let collector = Collector.create () in
@@ -585,8 +585,8 @@ let prop_feasibility =
             ~lifetime:60.0 ()
         in
         let protocol = List.nth (protocols ()) proto_idx in
-        let report, env =
-          Engine.run_with_env
+        let { Engine.report; env } =
+          Engine.run
             ~options:
               { Engine.buffer_bytes = Some 40; meta_cap_frac = None; seed }
             ~protocol ~trace ~workload ()

@@ -259,9 +259,9 @@ let test_one_import_runs_through_engine () =
     Workload.generate rng ~trace ~pkts_per_hour_per_dest:3600.0 ~size:100 ()
   in
   let report =
-    Rapid_sim.Engine.run
+    (Rapid_sim.Engine.run
       ~protocol:(Rapid_routing.Epidemic.make ())
-      ~trace ~workload ()
+      ~trace ~workload ()).Rapid_sim.Engine.report
   in
   Alcotest.(check bool) "some packets created" true
     (report.Rapid_sim.Metrics.created > 0)
