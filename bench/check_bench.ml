@@ -56,6 +56,18 @@ let () =
   | None -> fail "missing counter \"meeting_matrix.row_builds\"");
   if counter "rapid.rank_calls" = None then
     fail "missing counter \"rapid.rank_calls\"";
+  (* Solver instrumentation: the bounded-variable simplex and the
+     branch-and-bound layer each register their hot-path counters at
+     module init, so they must be present (possibly zero) in any run. *)
+  List.iter
+    (fun name ->
+      match counter name with
+      | Some v -> Printf.printf "%s = %d\n" name v
+      | None -> fail "missing counter \"%s\"" name)
+    [
+      "lp.pivots"; "lp.phase1_iters"; "lp.bound_flips"; "lp.iter_limits";
+      "lp.cold_solves"; "ilp.nodes"; "ilp.warm_starts"; "ilp.unconverged";
+    ];
   let timer name =
     match Json.member "timers" doc with
     | Some timers -> (
@@ -72,7 +84,7 @@ let () =
       match timer name with
       | Some (total, n) -> Printf.printf "timer %-26s %.3fs / %d\n" name total n
       | None -> fail "missing timer \"%s\" (total_s/count)" name)
-    [ "meeting_matrix.row_build"; "rapid.rank" ];
+    [ "meeting_matrix.row_build"; "rapid.rank"; "lp.solve" ];
   if !errors > 0 then begin
     Printf.eprintf "%s: %d schema error(s)\n" path !errors;
     exit 1

@@ -1,0 +1,47 @@
+(* CI smoke for the ILP solver path: one fig13 day slice that the seed
+   solver could not close (it fell back to the contention-free bound) must
+   now solve to proven optimality, with the objective matching the golden
+   value computed by the pre-rewrite dense solver run to completion.
+
+   The check is on [avg_delay_all], which is an affine function of the ILP
+   objective (total delay = constant + objective), so equality here pins
+   the optimal objective even when alternate optimal routings exist.
+
+   Usage: dune exec bench/ilp_smoke.exe *)
+
+module Params = Rapid_experiments.Params
+module Optimal = Rapid_routing.Optimal
+
+(* Quick-profile fig13 slice, load 2.0, day 1. The seed counted one
+   x <= 1 row per variable, so this instance blew its 1500-row guard and
+   fell back to the bound; with x <= 1 on the columns it fits the tableau
+   easily, branches for real, and closes in well under a second. *)
+let golden_avg_delay = 1217.808623065
+let tolerance = 1e-6
+
+let () =
+  let params = Params.get Params.Quick in
+  let trace = Rapid_experiments.Fig_optimal.day_slice ~params ~day:1 ~frac:0.15 in
+  let workload =
+    Rapid_experiments.Runners.trace_workload ~params ~trace ~load:2.0 ~day:1
+  in
+  let v = Optimal.evaluate ~trace ~workload () in
+  let how_name =
+    match v.Optimal.how with
+    | Optimal.Ilp_exact -> "Ilp_exact"
+    | Optimal.Ilp_incumbent -> "Ilp_incumbent"
+    | Optimal.Bound -> "Bound"
+  in
+  Printf.printf "fig13 load 2.0 day 1: how=%s avg_delay_all=%.9f\n" how_name
+    v.Optimal.avg_delay_all;
+  if v.Optimal.how <> Optimal.Ilp_exact then begin
+    Printf.eprintf "FAIL: expected Ilp_exact, got %s\n" how_name;
+    exit 1
+  end;
+  let diff = Float.abs (v.Optimal.avg_delay_all -. golden_avg_delay) in
+  if diff > tolerance then begin
+    Printf.eprintf "FAIL: avg_delay_all off golden by %.3e (want <= %.0e)\n"
+      diff tolerance;
+    exit 1
+  end;
+  print_endline "ilp smoke ok"

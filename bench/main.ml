@@ -138,6 +138,39 @@ let microbenchmarks () =
            done;
            ignore (Simplex.solve p)))
   in
+  (* A deterministic binary program shaped like the fig13 instances: packing
+     rows whose LP relaxation is fractional, so branch-and-bound must
+     actually branch. The same logical instance across solver generations
+     (upper bounds were dense rows before the bounded-variable rewrite). *)
+  let ilp_test =
+    let build () =
+      let open Rapid_lp in
+      let nv = 48 in
+      let rng = Rng.create 11 in
+      let p = Lp_problem.create ~num_vars:nv in
+      Lp_problem.set_objective p
+        (List.init nv (fun i -> (i, -1.0 -. Rng.float rng *. 4.0)));
+      for _ = 0 to 11 do
+        let coeffs =
+          List.init nv (fun i -> (i, 1.0 +. Rng.float rng *. 3.0))
+          |> List.filter (fun _ -> Rng.float rng < 0.6)
+        in
+        let width = float_of_int (List.length coeffs) in
+        Lp_problem.add_constraint p coeffs Lp_problem.Le (0.35 *. 2.5 *. width)
+      done;
+      for v = 0 to nv - 1 do
+        Lp_problem.set_upper p v 1.0;
+        Lp_problem.mark_integer p v
+      done;
+      p
+    in
+    Test.make ~name:"ilp 48-var branch-and-bound"
+      (Staged.stage (fun () ->
+           let open Rapid_lp in
+           match Ilp.solve ~max_nodes:400 (build ()) with
+           | Ilp.Solved _ | Ilp.Infeasible | Ilp.Unbounded | Ilp.No_incumbent ->
+               ()))
+  in
   let convolve_test =
     Test.make ~name:"discrete-distribution convolution (400 cells)"
       (Staged.stage (fun () ->
@@ -164,8 +197,8 @@ let microbenchmarks () =
   in
   let tests =
     Test.make_grouped ~name:"primitives"
-      [ pqueue_test; estimate_test; closure_test; simplex_test; convolve_test;
-        engine_test ]
+      [ pqueue_test; estimate_test; closure_test; simplex_test; ilp_test;
+        convolve_test; engine_test ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
   let instance = Toolkit.Instance.monotonic_clock in

@@ -29,6 +29,11 @@ BENCH_SMOKE_OUT="${TMPDIR:-/tmp}/rapid_bench_smoke.json"
 RAPID_BENCH_OUT="$BENCH_SMOKE_OUT" dune exec bench/main.exe -- table3 >/dev/null
 dune exec bench/check_bench.exe -- "$BENCH_SMOKE_OUT"
 
+# ILP smoke: a fig13 day slice the seed solver could not close must solve
+# to proven optimality with the golden objective (see bench/ilp_smoke.ml).
+echo "== ilp smoke =="
+dune exec bench/ilp_smoke.exe
+
 # Parallel determinism smoke: the same figure with --jobs 2 must be
 # byte-identical to the sequential run (the Rapid_par contract).
 echo "== parallel determinism smoke =="

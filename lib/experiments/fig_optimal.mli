@@ -9,4 +9,9 @@
     contention-free bound, which is optimistic for Optimal — noted in the
     series output). *)
 
+val day_slice :
+  params:Params.t -> day:int -> frac:float -> Rapid_trace.Trace.t
+(** The first [frac] of day [day]'s trace — the reduced instances Optimal
+    solves exactly. Exposed for the ILP regression test and CI smoke. *)
+
 val fig13 : Params.t -> Series.t

@@ -1,4 +1,5 @@
 open Rapid_prelude
+module Counter = Rapid_obs.Counter
 
 type outcome = {
   objective : float;
@@ -9,7 +10,15 @@ type outcome = {
 
 type result = Solved of outcome | Infeasible | Unbounded | No_incumbent
 
-type node = { extra : Lp_problem.constr list; depth : int }
+let c_nodes = Counter.create "ilp.nodes"
+let c_warm = Counter.create "ilp.warm_starts"
+let c_unconverged = Counter.create "ilp.unconverged"
+
+(* A node is fully described by the column bounds its branching history
+   imposes: [bounds] holds (var, lo, hi) for every branched variable.
+   Re-solving it from whatever basis the shared {!Simplex.State} last
+   reached is a bound-change dual-simplex step, not a from-scratch solve. *)
+type node = { bounds : (int * float * float) list; depth : int }
 
 let most_fractional int_vars solution int_tol =
   let best = ref None in
@@ -24,61 +33,112 @@ let most_fractional int_vars solution int_tol =
     int_vars;
   !best
 
-let solve ?(max_nodes = 4000) ?(int_tol = 1e-6) problem =
+let solve ?(max_nodes = 4000) ?max_pivots ?(int_tol = 1e-6) problem =
   let int_vars = Lp_problem.integer_vars problem in
-  match Simplex.solve problem with
+  let defaults = Lp_problem.bounds problem in
+  let st = Simplex.State.create problem in
+  match Simplex.State.solve_root st with
   | Simplex.Infeasible -> Infeasible
   | Simplex.Unbounded -> Unbounded
-  | Simplex.Optimal root ->
-      (match most_fractional int_vars root.solution int_tol with
+  | Simplex.Iter_limit ->
+      (* The root relaxation never converged: no valid bound, no incumbent. *)
+      Counter.incr c_unconverged;
+      No_incumbent
+  | Simplex.Optimal root -> (
+      Counter.incr c_nodes;
+      match most_fractional int_vars root.solution int_tol with
       | None ->
           Solved
-            { objective = root.objective; solution = root.solution;
-              proven_optimal = true; nodes_explored = 1 }
-      | Some _ ->
+            {
+              objective = root.objective;
+              solution = root.solution;
+              proven_optimal = true;
+              nodes_explored = 1;
+            }
+      | Some (v0, _) ->
           let queue = Pqueue.create () in
-          Pqueue.push queue root.objective { extra = []; depth = 0 };
           let incumbent = ref None in
-          let nodes = ref 0 in
+          let nodes = ref 1 in
           let budget_hit = ref false in
+          let unconverged = ref false in
+          (* Node and pivot budgets. The pivot budget bounds *work*: a hard
+             node can take orders of magnitude more dual pivots than an
+             easy one, so a node cap alone does not bound time. *)
+          let out_of_budget () =
+            !nodes >= max_nodes
+            || match max_pivots with
+               | Some mp -> Simplex.State.pivots st > mp
+               | None -> false
+          in
           let better obj =
             match !incumbent with
             | None -> true
             | Some (o, _) -> obj < o -. 1e-9
           in
+          let range bounds v =
+            match List.find_opt (fun (w, _, _) -> w = v) bounds with
+            | Some (_, lo, hi) -> (lo, hi)
+            | None -> defaults.(v)
+          in
+          let narrowed bounds v lo hi =
+            (v, lo, hi) :: List.filter (fun (w, _, _) -> w <> v) bounds
+          in
+          (* Solve one node; branch or record an incumbent. [on_frac] decides
+             what happens to a fractional child. *)
+          let visit ~bounds ~on_frac =
+            incr nodes;
+            Counter.incr c_nodes;
+            let result, warm = Simplex.State.resolve st ~bounds in
+            if warm then Counter.incr c_warm;
+            match result with
+            | Simplex.Infeasible | Simplex.Unbounded -> ()
+            | Simplex.Iter_limit ->
+                (* Not converged: the node has no valid relaxation bound, so
+                   neither prune nor branch on it — record that the search
+                   is incomplete. *)
+                Counter.incr c_unconverged;
+                unconverged := true
+            | Simplex.Optimal { objective; solution } ->
+                if better objective then begin
+                  match most_fractional int_vars solution int_tol with
+                  | None -> incumbent := Some (objective, solution)
+                  | Some (v, _) -> on_frac ~bound:objective v solution.(v)
+                end
+          in
+          (* Plunge depth-first from a fractional node: tighten the branch
+             variable toward its relaxation value, queue the far sibling
+             (keyed by the parent bound, preserving best-first order), and
+             recurse on the near child until an integral point, a dead end,
+             or the budget. Every popped queue node dives too — best-first
+             alone can exhaust the node budget without ever completing an
+             incumbent, leaving nothing to prune with. *)
+          let rec dive ~bound ~bounds ~depth v x =
+            if out_of_budget () then budget_hit := true
+            else begin
+              let cur_lo, cur_hi = range bounds v in
+              let fl = Float.floor x and ce = Float.ceil x in
+              let down = narrowed bounds v cur_lo (Float.min cur_hi fl) in
+              let up = narrowed bounds v (Float.max cur_lo ce) cur_hi in
+              let near, far =
+                if x -. fl <= 0.5 then (down, up) else (up, down)
+              in
+              Pqueue.push queue bound { bounds = far; depth = depth + 1 };
+              visit ~bounds:near ~on_frac:(fun ~bound v x ->
+                  dive ~bound ~bounds:near ~depth:(depth + 1) v x)
+            end
+          in
+          dive ~bound:root.objective ~bounds:[] ~depth:0 v0
+            root.solution.(v0);
           let rec bb () =
             match Pqueue.pop queue with
             | None -> ()
             | Some (bound, node) ->
                 (* Prune against the incumbent. *)
                 if not (better bound) then bb ()
-                else if !nodes >= max_nodes then budget_hit := true
+                else if out_of_budget () then budget_hit := true
                 else begin
-                  incr nodes;
-                  (match Simplex.solve ~extra:node.extra problem with
-                  | Simplex.Infeasible | Simplex.Unbounded -> ()
-                  | Simplex.Optimal { objective; solution } ->
-                      if better objective then begin
-                        match most_fractional int_vars solution int_tol with
-                        | None -> incumbent := Some (objective, solution)
-                        | Some (v, _) ->
-                            let x = solution.(v) in
-                            let fl = Float.floor x and ce = Float.ceil x in
-                            let left =
-                              { Lp_problem.coeffs = [ (v, 1.0) ];
-                                relation = Lp_problem.Le; rhs = fl }
-                            in
-                            let right =
-                              { Lp_problem.coeffs = [ (v, 1.0) ];
-                                relation = Lp_problem.Ge; rhs = ce }
-                            in
-                            Pqueue.push queue objective
-                              { extra = left :: node.extra;
-                                depth = node.depth + 1 };
-                            Pqueue.push queue objective
-                              { extra = right :: node.extra;
-                                depth = node.depth + 1 }
-                      end);
+                  visit ~bounds:node.bounds ~on_frac:(fun ~bound v x ->
+                      dive ~bound ~bounds:node.bounds ~depth:node.depth v x);
                   bb ()
                 end
           in
@@ -86,6 +146,11 @@ let solve ?(max_nodes = 4000) ?(int_tol = 1e-6) problem =
           (match !incumbent with
           | Some (objective, solution) ->
               Solved
-                { objective; solution; proven_optimal = not !budget_hit;
-                  nodes_explored = !nodes }
-          | None -> if !budget_hit then No_incumbent else Infeasible))
+                {
+                  objective;
+                  solution;
+                  proven_optimal = not (!budget_hit || !unconverged);
+                  nodes_explored = !nodes;
+                }
+          | None ->
+              if !budget_hit || !unconverged then No_incumbent else Infeasible))

@@ -9,6 +9,8 @@ type constr = {
 type t = {
   n : int;
   obj : float array;
+  lb : float array;
+  ub : float array;
   mutable rows : constr list;  (* reversed *)
   mutable num_rows : int;
   mutable integers : int list;
@@ -16,8 +18,15 @@ type t = {
 
 let create ~num_vars =
   assert (num_vars > 0);
-  { n = num_vars; obj = Array.make num_vars 0.0; rows = []; num_rows = 0;
-    integers = [] }
+  {
+    n = num_vars;
+    obj = Array.make num_vars 0.0;
+    lb = Array.make num_vars 0.0;
+    ub = Array.make num_vars infinity;
+    rows = [];
+    num_rows = 0;
+    integers = [];
+  }
 
 let num_vars t = t.n
 
@@ -36,6 +45,18 @@ let add_constraint t coeffs relation rhs =
   List.iter (fun (i, _) -> check_var t i) coeffs;
   t.rows <- { coeffs; relation; rhs } :: t.rows;
   t.num_rows <- t.num_rows + 1
+
+let set_lower t i l =
+  check_var t i;
+  if l < 0.0 then invalid_arg "Lp_problem.set_lower: negative lower bound";
+  t.lb.(i) <- l
+
+let set_upper t i u =
+  check_var t i;
+  if u < 0.0 then invalid_arg "Lp_problem.set_upper: negative upper bound";
+  t.ub.(i) <- u
+
+let bounds t = Array.init t.n (fun i -> (t.lb.(i), t.ub.(i)))
 
 let mark_integer t i =
   check_var t i;

@@ -5,7 +5,10 @@
     with our own simplex ({!Simplex}) and branch-and-bound ({!Ilp}).
 
     Conventions: all variables are nonnegative; the objective is always
-    minimized. Upper bounds are expressed as ordinary constraints. *)
+    minimized. Each variable carries column bounds [l, u] (default
+    [0, +inf)): the bounded-variable simplex ({!Simplex}) handles them in
+    the ratio test, so a bound costs no tableau row — prefer
+    {!set_upper}/{!set_lower} over singleton [Le]/[Ge] constraints. *)
 
 type relation = Le | Eq | Ge
 
@@ -26,6 +29,16 @@ val set_objective : t -> (int * float) list -> unit
 (** Sparse minimization objective; unmentioned variables have cost 0. *)
 
 val add_constraint : t -> (int * float) list -> relation -> float -> unit
+
+val set_lower : t -> int -> float -> unit
+(** Column lower bound; must be >= 0 (the paper's programs are over
+    nonnegative flows). Default 0. *)
+
+val set_upper : t -> int -> float -> unit
+(** Column upper bound; default +inf. *)
+
+val bounds : t -> (float * float) array
+(** Per-variable (lower, upper). *)
 
 val mark_integer : t -> int -> unit
 (** Require the variable to take an integer value (for {!Ilp}). *)

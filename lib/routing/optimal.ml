@@ -91,8 +91,9 @@ let build_arcs (trace : Trace.t) =
 
 type objective = Min_total_delay | Max_deliveries
 
-let evaluate ?(objective = Min_total_delay) ?(max_vars = 1200)
-    ?(max_rows = 1500) ?(max_bb_nodes = 300) ~trace ~workload () =
+let evaluate ?(objective = Min_total_delay) ?(max_vars = 10_000)
+    ?(max_rows = 12_000) ?(max_cells = 20_000_000) ?(max_bb_nodes = 600)
+    ?(max_work = 2_000_000_000) ~trace ~workload () =
   let specs = Array.of_list workload in
   let np = Array.length specs in
   if np = 0 then
@@ -100,6 +101,8 @@ let evaluate ?(objective = Min_total_delay) ?(max_vars = 1200)
       how = Ilp_exact }
   else begin
     let all_arcs = build_arcs trace in
+    let num_contacts = Array.length trace.Trace.contacts in
+    let num_nodes = trace.Trace.num_nodes in
     (* Per-packet usable arcs after reachability pruning. *)
     let usable =
       Array.map
@@ -116,27 +119,46 @@ let evaluate ?(objective = Min_total_delay) ?(max_vars = 1200)
         specs
     in
     let num_x = Array.fold_left (fun acc l -> acc + List.length l) 0 usable in
-    (* Row estimate: causality per (packet, arc) + receive-once per touched
-       node + one bandwidth row per touched contact. *)
-    let row_estimate = num_x + (2 * num_x) + Array.length trace.Trace.contacts in
+    (* Exact row count. X <= 1 lives on the columns (bounded-variable
+       simplex), so rows are causality per (packet, arc) + receive-once per
+       (packet, node) + one bandwidth row per touched contact. *)
+    let contact_used = Array.make num_contacts false in
+    let recv_rows = ref 0 in
+    let node_mark = Array.make num_nodes (-1) in
+    Array.iteri
+      (fun pi arcs ->
+        List.iter
+          (fun a ->
+            contact_used.(a.contact) <- true;
+            if node_mark.(a.to_) <> pi then begin
+              node_mark.(a.to_) <- pi;
+              incr recv_rows
+            end)
+          arcs)
+      usable;
+    let bw_rows =
+      Array.fold_left (fun acc u -> if u then acc + 1 else acc) 0 contact_used
+    in
+    let rows = num_x + !recv_rows + bw_rows in
+    (* The dense tableau holds rows x (vars + one slack per row) floats:
+       [max_cells] caps its footprint and the per-pivot cost. *)
+    let cells = rows * (num_x + rows) in
     if num_x = 0 then
       summarize_delays ~duration:trace.Trace.duration ~how:Ilp_exact
         (List.map (fun _ -> None) workload)
         workload
-    else if num_x > max_vars || row_estimate > max_rows then
+    else if num_x > max_vars || rows > max_rows || cells > max_cells then
       { (contention_free ~trace ~workload) with how = Bound }
     else begin
       let problem = Lp_problem.create ~num_vars:num_x in
-      (* Variable layout: packets in order, arcs in usable order. *)
-      let var_index = Hashtbl.create num_x in
+      (* Variable layout: packets in order, arcs in usable order —
+         X(pi, ai) is column [offset.(pi) + ai]. *)
+      let offset = Array.make np 0 in
       let next = ref 0 in
       Array.iteri
         (fun pi arcs ->
-          List.iteri
-            (fun ai _ ->
-              Hashtbl.replace var_index (pi, ai) !next;
-              incr next)
-            arcs)
+          offset.(pi) <- !next;
+          next := !next + List.length arcs)
         usable;
       let duration = trace.Trace.duration in
       (* Min_total_delay: a delivery at t reduces the total by (horizon - t);
@@ -153,71 +175,98 @@ let evaluate ?(objective = Min_total_delay) ?(max_vars = 1200)
                   | Min_total_delay -> a.time -. duration
                   | Max_deliveries -> -1.0
                 in
-                obj_terms := (Hashtbl.find var_index (pi, ai), coeff) :: !obj_terms
+                obj_terms := (offset.(pi) + ai, coeff) :: !obj_terms
               end)
             arcs)
         usable;
       Lp_problem.set_objective problem !obj_terms;
-      (* Bandwidth per contact. *)
-      let per_contact = Hashtbl.create 64 in
+      (* Bandwidth per contact, emitted in contact order (a Hashtbl.iter
+         here made row order — and hence pivot choices — vary run to
+         run). *)
+      let per_contact = Array.make num_contacts [] in
       Array.iteri
         (fun pi arcs ->
           let size = float_of_int specs.(pi).Workload.size in
           List.iteri
             (fun ai a ->
-              let cur =
-                Option.value (Hashtbl.find_opt per_contact a.contact) ~default:[]
-              in
-              Hashtbl.replace per_contact a.contact
-                ((Hashtbl.find var_index (pi, ai), size) :: cur))
+              per_contact.(a.contact) <-
+                (offset.(pi) + ai, size) :: per_contact.(a.contact))
             arcs)
         usable;
-      Hashtbl.iter
+      Array.iteri
         (fun k terms ->
-          Lp_problem.add_constraint problem terms Lp_problem.Le
-            (float_of_int trace.Trace.contacts.(k).Contact.bytes))
+          if terms <> [] then
+            Lp_problem.add_constraint problem terms Lp_problem.Le
+              (float_of_int trace.Trace.contacts.(k).Contact.bytes))
         per_contact;
       (* Per packet: receive-once and causality. *)
+      let incoming = Array.make num_nodes [] in
+      let prefix = Array.make num_nodes [] in
       Array.iteri
         (fun pi arcs ->
           let src = specs.(pi).Workload.src in
           let arcs = Array.of_list arcs in
           let n_arcs = Array.length arcs in
-          let var ai = Hashtbl.find var_index (pi, ai) in
-          (* Receive at most once per node. *)
-          let incoming = Hashtbl.create 8 in
+          let var ai = offset.(pi) + ai in
+          (* Receive at most once per node, nodes in ascending order. *)
+          let touched = ref [] in
           Array.iteri
             (fun ai a ->
-              let cur = Option.value (Hashtbl.find_opt incoming a.to_) ~default:[] in
-              Hashtbl.replace incoming a.to_ ((var ai, 1.0) :: cur))
+              if incoming.(a.to_) = [] then touched := a.to_ :: !touched;
+              incoming.(a.to_) <- (var ai, 1.0) :: incoming.(a.to_))
             arcs;
-          Hashtbl.iter
-            (fun _node terms ->
-              Lp_problem.add_constraint problem terms Lp_problem.Le 1.0)
-            incoming;
+          List.iter
+            (fun node ->
+              Lp_problem.add_constraint problem incoming.(node) Lp_problem.Le
+                1.0;
+              incoming.(node) <- [])
+            (List.sort Int.compare !touched);
           (* Causality: an arc out of node n at contact k needs the packet
              present: X_d + (prior outs of n) - (prior ins of n) <= [n=src].
-             Arc lists are contact-ordered, so a prefix scan suffices. *)
-          for d = 0 to n_arcs - 1 do
-            let a = arcs.(d) in
-            let n = a.from_ in
-            let terms = ref [ (var d, 1.0) ] in
-            for e = 0 to n_arcs - 1 do
-              if arcs.(e).contact < a.contact then begin
-                if arcs.(e).from_ = n then terms := (var e, 1.0) :: !terms
-                else if arcs.(e).to_ = n then terms := (var e, -1.0) :: !terms
-              end
+             Arc lists are contact-ordered, so one pass suffices: emit each
+             contact group's rows against the running per-node prefix of
+             earlier in/out terms, then fold the group in (same-contact arcs
+             must not see each other). The seed rescanned all arcs per row,
+             O(n^2) per packet. *)
+          let touched = ref [] in
+          let d = ref 0 in
+          while !d < n_arcs do
+            let e = ref !d in
+            while
+              !e < n_arcs && arcs.(!e).contact = arcs.(!d).contact
+            do
+              incr e
             done;
-            let rhs = if n = src then 1.0 else 0.0 in
-            Lp_problem.add_constraint problem !terms Lp_problem.Le rhs
+            for k = !d to !e - 1 do
+              let n = arcs.(k).from_ in
+              let rhs = if n = src then 1.0 else 0.0 in
+              Lp_problem.add_constraint problem
+                ((var k, 1.0) :: prefix.(n))
+                Lp_problem.Le rhs
+            done;
+            for k = !d to !e - 1 do
+              let a = arcs.(k) in
+              if prefix.(a.from_) = [] then touched := a.from_ :: !touched;
+              prefix.(a.from_) <- (var k, 1.0) :: prefix.(a.from_);
+              if prefix.(a.to_) = [] then touched := a.to_ :: !touched;
+              prefix.(a.to_) <- (var k, -1.0) :: prefix.(a.to_)
+            done;
+            d := !e
           done;
-          (* Upper bounds and integrality. *)
+          List.iter (fun n -> prefix.(n) <- []) !touched;
+          (* X in [0, 1], integral: column bounds, not rows. *)
           for d = 0 to n_arcs - 1 do
-            Lp_problem.add_constraint problem [ (var d, 1.0) ] Lp_problem.Le 1.0;
+            Lp_problem.set_upper problem (var d) 1.0;
             Lp_problem.mark_integer problem (var d)
           done)
         usable;
-      match Ilp.solve ~max_nodes:max_bb_nodes problem with
+      (* A pivot touches every tableau cell, so [max_work] cell-updates
+         translate into a per-instance pivot budget: hard instances give up
+         (and fall back or report an incumbent) in bounded time instead of
+         burning minutes before failing. Easy instances solve at the root
+         in far fewer pivots than even the smallest budget. *)
+      let max_pivots = max 50 (max_work / max 1 cells) in
+      match Ilp.solve ~max_nodes:max_bb_nodes ~max_pivots problem with
       | Ilp.Solved o ->
           let delays =
             Array.to_list
@@ -229,7 +278,7 @@ let evaluate ?(objective = Min_total_delay) ?(max_vars = 1200)
                      (fun ai a ->
                        if
                          a.to_ = s.Workload.dst
-                         && o.Ilp.solution.(Hashtbl.find var_index (pi, ai)) > 0.5
+                         && o.Ilp.solution.(offset.(pi) + ai) > 0.5
                        then
                          match !best with
                          | Some t when t <= a.time -> ()

@@ -107,6 +107,25 @@ let test_pair_ttest_renders () =
   if not (Astring.String.is_infix ~affix:"not enough" s) then
     Alcotest.fail "render of None"
 
+let test_fig13_slice_solved_exactly () =
+  (* Regression for the bounded-variable solver rewrite: the load-2.0
+     day-1 fig13 slice used to blow the row guard (x <= 1 rows) and fall
+     back to the contention-free bound; it must now close to proven
+     optimality. The golden average delay was computed by the pre-rewrite
+     dense solver run without guards; avg_delay_all is an affine function
+     of the ILP objective, so this pins the optimum despite alternate
+     optimal routings. *)
+  let params = Params.get Params.Quick in
+  let trace = Fig_optimal.day_slice ~params ~day:1 ~frac:0.15 in
+  let workload = Runners.trace_workload ~params ~trace ~load:2.0 ~day:1 in
+  let v = Rapid_routing.Optimal.evaluate ~trace ~workload () in
+  (match v.Rapid_routing.Optimal.how with
+  | Rapid_routing.Optimal.Ilp_exact -> ()
+  | Rapid_routing.Optimal.Ilp_incumbent -> Alcotest.fail "got Ilp_incumbent"
+  | Rapid_routing.Optimal.Bound -> Alcotest.fail "fell back to Bound");
+  Alcotest.(check (float 1e-6)) "golden objective" 1217.808623065
+    v.Rapid_routing.Optimal.avg_delay_all
+
 let test_deployment_table3_shape () =
   let params =
     { (Params.get Params.Quick) with Params.days = 1 }
@@ -142,6 +161,11 @@ let () =
           Alcotest.test_case "self comparison is null" `Quick
             test_pair_ttest_self_is_null;
           Alcotest.test_case "renders" `Quick test_pair_ttest_renders;
+        ] );
+      ( "optimal",
+        [
+          Alcotest.test_case "fig13 slice solved exactly" `Slow
+            test_fig13_slice_solved_exactly;
         ] );
       ( "deployment",
         [ Alcotest.test_case "table3 shape" `Slow test_deployment_table3_shape ] );

@@ -1,7 +1,9 @@
 (* Tests for the Rapid_lp solver substrate: simplex on known programs,
-   infeasibility/unboundedness detection, branch-and-bound ILPs, and a
-   property test comparing the ILP against brute-force enumeration on random
-   small integer programs. *)
+   infeasibility/unboundedness detection, column bounds, warm-started
+   re-solves, branch-and-bound ILPs, and property tests comparing the
+   bounded-variable solver against the seed's dense two-phase simplex
+   (kept below as a test-only reference) and the ILP against brute-force
+   enumeration on random small integer programs. *)
 
 open Rapid_lp
 open Rapid_prelude
@@ -15,6 +17,230 @@ let solve_expect_optimal p =
   | Simplex.Optimal o -> o
   | Simplex.Infeasible -> Alcotest.fail "unexpected: infeasible"
   | Simplex.Unbounded -> Alcotest.fail "unexpected: unbounded"
+  | Simplex.Iter_limit -> Alcotest.fail "unexpected: iteration limit"
+
+(* ------------------------------------------------------------------ *)
+(* Reference solver: the seed's dense two-phase simplex, verbatim except
+   for the module wrapper. It knows nothing about column bounds, so
+   callers express bounds as ordinary rows; disagreements between it and
+   the bounded-variable solver on the same program are bugs. *)
+
+module Reference = struct
+  type solution = { objective : float; solution : float array }
+  type result = Optimal of solution | Infeasible | Unbounded
+
+  let eps = 1e-9
+
+  type tableau = {
+    m : int;
+    n : int;
+    a : float array array;
+    b : float array;
+    basis : int array;
+  }
+
+  let pivot t ~row ~col =
+    let arow = t.a.(row) in
+    let p = arow.(col) in
+    for j = 0 to t.n - 1 do
+      arow.(j) <- arow.(j) /. p
+    done;
+    t.b.(row) <- t.b.(row) /. p;
+    for i = 0 to t.m - 1 do
+      if i <> row then begin
+        let f = t.a.(i).(col) in
+        if Float.abs f > 0.0 then begin
+          let ai = t.a.(i) in
+          for j = 0 to t.n - 1 do
+            ai.(j) <- ai.(j) -. (f *. arow.(j))
+          done;
+          t.b.(i) <- t.b.(i) -. (f *. t.b.(row))
+        end
+      end
+    done;
+    t.basis.(row) <- col
+
+  let reduced_costs t cost =
+    let z = Array.copy cost in
+    let obj = ref 0.0 in
+    for r = 0 to t.m - 1 do
+      let cb = cost.(t.basis.(r)) in
+      if cb <> 0.0 then begin
+        obj := !obj +. (cb *. t.b.(r));
+        let ar = t.a.(r) in
+        for j = 0 to t.n - 1 do
+          z.(j) <- z.(j) -. (cb *. ar.(j))
+        done
+      end
+    done;
+    (z, !obj)
+
+  let optimize t cost =
+    let max_iter = 20_000 + (200 * (t.m + t.n)) in
+    let rec loop iter =
+      let z, _ = reduced_costs t cost in
+      let bland = iter > max_iter / 2 in
+      let enter = ref (-1) in
+      let best = ref (-.eps) in
+      (try
+         for j = 0 to t.n - 1 do
+           if z.(j) < -.eps then
+             if bland then begin
+               enter := j;
+               raise Exit
+             end
+             else if z.(j) < !best then begin
+               best := z.(j);
+               enter := j
+             end
+         done
+       with Exit -> ());
+      if !enter < 0 then `Optimal
+      else if iter >= max_iter then `Optimal
+      else begin
+        let col = !enter in
+        let leave = ref (-1) in
+        let best_ratio = ref infinity in
+        for r = 0 to t.m - 1 do
+          let arc = t.a.(r).(col) in
+          if arc > eps then begin
+            let ratio = t.b.(r) /. arc in
+            if
+              ratio < !best_ratio -. eps
+              || (ratio < !best_ratio +. eps
+                 && (!leave < 0 || t.basis.(r) < t.basis.(!leave)))
+            then begin
+              best_ratio := ratio;
+              leave := r
+            end
+          end
+        done;
+        if !leave < 0 then `Unbounded
+        else begin
+          pivot t ~row:!leave ~col;
+          loop (iter + 1)
+        end
+      end
+    in
+    loop 0
+
+  let solve ?(extra = []) problem =
+    let n_struct = Lp_problem.num_vars problem in
+    let rows = Lp_problem.constraints problem @ extra in
+    let m = List.length rows in
+    if m = 0 then
+      let c = Lp_problem.objective problem in
+      if Array.exists (fun x -> x < -.eps) c then Unbounded
+      else Optimal { objective = 0.0; solution = Array.make n_struct 0.0 }
+    else begin
+      let normalized =
+        List.map
+          (fun { Lp_problem.coeffs; relation; rhs } ->
+            if rhs < 0.0 then
+              let coeffs = List.map (fun (i, c) -> (i, -.c)) coeffs in
+              let relation =
+                match relation with
+                | Lp_problem.Le -> Lp_problem.Ge
+                | Lp_problem.Ge -> Lp_problem.Le
+                | Lp_problem.Eq -> Lp_problem.Eq
+              in
+              (coeffs, relation, -.rhs)
+            else (coeffs, relation, rhs))
+          rows
+      in
+      let n_slack =
+        List.length
+          (List.filter
+             (fun (_, r, _) -> r = Lp_problem.Le || r = Lp_problem.Ge)
+             normalized)
+      in
+      let n_art =
+        List.length
+          (List.filter
+             (fun (_, r, _) -> r = Lp_problem.Ge || r = Lp_problem.Eq)
+             normalized)
+      in
+      let n = n_struct + n_slack + n_art in
+      let a = Array.init m (fun _ -> Array.make n 0.0) in
+      let b = Array.make m 0.0 in
+      let basis = Array.make m (-1) in
+      let slack_idx = ref n_struct in
+      let art_idx = ref (n_struct + n_slack) in
+      List.iteri
+        (fun r (coeffs, relation, rhs) ->
+          List.iter (fun (i, c) -> a.(r).(i) <- a.(r).(i) +. c) coeffs;
+          b.(r) <- rhs;
+          match relation with
+          | Lp_problem.Le ->
+              a.(r).(!slack_idx) <- 1.0;
+              basis.(r) <- !slack_idx;
+              incr slack_idx
+          | Lp_problem.Ge ->
+              a.(r).(!slack_idx) <- -1.0;
+              incr slack_idx;
+              a.(r).(!art_idx) <- 1.0;
+              basis.(r) <- !art_idx;
+              incr art_idx
+          | Lp_problem.Eq ->
+              a.(r).(!art_idx) <- 1.0;
+              basis.(r) <- !art_idx;
+              incr art_idx)
+        normalized;
+      let t = { m; n; a; b; basis } in
+      let phase1_needed = n_art > 0 in
+      let feasible =
+        if not phase1_needed then true
+        else begin
+          let cost1 = Array.make n 0.0 in
+          for j = n_struct + n_slack to n - 1 do
+            cost1.(j) <- 1.0
+          done;
+          match optimize t cost1 with
+          | `Unbounded -> false
+          | `Optimal ->
+              let _, obj = reduced_costs t cost1 in
+              if obj > 1e-6 then false
+              else begin
+                for r = 0 to m - 1 do
+                  if t.basis.(r) >= n_struct + n_slack then begin
+                    let found = ref false in
+                    let j = ref 0 in
+                    while (not !found) && !j < n_struct + n_slack do
+                      if Float.abs t.a.(r).(!j) > eps then begin
+                        pivot t ~row:r ~col:!j;
+                        found := true
+                      end;
+                      incr j
+                    done
+                  end
+                done;
+                true
+              end
+        end
+      in
+      if not feasible then Infeasible
+      else begin
+        let cost2 = Array.make n 0.0 in
+        let c = Lp_problem.objective problem in
+        Array.blit c 0 cost2 0 n_struct;
+        for j = n_struct + n_slack to n - 1 do
+          cost2.(j) <- 1e12
+        done;
+        match optimize t cost2 with
+        | `Unbounded -> Unbounded
+        | `Optimal ->
+            let solution = Array.make n_struct 0.0 in
+            for r = 0 to m - 1 do
+              if t.basis.(r) < n_struct then solution.(t.basis.(r)) <- t.b.(r)
+            done;
+            let objective =
+              Array.to_seqi solution
+              |> Seq.fold_left (fun acc (i, x) -> acc +. (c.(i) *. x)) 0.0
+            in
+            Optimal { objective; solution }
+      end
+    end
+end
 
 (* ------------------------------------------------------------------ *)
 (* Simplex *)
@@ -70,6 +296,7 @@ let test_simplex_infeasible () =
   | Simplex.Infeasible -> ()
   | Simplex.Optimal _ -> Alcotest.fail "expected infeasible, got optimal"
   | Simplex.Unbounded -> Alcotest.fail "expected infeasible, got unbounded"
+  | Simplex.Iter_limit -> Alcotest.fail "expected infeasible, got iter limit"
 
 let test_simplex_unbounded () =
   (* min -x s.t. x >= 1: unbounded below. *)
@@ -80,6 +307,7 @@ let test_simplex_unbounded () =
   | Simplex.Unbounded -> ()
   | Simplex.Optimal _ -> Alcotest.fail "expected unbounded, got optimal"
   | Simplex.Infeasible -> Alcotest.fail "expected unbounded, got infeasible"
+  | Simplex.Iter_limit -> Alcotest.fail "expected unbounded, got iter limit"
 
 let test_simplex_degenerate () =
   (* A classic degenerate program; must terminate and find the optimum.
@@ -97,7 +325,7 @@ let test_simplex_degenerate () =
   check_close ~eps:1e-6 "beale optimum" (-0.05) o.objective
 
 let test_simplex_extra_rows () =
-  (* Base problem plus extra bound rows, as branch-and-bound uses them. *)
+  (* Base problem plus extra rows, as one-shot callers use them. *)
   let p = Lp_problem.create ~num_vars:1 in
   Lp_problem.set_objective p [ (0, -1.0) ];
   Lp_problem.add_constraint p [ (0, 1.0) ] Lp_problem.Le 10.0;
@@ -111,13 +339,45 @@ let test_simplex_extra_rows () =
   let o = solve_expect_optimal p in
   check_close "without extra" (-10.0) o.objective
 
+let test_simplex_upper_bounds_no_rows () =
+  (* Column bounds alone, zero constraint rows: min -x - 2y with
+     x <= 4, y <= 1.5 is solved entirely by bound flips. *)
+  let p = Lp_problem.create ~num_vars:2 in
+  Lp_problem.set_objective p [ (0, -1.0); (1, -2.0) ];
+  Lp_problem.set_upper p 0 4.0;
+  Lp_problem.set_upper p 1 1.5;
+  let o = solve_expect_optimal p in
+  check_close "objective" (-7.0) o.objective;
+  check_close "x" 4.0 o.solution.(0);
+  check_close "y" 1.5 o.solution.(1)
+
+let test_simplex_bounds_vs_rows () =
+  (* The same program with x <= 1 expressed as a column bound and as a
+     row must agree. max x + y s.t. x + y <= 1.5, x, y in [0, 1]. *)
+  let bounded = Lp_problem.create ~num_vars:2 in
+  Lp_problem.set_objective bounded [ (0, -1.0); (1, -1.0) ];
+  Lp_problem.add_constraint bounded [ (0, 1.0); (1, 1.0) ] Lp_problem.Le 1.5;
+  Lp_problem.set_upper bounded 0 1.0;
+  Lp_problem.set_upper bounded 1 1.0;
+  let o = solve_expect_optimal bounded in
+  check_close "objective" (-1.5) o.objective;
+  (* Lower bounds likewise: min x + y s.t. x + y >= 3 with x >= 2. *)
+  let lower = Lp_problem.create ~num_vars:2 in
+  Lp_problem.set_objective lower [ (0, 1.0); (1, 1.0) ];
+  Lp_problem.add_constraint lower [ (0, 1.0); (1, 1.0) ] Lp_problem.Ge 3.0;
+  Lp_problem.set_lower lower 0 2.0;
+  let o = solve_expect_optimal lower in
+  check_close "objective with lower bound" 3.0 o.objective;
+  if o.solution.(0) < 2.0 -. 1e-9 then Alcotest.fail "lower bound violated"
+
 let test_simplex_feasibility_of_solution () =
-  (* The returned point must satisfy every constraint. *)
+  (* The returned point must satisfy every constraint and every bound. *)
   let p = Lp_problem.create ~num_vars:3 in
   Lp_problem.set_objective p [ (0, 1.0); (1, 2.0); (2, -1.0) ];
   Lp_problem.add_constraint p [ (0, 1.0); (1, 1.0); (2, 1.0) ] Lp_problem.Le 7.0;
   Lp_problem.add_constraint p [ (0, 2.0); (2, 1.0) ] Lp_problem.Ge 2.0;
   Lp_problem.add_constraint p [ (1, 1.0); (2, -1.0) ] Lp_problem.Eq 1.0;
+  Lp_problem.set_upper p 2 2.5;
   let o = solve_expect_optimal p in
   let dot coeffs = List.fold_left (fun acc (i, c) -> acc +. (c *. o.solution.(i))) 0.0 coeffs in
   List.iter
@@ -129,7 +389,46 @@ let test_simplex_feasibility_of_solution () =
       | Lp_problem.Eq ->
           if Float.abs (v -. rhs) > 1e-6 then Alcotest.fail "Eq violated")
     (Lp_problem.constraints p);
-  Array.iter (fun x -> if x < -1e-9 then Alcotest.fail "negative variable") o.solution
+  Array.iteri
+    (fun i x ->
+      let lo, hi = (Lp_problem.bounds p).(i) in
+      if x < lo -. 1e-9 || x > hi +. 1e-9 then
+        Alcotest.fail "column bound violated")
+    o.solution
+
+let test_state_warm_resolve () =
+  (* Warm-started re-solves under changed column bounds: the branch-and-
+     bound hot path, exercised directly. *)
+  let p = Lp_problem.create ~num_vars:2 in
+  Lp_problem.set_objective p [ (0, -1.0); (1, -1.0) ];
+  Lp_problem.add_constraint p [ (0, 1.0); (1, 1.0) ] Lp_problem.Le 3.0;
+  Lp_problem.set_upper p 0 2.0;
+  Lp_problem.set_upper p 1 2.0;
+  let st = Simplex.State.create p in
+  (match Simplex.State.solve_root st with
+  | Simplex.Optimal o -> check_close "root" (-3.0) o.objective
+  | _ -> Alcotest.fail "root not optimal");
+  (* Force x = 0: optimum becomes y = 2. *)
+  (match Simplex.State.resolve st ~bounds:[ (0, 0.0, 0.0) ] with
+  | Simplex.Optimal o, warm ->
+      check_close "x fixed to 0" (-2.0) o.objective;
+      check_close "x" 0.0 o.solution.(0);
+      Alcotest.(check bool) "warm path" true warm
+  | _ -> Alcotest.fail "resolve not optimal");
+  (* Force x >= 1 instead (override replaces, not stacks). *)
+  (match Simplex.State.resolve st ~bounds:[ (0, 1.0, 2.0) ] with
+  | Simplex.Optimal o, _ ->
+      check_close "x >= 1" (-3.0) o.objective;
+      if o.solution.(0) < 1.0 -. 1e-9 then Alcotest.fail "x below 1"
+  | _ -> Alcotest.fail "resolve not optimal");
+  (* Empty box: immediate infeasible. *)
+  (match Simplex.State.resolve st ~bounds:[ (1, 2.0, 1.0) ] with
+  | Simplex.Infeasible, _ -> ()
+  | _ -> Alcotest.fail "empty box not infeasible");
+  (* No overrides: back to the root optimum. *)
+  match Simplex.State.resolve st ~bounds:[] with
+  | Simplex.Optimal o, _ -> check_close "reverted" (-3.0) o.objective
+  | _ -> Alcotest.fail "revert not optimal"
 
 (* ------------------------------------------------------------------ *)
 (* ILP *)
@@ -151,7 +450,7 @@ let test_ilp_knapsack () =
     [ (0, 5.0); (1, 7.0); (2, 4.0); (3, 3.0) ]
     Lp_problem.Le 14.0;
   for v = 0 to 3 do
-    Lp_problem.add_constraint p [ (v, 1.0) ] Lp_problem.Le 1.0;
+    Lp_problem.set_upper p v 1.0;
     Lp_problem.mark_integer p v
   done;
   let o = solve_ilp_expect p in
@@ -170,7 +469,7 @@ let test_ilp_rounding_matters () =
   Lp_problem.set_objective p [ (0, -1.0); (1, -1.0) ];
   Lp_problem.add_constraint p [ (0, 2.0); (1, 2.0) ] Lp_problem.Le 3.0;
   for v = 0 to 1 do
-    Lp_problem.add_constraint p [ (v, 1.0) ] Lp_problem.Le 1.0;
+    Lp_problem.set_upper p v 1.0;
     Lp_problem.mark_integer p v
   done;
   let o = solve_ilp_expect p in
@@ -200,8 +499,171 @@ let test_ilp_infeasible () =
   | Ilp.Unbounded -> Alcotest.fail "expected infeasible, got unbounded"
   | Ilp.No_incumbent -> Alcotest.fail "expected infeasible, got no-incumbent"
 
+let test_ilp_warm_starts_counted () =
+  (* A fractional relaxation forces branching; the shared Simplex.State
+     must serve (almost) every child node from the warm dual path. *)
+  let nodes0 = Rapid_obs.Counter.value (Rapid_obs.Counter.create "ilp.nodes") in
+  let warm0 =
+    Rapid_obs.Counter.value (Rapid_obs.Counter.create "ilp.warm_starts")
+  in
+  let p = Lp_problem.create ~num_vars:3 in
+  Lp_problem.set_objective p [ (0, -3.0); (1, -2.0); (2, -2.0) ];
+  Lp_problem.add_constraint p
+    [ (0, 2.0); (1, 2.0); (2, 2.0) ]
+    Lp_problem.Le 3.0;
+  for v = 0 to 2 do
+    Lp_problem.set_upper p v 1.0;
+    Lp_problem.mark_integer p v
+  done;
+  let o = solve_ilp_expect p in
+  check_close "objective" (-3.0) o.objective;
+  let nodes =
+    Rapid_obs.Counter.value (Rapid_obs.Counter.create "ilp.nodes") - nodes0
+  in
+  let warm =
+    Rapid_obs.Counter.value (Rapid_obs.Counter.create "ilp.warm_starts")
+    - warm0
+  in
+  if nodes < 2 then Alcotest.failf "expected branching, got %d nodes" nodes;
+  if warm < nodes - 1 then
+    Alcotest.failf "expected >= %d warm starts, got %d" (nodes - 1) warm
+
 (* ------------------------------------------------------------------ *)
-(* Property: ILP vs brute force on random small binary programs. *)
+(* Properties. *)
+
+(* Random LP with column bounds; the same program with bounds spelled as
+   rows, fed to the seed's dense solver, must agree on the verdict and
+   (when optimal) the objective. *)
+let prop_bounded_simplex_matches_reference =
+  let gen = QCheck.Gen.int_range 0 100_000 in
+  QCheck.Test.make ~name:"bounded simplex matches seed dense solver"
+    ~count:300 (QCheck.make gen) (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars = 2 + Rng.int rng 5 in
+      let num_rows = 1 + Rng.int rng 4 in
+      let rows =
+        List.init num_rows (fun _ ->
+            let coeffs =
+              List.init num_vars (fun i -> (i, Rng.uniform rng (-3.0) 3.0))
+              |> List.filter (fun _ -> Rng.float rng < 0.8)
+            in
+            let relation =
+              match Rng.int rng 4 with
+              | 0 -> Lp_problem.Ge
+              | 1 -> Lp_problem.Eq
+              | _ -> Lp_problem.Le
+            in
+            (coeffs, relation, Rng.uniform rng (-2.0) 6.0))
+      in
+      let bnds =
+        Array.init num_vars (fun _ ->
+            let lo =
+              if Rng.float rng < 0.3 then Rng.uniform rng 0.0 1.0 else 0.0
+            in
+            let hi =
+              if Rng.float rng < 0.6 then lo +. Rng.uniform rng 0.0 3.0
+              else infinity
+            in
+            (lo, hi))
+      in
+      let obj =
+        List.init num_vars (fun i -> (i, Rng.uniform rng (-4.0) 4.0))
+      in
+      let bounded = Lp_problem.create ~num_vars in
+      Lp_problem.set_objective bounded obj;
+      List.iter
+        (fun (coeffs, rel, rhs) ->
+          Lp_problem.add_constraint bounded coeffs rel rhs)
+        rows;
+      Array.iteri
+        (fun i (lo, hi) ->
+          Lp_problem.set_lower bounded i lo;
+          if hi < infinity then Lp_problem.set_upper bounded i hi)
+        bnds;
+      let as_rows = Lp_problem.create ~num_vars in
+      Lp_problem.set_objective as_rows obj;
+      List.iter
+        (fun (coeffs, rel, rhs) ->
+          Lp_problem.add_constraint as_rows coeffs rel rhs)
+        rows;
+      Array.iteri
+        (fun i (lo, hi) ->
+          if lo > 0.0 then
+            Lp_problem.add_constraint as_rows [ (i, 1.0) ] Lp_problem.Ge lo;
+          if hi < infinity then
+            Lp_problem.add_constraint as_rows [ (i, 1.0) ] Lp_problem.Le hi)
+        bnds;
+      match (Simplex.solve bounded, Reference.solve as_rows) with
+      | Simplex.Optimal a, Reference.Optimal b ->
+          Float.abs (a.objective -. b.objective) < 1e-5
+      | Simplex.Infeasible, Reference.Infeasible -> true
+      | Simplex.Unbounded, Reference.Unbounded -> true
+      | _ -> false)
+
+(* Warm-started resolves must agree with cold solves of a problem that
+   has the overridden bounds baked in from the start. *)
+let prop_warm_resolve_matches_cold =
+  let gen = QCheck.Gen.int_range 0 100_000 in
+  QCheck.Test.make ~name:"warm resolve matches cold solve" ~count:200
+    (QCheck.make gen) (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars = 2 + Rng.int rng 5 in
+      let rows =
+        List.init
+          (1 + Rng.int rng 3)
+          (fun _ ->
+            let coeffs =
+              List.init num_vars (fun i -> (i, Rng.uniform rng (-2.0) 3.0))
+            in
+            let relation =
+              if Rng.float rng < 0.75 then Lp_problem.Le else Lp_problem.Ge
+            in
+            (coeffs, relation, Rng.uniform rng 0.0 6.0))
+      in
+      let obj =
+        List.init num_vars (fun i -> (i, Rng.uniform rng (-4.0) 4.0))
+      in
+      let ub = Array.init num_vars (fun _ -> Rng.uniform rng 0.5 4.0) in
+      let make () =
+        let p = Lp_problem.create ~num_vars in
+        Lp_problem.set_objective p obj;
+        List.iter
+          (fun (coeffs, rel, rhs) -> Lp_problem.add_constraint p coeffs rel rhs)
+          rows;
+        Array.iteri (fun i u -> Lp_problem.set_upper p i u) ub;
+        p
+      in
+      let st = Simplex.State.create (make ()) in
+      (match Simplex.State.solve_root st with
+      | Simplex.Optimal _ | Simplex.Infeasible | Simplex.Unbounded
+      | Simplex.Iter_limit ->
+          ());
+      let ok = ref true in
+      for _ = 1 to 3 do
+        (* Random branch-like overrides on a few variables. *)
+        let overrides =
+          List.init num_vars (fun i ->
+              let lo = Float.of_int (Rng.int rng 2) in
+              let hi = Float.min ub.(i) (lo +. Float.of_int (Rng.int rng 2)) in
+              (i, Float.min lo hi, hi))
+          |> List.filter (fun _ -> Rng.float rng < 0.4)
+        in
+        let warm, _ = Simplex.State.resolve st ~bounds:overrides in
+        let fresh = make () in
+        List.iter
+          (fun (i, lo, hi) ->
+            Lp_problem.set_lower fresh i lo;
+            Lp_problem.set_upper fresh i hi)
+          overrides;
+        let cold = Simplex.solve fresh in
+        (match (warm, cold) with
+        | Simplex.Optimal a, Simplex.Optimal b ->
+            if Float.abs (a.objective -. b.objective) > 1e-5 then ok := false
+        | Simplex.Infeasible, Simplex.Infeasible -> ()
+        | Simplex.Unbounded, Simplex.Unbounded -> ()
+        | _ -> ok := false)
+      done;
+      !ok)
 
 let brute_force_binary ~num_vars ~obj ~rows =
   (* Minimize over all 2^num_vars assignments; None when infeasible. *)
@@ -227,7 +689,7 @@ let brute_force_binary ~num_vars ~obj ~rows =
 let prop_ilp_matches_brute_force =
   let gen =
     QCheck.Gen.(
-      let* num_vars = int_range 2 5 in
+      let* num_vars = int_range 2 12 in
       let* num_rows = int_range 1 4 in
       let* obj = array_size (return num_vars) (float_range (-5.0) 5.0) in
       let* rows =
@@ -240,7 +702,7 @@ let prop_ilp_matches_brute_force =
       in
       return (num_vars, obj, rows))
   in
-  QCheck.Test.make ~name:"ilp matches brute force (binary programs)" ~count:60
+  QCheck.Test.make ~name:"ilp matches brute force (binary programs)" ~count:80
     (QCheck.make gen)
     (fun (num_vars, obj, rows) ->
       let rows = List.map (fun (c, r) -> (Array.to_list (Array.mapi (fun i x -> (i, x)) c), r)) rows in
@@ -248,7 +710,7 @@ let prop_ilp_matches_brute_force =
       Lp_problem.set_objective p (Array.to_list (Array.mapi (fun i c -> (i, c)) obj));
       List.iter (fun (coeffs, rhs) -> Lp_problem.add_constraint p coeffs Lp_problem.Le rhs) rows;
       for v = 0 to num_vars - 1 do
-        Lp_problem.add_constraint p [ (v, 1.0) ] Lp_problem.Le 1.0;
+        Lp_problem.set_upper p v 1.0;
         Lp_problem.mark_integer p v
       done;
       let expected = brute_force_binary ~num_vars ~obj ~rows in
@@ -276,7 +738,7 @@ let prop_simplex_lower_bounds_ilp =
           (Rng.uniform rng 1.0 8.0)
       done;
       for v = 0 to num_vars - 1 do
-        Lp_problem.add_constraint p [ (v, 1.0) ] Lp_problem.Le 1.0;
+        Lp_problem.set_upper p v 1.0;
         Lp_problem.mark_integer p v
       done;
       match (Simplex.solve p, Ilp.solve p) with
@@ -287,7 +749,12 @@ let prop_simplex_lower_bounds_ilp =
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_ilp_matches_brute_force; prop_simplex_lower_bounds_ilp ]
+    [
+      prop_bounded_simplex_matches_reference;
+      prop_warm_resolve_matches_cold;
+      prop_ilp_matches_brute_force;
+      prop_simplex_lower_bounds_ilp;
+    ]
 
 let () =
   Alcotest.run "lp"
@@ -302,8 +769,12 @@ let () =
           Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
           Alcotest.test_case "degenerate (Beale)" `Quick test_simplex_degenerate;
           Alcotest.test_case "extra rows" `Quick test_simplex_extra_rows;
+          Alcotest.test_case "upper bounds, no rows" `Quick
+            test_simplex_upper_bounds_no_rows;
+          Alcotest.test_case "bounds vs rows" `Quick test_simplex_bounds_vs_rows;
           Alcotest.test_case "solution feasibility" `Quick
             test_simplex_feasibility_of_solution;
+          Alcotest.test_case "warm resolve" `Quick test_state_warm_resolve;
         ] );
       ( "ilp",
         [
@@ -314,6 +785,8 @@ let () =
             test_ilp_integral_relaxation_short_circuits;
           Alcotest.test_case "infeasible by integrality" `Quick
             test_ilp_infeasible;
+          Alcotest.test_case "warm starts counted" `Quick
+            test_ilp_warm_starts_counted;
         ] );
       ("properties", qcheck_cases);
     ]
