@@ -68,6 +68,18 @@ let () =
       "lp.pivots"; "lp.phase1_iters"; "lp.bound_flips"; "lp.iter_limits";
       "lp.cold_solves"; "ilp.nodes"; "ilp.warm_starts"; "ilp.unconverged";
     ];
+  (* Fault-injection counters: the bench harness forces their registration
+     at startup, so they must be present (zero when no faults are run). *)
+  List.iter
+    (fun name ->
+      match counter name with
+      | Some v -> Printf.printf "%s = %d\n" name v
+      | None -> fail "missing counter \"%s\"" name)
+    [
+      "faults.reboots"; "faults.reboot_lost_packets";
+      "faults.contacts_suppressed"; "faults.contacts_truncated";
+      "faults.truncated_bytes_lost"; "faults.meta_drops";
+    ];
   let timer name =
     match Json.member "timers" doc with
     | Some timers -> (

@@ -229,6 +229,9 @@ let microbenchmarks () =
 let () =
   let jobs, ids = parse_args Sys.argv in
   Rapid_par.Pool.set_jobs jobs;
+  (* Fault counters register lazily on first fault; force them so
+     BENCH.json carries the faults.* keys (at zero) even for clean runs. *)
+  Rapid_faults.Faults.register_counters ();
   let profile = profile () in
   let params = Params.get profile in
   let artifacts = run_artifacts params ids in

@@ -38,6 +38,30 @@ let json_arg =
     & info [ "json" ] ~docv:"PATH"
         ~doc:"Also write the result as machine-readable JSON to $(docv).")
 
+let faults_conv =
+  let parse s =
+    match Rapid_faults.Faults.parse s with
+    | Ok c -> Ok c
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt c =
+    Format.pp_print_string fmt (Rapid_faults.Faults.spec_string c)
+  in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt faults_conv Rapid_faults.Faults.none
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection, e.g. \
+           'reboots=1,truncate=0.2,metaloss=0.1,noshow=0.05,seed=7'. \
+           Keys are optional; all-zero rates (the default) run the plain \
+           engine bit-identically. The fault stream derives from \
+           (SPEC seed, run seed, trace), so reports stay bit-identical \
+           across --jobs settings.")
+
 (* Parallelism only changes wall time: every simulation cell is seeded
    explicitly, and the worker pool preserves result order, so reports
    (and the JSON artifacts) are bit-identical across --jobs settings. *)
@@ -193,7 +217,8 @@ let run_cmd =
              deliveries, drops, ack purges, metadata) as JSON lines to \
              $(docv). Bypasses the in-process point cache.")
   in
-  let run profile proto metric_name load trace_file json_path events_path jobs =
+  let run profile proto metric_name load trace_file json_path events_path jobs
+      faults =
     Rapid_par.Pool.set_jobs jobs;
     match metric_of_string metric_name with
     | Error e ->
@@ -231,6 +256,11 @@ let run_cmd =
                       in
                       [
                         (Rapid_sim.Engine.run ~tracer
+                           ~options:
+                             {
+                               Rapid_sim.Engine.default_options with
+                               Rapid_sim.Engine.faults;
+                             }
                            ~protocol:(spec.Runners.make ()) ~trace ~workload ())
                           .Rapid_sim.Engine.report;
                       ]
@@ -251,12 +281,15 @@ let run_cmd =
                                      params.Params.trace_buffer_bytes;
                                    meta_cap_frac = None;
                                    seed = params.Params.base_seed + day;
+                                   faults;
                                  }
                                ~protocol:(spec.Runners.make ()) ~trace ~workload
                                ())
                               .Rapid_sim.Engine.report)
                       else
-                        Runners.run_trace_point ~params ~protocol:spec ~load ())
+                        Runners.run_trace_point ~params ~protocol:spec ~load
+                          ~spec:{ Runners.default_spec with Runners.faults }
+                          ())
             in
             List.iteri
               (fun day r ->
@@ -286,7 +319,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ profile_arg $ proto_arg $ metric_arg $ load_arg
-      $ trace_file_arg $ json_arg $ events_arg $ jobs_arg)
+      $ trace_file_arg $ json_arg $ events_arg $ jobs_arg $ faults_arg)
 
 (* ------------------------------------------------------------------ *)
 

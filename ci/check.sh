@@ -43,4 +43,30 @@ dune exec bin/main.exe -- figure -i fig3 --json "$FIG_SEQ" >/dev/null
 dune exec bin/main.exe -- figure -i fig3 --jobs 2 --json "$FIG_PAR" >/dev/null
 cmp "$FIG_SEQ" "$FIG_PAR"
 
+# Fault-injection smoke: three contracts of lib/faults.
+#   1. All-zero fault rates are the plain engine, byte for byte.
+#   2. A faulted run is byte-identical across --jobs widths (the fault
+#      plan is pre-drawn from (spec seed, run seed, trace)).
+#   3. The faulted report matches a pinned golden hash — any change to
+#      the fault stream or its engine plumbing must retune this on
+#      purpose, not by accident.
+echo "== fault injection smoke =="
+FAULT_PLAIN="${TMPDIR:-/tmp}/rapid_faults_plain.json"
+FAULT_ZERO="${TMPDIR:-/tmp}/rapid_faults_zero.json"
+FAULT_SEQ="${TMPDIR:-/tmp}/rapid_faults_seq.json"
+FAULT_PAR="${TMPDIR:-/tmp}/rapid_faults_par.json"
+FAULT_SPEC="reboots=1,truncate=0.2,metaloss=0.2,noshow=0.1,seed=7"
+dune exec bin/main.exe -- run --load 2 --json "$FAULT_PLAIN" >/dev/null
+dune exec bin/main.exe -- run --load 2 --faults "seed=7" --json "$FAULT_ZERO" >/dev/null
+cmp "$FAULT_PLAIN" "$FAULT_ZERO"
+dune exec bin/main.exe -- run --load 2 --faults "$FAULT_SPEC" --json "$FAULT_SEQ" >/dev/null
+dune exec bin/main.exe -- run --load 2 --faults "$FAULT_SPEC" --jobs 4 --json "$FAULT_PAR" >/dev/null
+cmp "$FAULT_SEQ" "$FAULT_PAR"
+FAULT_GOLDEN="5754a0de7e8d38599bf983b5a50a38d747ca8501518d4b5d85cb0b53f5392cb8"
+FAULT_HASH="$(sha256sum "$FAULT_SEQ" | cut -d' ' -f1)"
+if [ "$FAULT_HASH" != "$FAULT_GOLDEN" ]; then
+  echo "faulted report hash mismatch: $FAULT_HASH != $FAULT_GOLDEN" >&2
+  exit 1
+fi
+
 echo "All checks passed."

@@ -534,7 +534,7 @@ let make params : Protocol.packed =
       Dense.Mat.set t.last_meta_exchange sender receiver now;
       !sent * params.packet_entry_bytes
 
-    let on_contact t ~now ~a ~b ~budget ~meta_budget =
+    let on_contact t ~now ~a ~b ~budget ~meta_budget ~meta_ok =
       Ranking.begin_contact t.ranking;
       Hashtbl.reset t.contact_indexes;
       Meeting_matrix.observe t.matrix ~now ~a ~b;
@@ -563,8 +563,17 @@ let make params : Protocol.packed =
       in
       (match params.channel with
       | Control_channel.Instant_global ->
+          (* The oracle channel is out of band — in-band metadata loss
+             cannot touch it. *)
           purge_delivered_instantly t ~now ~node:a;
           purge_delivered_instantly t ~now ~node:b
+      | Control_channel.In_band | Control_channel.Local_only
+        when not meta_ok ->
+          (* The exchange was lost in flight: no acks, no table cells, no
+             replica deltas — and crucially no watermark advances, so the
+             next successful meeting ships everything accumulated. The
+             meeting observation above is first-hand and stays. *)
+          ()
       | Control_channel.In_band | Control_channel.Local_only ->
           (* 1. Acknowledgments (highest priority). *)
           if params.use_acks && remaining () >= params.ack_entry_bytes then begin
@@ -588,8 +597,11 @@ let make params : Protocol.packed =
              own row that changed since it last synced with this peer (a
              row has at most n-1 cells). *)
           let row_cells x y =
-            min (t.env.Env.num_nodes - 1)
-              (t.meet_count.(x) - Dense.Int_mat.get t.last_table_sync x y)
+            (* max 0 guards against watermarks from before a reboot reset
+               the node's meeting counter. *)
+            max 0
+              (min (t.env.Env.num_nodes - 1)
+                 (t.meet_count.(x) - Dense.Int_mat.get t.last_table_sync x y))
           in
           let cells = row_cells a b + row_cells b a in
           let table_bytes = cells * params.table_entry_bytes in
@@ -715,6 +727,30 @@ let make params : Protocol.packed =
       Replica_db.remove_holder t.truth ~packet_id:p.Packet.id ~holder_id:node;
       Replica_db.remove_holder t.dbs.(node) ~packet_id:p.Packet.id
         ~holder_id:node
+
+    let on_reboot t ~now:_ ~node ~lost =
+      (* First-hand truth: the crashed copies are gone. *)
+      List.iter
+        (fun (p : Packet.t) ->
+          Replica_db.remove_holder t.truth ~packet_id:p.Packet.id
+            ~holder_id:node)
+        lost;
+      (* The node's replica DB, ack set and gossip watermarks lived in
+         RAM; peers' (stale) beliefs about this node survive. Meeting-time
+         statistics are kept: the deployment persists them to flash, and
+         they age out via the matrix's own dynamics. *)
+      t.dbs.(node) <- Replica_db.create ();
+      Protocol.Ack_store.reset_node t.acks ~node;
+      let n = t.env.Env.num_nodes in
+      for peer = 0 to n - 1 do
+        Dense.Mat.set t.last_meta_exchange node peer neg_infinity;
+        Dense.Int_mat.set t.last_table_sync node peer 0
+      done;
+      t.meet_count.(node) <- 0;
+      Hashtbl.filter_map_inplace
+        (fun (sender, _) pending ->
+          if sender = node then None else Some pending)
+        t.meta_backlog
   end : Protocol.S)
 
 let make_default metric = make (default_params metric)

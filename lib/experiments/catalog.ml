@@ -38,6 +38,9 @@ let all =
     series "fig22" "Exponential: avg delay" Fig_synthetic.fig22;
     series "fig23" "Exponential: max delay" Fig_synthetic.fig23;
     series "fig24" "Exponential: within deadline" Fig_synthetic.fig24;
+    series "robustness"
+      "Trace: delivery under injected faults (not a paper figure)"
+      Fig_robustness.robustness;
     {
       id = "ablations";
       title = "RAPID design-knob ablations (not a paper figure)";

@@ -1,0 +1,63 @@
+(* Robustness under injected faults (not a paper figure, but the
+   deployment the paper measures had all of them: bus reboots, contacts
+   cut short, lost control traffic). One composite severity knob s maps
+   to all four fault models at once — reboots/node = 4s over the day,
+   truncation probability s, metadata-loss probability s, contact
+   no-show probability s/2 — and we plot delivery rate as s grows. *)
+
+open Rapid_sim
+module Faults = Rapid_faults.Faults
+
+let severities = [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
+
+let config_of_severity ~seed s =
+  if s <= 0.0 then Faults.none
+  else
+    {
+      Faults.seed;
+      reboots_per_node = 4.0 *. s;
+      truncate_prob = s;
+      meta_drop_prob = s;
+      contact_drop_prob = s /. 2.0;
+    }
+
+(* Mid-range load: queues are non-trivial but bandwidth is not yet the
+   binding constraint, so the fault response is visible in deliveries.
+   Shared with the fig4/fig5 sweeps so the s = 0 points hit the point
+   cache. *)
+let load = 12.0
+
+let robustness params =
+  let protocols = Runners.comparison_set Rapid_core.Metric.Average_delay in
+  let seed = (params.Params.base_seed * 7) + 1 in
+  let lines =
+    List.map
+      (fun (p : Runners.protocol_spec) ->
+        let points =
+          List.map
+            (fun s ->
+              let spec =
+                {
+                  Runners.default_spec with
+                  Runners.faults = config_of_severity ~seed s;
+                }
+              in
+              let point =
+                Runners.run_trace_point ~params ~protocol:p ~load ~spec ()
+              in
+              (s, Runners.mean_of point (fun r -> r.Metrics.delivery_rate)))
+            severities
+        in
+        { Series.label = p.Runners.label; points })
+      protocols
+  in
+  Series.make ~id:"robustness"
+    ~title:"Trace: delivery rate vs fault severity"
+    ~x_label:"fault severity s" ~y_label:"fraction delivered"
+    ~notes:
+      [
+        Printf.sprintf "load %g pkts/hr/dest; severity s = %s" load
+          "{reboots/node 4s, truncate p=s, metadata loss p=s, no-show q=s/2}";
+        Printf.sprintf "fault seed %d, mixed with per-day run seeds" seed;
+      ]
+    lines

@@ -3,6 +3,7 @@ open Rapid_trace
 open Rapid_sim
 open Rapid_core
 module Pool = Rapid_par.Pool
+module Faults = Rapid_faults.Faults
 
 type protocol_spec = {
   label : string;
@@ -86,10 +87,16 @@ type point_spec = {
   meta_cap_frac : float option;
   buffer : buffer_spec;
   deployment_noise : bool;
+  faults : Faults.config;
 }
 
 let default_spec =
-  { meta_cap_frac = None; buffer = Profile_default; deployment_noise = false }
+  {
+    meta_cap_frac = None;
+    buffer = Profile_default;
+    deployment_noise = false;
+    faults = Faults.none;
+  }
 
 module Point_key = struct
   type t = {
@@ -102,6 +109,7 @@ module Point_key = struct
     base_seed : int;
     packet_bytes : int;
     deadline : float;
+    faults : Faults.config;
   }
 end
 
@@ -120,7 +128,7 @@ let reset_point_cache () =
    derive from (base_seed, day), so the pool fan-out is bit-identical to
    the sequential List.init. *)
 let run_trace_point_uncached ~(params : Params.t) ~protocol ~load ~spec
-    ~buffer_bytes =
+    ~buffer_bytes ~faults =
   Pool.init params.Params.days (fun day ->
       let trace = trace_day ~params ~day in
       let trace =
@@ -137,6 +145,7 @@ let run_trace_point_uncached ~(params : Params.t) ~protocol ~load ~spec
              Engine.buffer_bytes;
              meta_cap_frac = spec.meta_cap_frac;
              seed = params.Params.base_seed + day;
+             faults;
            }
          ~protocol:(protocol.make ()) ~trace ~workload ())
         .Engine.report)
@@ -149,6 +158,9 @@ let run_trace_point ~(params : Params.t) ~protocol ~load ?(spec = default_spec)
     | Unlimited -> None
     | Bytes b -> Some b
   in
+  (* Canonicalize all-zero-rate configs so a "faulted at severity 0"
+     point shares its cache cell with plain points. *)
+  let faults = if Faults.is_none spec.faults then Faults.none else spec.faults in
   let key =
     {
       Point_key.cache_id = protocol.cache_id;
@@ -160,6 +172,7 @@ let run_trace_point ~(params : Params.t) ~protocol ~load ?(spec = default_spec)
       base_seed = params.Params.base_seed;
       packet_bytes = params.Params.trace_packet_bytes;
       deadline = params.Params.trace_deadline;
+      faults;
     }
   in
   match
@@ -171,7 +184,10 @@ let run_trace_point ~(params : Params.t) ~protocol ~load ?(spec = default_spec)
       (* Computed outside the lock (a point is seconds of simulation);
          a racing duplicate computation would produce the identical
          value, so a lost replace is harmless. *)
-      let pt = run_trace_point_uncached ~params ~protocol ~load ~spec ~buffer_bytes in
+      let pt =
+        run_trace_point_uncached ~params ~protocol ~load ~spec ~buffer_bytes
+          ~faults
+      in
       Mutex.protect cache_lock (fun () ->
           Hashtbl.replace trace_point_cache key pt);
       pt
@@ -210,6 +226,13 @@ let run_synthetic_point ~(params : Params.t) ~protocol ~mobility ~load
       in
       (Engine.run
          ~options:
-           { Engine.buffer_bytes; meta_cap_frac = spec.meta_cap_frac; seed }
+           {
+             Engine.buffer_bytes;
+             meta_cap_frac = spec.meta_cap_frac;
+             seed;
+             faults =
+               (if Faults.is_none spec.faults then Faults.none
+                else spec.faults);
+           }
          ~protocol:(protocol.make ()) ~trace ~workload ())
         .Engine.report)

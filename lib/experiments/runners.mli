@@ -50,6 +50,11 @@ type point_spec = {
   deployment_noise : bool;
       (** Apply the Table-3 deployment-imperfection layer to each trace
           day (trace points only). *)
+  faults : Rapid_faults.Faults.config;
+      (** Fault injection for this point; [Faults.none] (the default)
+          runs the plain engine. All-zero-rate configs are canonicalized
+          to [Faults.none] before keying the cache, so a "severity 0"
+          point aliases the plain one. *)
 }
 
 val default_spec : point_spec
@@ -94,6 +99,7 @@ module Point_key : sig
     base_seed : int;
     packet_bytes : int;
     deadline : float;
+    faults : Rapid_faults.Faults.config;
   }
 end
 

@@ -12,6 +12,16 @@ type event =
   | Delivery of { time : float; packet : int; delay : float }
   | Drop of { time : float; node : int; packet : int }
   | Ack_purge of { time : float; node : int; packet : int }
+  | Reboot of { time : float; node : int; lost : int }
+  | Contact_suppressed of { time : float; a : int; b : int }
+  | Contact_truncated of {
+      time : float;
+      a : int;
+      b : int;
+      bytes : int;
+      effective : int;
+    }
+  | Metadata_dropped of { time : float; a : int; b : int }
 
 type t = (event -> unit) option
 
@@ -27,6 +37,10 @@ let event_label = function
   | Delivery _ -> "delivery"
   | Drop _ -> "drop"
   | Ack_purge _ -> "ack_purge"
+  | Reboot _ -> "reboot"
+  | Contact_suppressed _ -> "contact_suppressed"
+  | Contact_truncated _ -> "contact_truncated"
+  | Metadata_dropped _ -> "metadata_dropped"
 
 let event_to_json ev =
   let fields =
@@ -50,6 +64,16 @@ let event_to_json ev =
     | Ack_purge { time; node; packet } ->
         [ ("time", Json.Float time); ("node", Json.Int node);
           ("packet", Json.Int packet) ]
+    | Reboot { time; node; lost } ->
+        [ ("time", Json.Float time); ("node", Json.Int node);
+          ("lost", Json.Int lost) ]
+    | Contact_suppressed { time; a; b } ->
+        [ ("time", Json.Float time); ("a", Json.Int a); ("b", Json.Int b) ]
+    | Contact_truncated { time; a; b; bytes; effective } ->
+        [ ("time", Json.Float time); ("a", Json.Int a); ("b", Json.Int b);
+          ("bytes", Json.Int bytes); ("effective", Json.Int effective) ]
+    | Metadata_dropped { time; a; b } ->
+        [ ("time", Json.Float time); ("a", Json.Int a); ("b", Json.Int b) ]
   in
   Json.Obj (("event", Json.String (event_label ev)) :: fields)
 

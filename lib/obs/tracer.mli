@@ -33,6 +33,22 @@ type event =
       (** Storage eviction chosen by the protocol. *)
   | Ack_purge of { time : float; node : int; packet : int }
       (** Buffered copy cleared because an ack proved it delivered. *)
+  | Reboot of { time : float; node : int; lost : int }
+      (** Fault injection: [node] rebooted, losing [lost] buffered
+          copies and its protocol soft state. *)
+  | Contact_suppressed of { time : float; a : int; b : int }
+      (** Fault injection: a recorded contact never happened. *)
+  | Contact_truncated of {
+      time : float;
+      a : int;
+      b : int;
+      bytes : int;
+      effective : int;
+    }
+      (** Fault injection: the contact's recorded [bytes] capacity was
+          cut to [effective]. *)
+  | Metadata_dropped of { time : float; a : int; b : int }
+      (** Fault injection: the contact's metadata exchange was lost. *)
 
 type t
 

@@ -8,7 +8,7 @@ let make () : Protocol.packed =
     let create env = { env; session = Protocol.Session.create () }
     let on_created _ ~now:_ _ = ()
 
-    let on_contact t ~now:_ ~a:_ ~b:_ ~budget:_ ~meta_budget:_ =
+    let on_contact t ~now:_ ~a:_ ~b:_ ~budget:_ ~meta_budget:_ ~meta_ok:_ =
       Protocol.Session.reset t.session;
       0
 
@@ -44,4 +44,7 @@ let make () : Protocol.packed =
       | e :: _ -> Some e.packet
 
     let on_dropped _ ~now:_ ~node:_ _ = ()
+
+    (* Stateless beyond the session: nothing to forget. *)
+    let on_reboot _ ~now:_ ~node:_ ~lost:_ = ()
   end : Protocol.S)

@@ -20,7 +20,7 @@ let make () : Protocol.packed =
         (fun (e : Buffer.entry) -> e.packet)
         (List.sort by_age direct @ List.sort by_age rest)
 
-    let on_contact t ~now:_ ~a ~b ~budget:_ ~meta_budget:_ =
+    let on_contact t ~now:_ ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok:_ =
       Ranking.begin_contact t.ranking;
       Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
       Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
@@ -38,4 +38,7 @@ let make () : Protocol.packed =
       | e :: _ -> Some e.Buffer.packet
 
     let on_dropped _ ~now:_ ~node:_ _ = ()
+
+    (* Flooding keeps no per-node state: the wiped buffer is the state. *)
+    let on_reboot _ ~now:_ ~node:_ ~lost:_ = ()
   end : Protocol.S)

@@ -21,11 +21,12 @@ let make ?(ack_entry_bytes = 8) ?(vector_entry_bytes = 12) () : Protocol.packed 
 
     let name = "MaxProp"
 
+    let uniform n =
+      Array.init n (fun _ -> if n > 1 then 1.0 /. float_of_int (n - 1) else 0.0)
+
     let create env =
       let n = env.Env.num_nodes in
-      let uniform () =
-        Array.init n (fun _ -> if n > 1 then 1.0 /. float_of_int (n - 1) else 0.0)
-      in
+      let uniform () = uniform n in
       {
         env;
         ranking = Ranking.create ();
@@ -139,21 +140,33 @@ let make ?(ack_entry_bytes = 8) ?(vector_entry_bytes = 12) () : Protocol.packed 
         (fun (e : Buffer.entry) -> e.packet)
         (List.sort by_age direct @ List.sort by_hops head @ List.sort by_cost tail)
 
-    let on_contact t ~now ~a ~b ~budget ~meta_budget:_ =
+    let on_contact t ~now ~a ~b ~budget ~meta_budget:_ ~meta_ok =
       Ranking.begin_contact t.ranking;
       Hashtbl.reset t.cost_cache;
       Moving_average.Cumulative.add t.avg_transfer (float_of_int budget);
       bump_likelihood t ~node:a ~met:b;
       bump_likelihood t ~node:b ~met:a;
-      (* Exchange own vectors. *)
-      t.view.(a).(b) <- Some (Array.copy t.own.(b));
-      t.view.(b).(a) <- Some (Array.copy t.own.(a));
-      let fresh = Protocol.Ack_store.exchange t.acks ~a ~b in
-      Protocol.Ack_store.purge t.acks t.env ~now ~node:a ~on_purge:(fun _ -> ());
-      Protocol.Ack_store.purge t.acks t.env ~now ~node:b ~on_purge:(fun _ -> ());
+      let meta =
+        if meta_ok then begin
+          (* Exchange own vectors. *)
+          t.view.(a).(b) <- Some (Array.copy t.own.(b));
+          t.view.(b).(a) <- Some (Array.copy t.own.(a));
+          let fresh = Protocol.Ack_store.exchange t.acks ~a ~b in
+          Protocol.Ack_store.purge t.acks t.env ~now ~node:a
+            ~on_purge:(fun _ -> ());
+          Protocol.Ack_store.purge t.acks t.env ~now ~node:b
+            ~on_purge:(fun _ -> ());
+          (2 * t.env.Env.num_nodes * vector_entry_bytes)
+          + (fresh * ack_entry_bytes)
+        end
+        else
+          (* Lost metadata: likelihood bumps above are first-hand (each
+             node saw whom it met), but vectors and acks went unheard. *)
+          0
+      in
       Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
       Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
-      (2 * t.env.Env.num_nodes * vector_entry_bytes) + (fresh * ack_entry_bytes)
+      meta
 
     let next_packet t ~now:_ ~sender ~receiver ~budget =
       Ranking.next t.ranking t.env ~sender ~receiver ~budget
@@ -181,4 +194,13 @@ let make ?(ack_entry_bytes = 8) ?(vector_entry_bytes = 12) () : Protocol.packed 
       Option.map (fun (p, _, _) -> p) worst
 
     let on_dropped _ ~now:_ ~node:_ _ = ()
+
+    let on_reboot t ~now:_ ~node ~lost:_ =
+      (* Back to the uniform prior, forgetting every vector heard and
+         every ack learned; peers keep their (now stale) copy of this
+         node's old vector. *)
+      let n = t.env.Env.num_nodes in
+      t.own.(node) <- uniform n;
+      Array.fill t.view.(node) 0 n None;
+      Protocol.Ack_store.reset_node t.acks ~node
   end : Protocol.S)

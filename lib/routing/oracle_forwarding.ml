@@ -59,7 +59,7 @@ let make ~trace () : Protocol.packed =
            direct)
       @ List.map fst ordered
 
-    let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ =
+    let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok:_ =
       Ranking.begin_contact t.ranking;
       Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~now ~sender:a ~receiver:b);
       Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~now ~sender:b ~receiver:a);
@@ -91,4 +91,7 @@ let make ~trace () : Protocol.packed =
       Option.map fst worst
 
     let on_dropped _ ~now:_ ~node:_ _ = ()
+
+    (* The oracle recomputes from the trace each contact: no soft state. *)
+    let on_reboot _ ~now:_ ~node:_ ~lost:_ = ()
   end : Protocol.S)

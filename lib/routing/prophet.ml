@@ -1,5 +1,25 @@
 open Rapid_sim
 
+(* Encounter update followed by transitivity through the peer's table,
+   on a raw predictability matrix (exposed so tests can check symmetry
+   directly). The transitivity step reads from post-encounter snapshots
+   of both rows: updating in place let [via_a] read a [p.(a).(c)] that
+   [via_b] had just raised in the same iteration, making the result
+   depend on which node was passed as [a]. *)
+let encounter_update ~p_init ~beta p a b =
+  p.(a).(b) <- p.(a).(b) +. ((1.0 -. p.(a).(b)) *. p_init);
+  p.(b).(a) <- p.(b).(a) +. ((1.0 -. p.(b).(a)) *. p_init);
+  let row_a = Array.copy p.(a) and row_b = Array.copy p.(b) in
+  let n = Array.length p in
+  for c = 0 to n - 1 do
+    if c <> a && c <> b then begin
+      let via_b = row_a.(b) *. row_b.(c) *. beta in
+      if via_b > p.(a).(c) then p.(a).(c) <- via_b;
+      let via_a = row_b.(a) *. row_a.(c) *. beta in
+      if via_a > p.(b).(c) then p.(b).(c) <- via_a
+    end
+  done
+
 let make ?(p_init = 0.75) ?(beta = 0.25) ?(gamma = 0.98) ?(time_unit = 30.0)
     ?(entry_bytes = 12) () : Protocol.packed =
   (module struct
@@ -63,27 +83,29 @@ let make ?(p_init = 0.75) ?(beta = 0.25) ?(gamma = 0.98) ?(time_unit = 30.0)
         (fun (e : Buffer.entry) -> e.packet)
         (List.sort by_age direct @ List.sort by_peer_predictability forwardable)
 
-    let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ =
+    let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok =
       Ranking.begin_contact t.ranking;
       age t ~now a;
       age t ~now b;
-      (* Encounter update. *)
-      t.p.(a).(b) <- t.p.(a).(b) +. ((1.0 -. t.p.(a).(b)) *. p_init);
-      t.p.(b).(a) <- t.p.(b).(a) +. ((1.0 -. t.p.(b).(a)) *. p_init);
-      (* Transitivity through the peer's table. *)
       let n = t.env.Env.num_nodes in
-      for c = 0 to n - 1 do
-        if c <> a && c <> b then begin
-          let via_b = t.p.(a).(b) *. t.p.(b).(c) *. beta in
-          if via_b > t.p.(a).(c) then t.p.(a).(c) <- via_b;
-          let via_a = t.p.(b).(a) *. t.p.(a).(c) *. beta in
-          if via_a > t.p.(b).(c) then t.p.(b).(c) <- via_a
+      let meta =
+        if meta_ok then begin
+          encounter_update ~p_init ~beta t.p a b;
+          (* Both nodes ship their predictability vectors. *)
+          2 * n * entry_bytes
         end
-      done;
+        else begin
+          (* The meeting itself is first-hand knowledge; the transitivity
+             step and the byte charge need the peer's shipped vector,
+             which the fault ate. *)
+          t.p.(a).(b) <- t.p.(a).(b) +. ((1.0 -. t.p.(a).(b)) *. p_init);
+          t.p.(b).(a) <- t.p.(b).(a) +. ((1.0 -. t.p.(b).(a)) *. p_init);
+          0
+        end
+      in
       Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
       Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
-      (* Both nodes ship their predictability vectors. *)
-      2 * n * entry_bytes
+      meta
 
     let next_packet t ~now:_ ~sender ~receiver ~budget =
       Ranking.next t.ranking t.env ~sender ~receiver ~budget
@@ -105,4 +127,10 @@ let make ?(p_init = 0.75) ?(beta = 0.25) ?(gamma = 0.98) ?(time_unit = 30.0)
       Option.map fst worst
 
     let on_dropped _ ~now:_ ~node:_ _ = ()
+
+    let on_reboot t ~now ~node ~lost:_ =
+      (* The node's learned predictabilities die with it; what peers
+         believe about the node survives (they saw no crash). *)
+      Array.fill t.p.(node) 0 (Array.length t.p.(node)) 0.0;
+      t.last_aged.(node) <- now
   end : Protocol.S)

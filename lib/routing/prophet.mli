@@ -13,6 +13,13 @@
     Predictability tables are exchanged at contacts and charged to the
     control channel. *)
 
+val encounter_update :
+  p_init:float -> beta:float -> float array array -> int -> int -> unit
+(** Apply the encounter rule to [p.(a).(b)]/[p.(b).(a)], then the
+    transitivity rule both ways, reading from post-encounter snapshots
+    of the two rows so the result is symmetric in the argument order.
+    Exposed for the symmetry regression test. *)
+
 val make :
   ?p_init:float ->
   ?beta:float ->

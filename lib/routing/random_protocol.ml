@@ -45,10 +45,10 @@ let make ?(with_acks = false) ?(summary_vector = false) ?(ack_entry_bytes = 8)
       Rng.shuffle t.env.Env.rng rest;
       List.map (fun (e : Buffer.entry) -> e.packet) (direct @ Array.to_list rest)
 
-    let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ =
+    let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok =
       Ranking.begin_contact t.ranking;
       let meta =
-        if with_acks then begin
+        if with_acks && meta_ok then begin
           let fresh = Protocol.Ack_store.exchange t.acks ~a ~b in
           Protocol.Ack_store.purge t.acks t.env ~now ~node:a ~on_purge:(fun _ -> ());
           Protocol.Ack_store.purge t.acks t.env ~now ~node:b ~on_purge:(fun _ -> ());
@@ -78,4 +78,7 @@ let make ?(with_acks = false) ?(summary_vector = false) ?(ack_entry_bytes = 8)
           Some (Rng.sample t.env.Env.rng arr).Buffer.packet
 
     let on_dropped _ ~now:_ ~node:_ _ = ()
+
+    let on_reboot t ~now:_ ~node ~lost:_ =
+      if with_acks then Protocol.Ack_store.reset_node t.acks ~node
   end : Protocol.S)

@@ -46,7 +46,7 @@ let make ?(l = 12) () : Protocol.packed =
         (fun (e : Buffer.entry) -> e.packet)
         (List.sort by_age direct @ List.sort by_tokens sprayable)
 
-    let on_contact t ~now:_ ~a ~b ~budget:_ ~meta_budget:_ =
+    let on_contact t ~now:_ ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok:_ =
       Ranking.begin_contact t.ranking;
       Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
       Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
@@ -56,8 +56,12 @@ let make ?(l = 12) () : Protocol.packed =
       Ranking.next t.ranking t.env ~sender ~receiver ~budget
 
     let on_transfer t ~now:_ ~sender ~receiver (p : Packet.t) ~delivered =
-      if not delivered then begin
-        let id = p.Packet.id in
+      let id = p.Packet.id in
+      if delivered then
+        (* The sender relinquished its copy on delivery: retire its
+           token entry rather than leaving it to go stale. *)
+        Hashtbl.remove t.tokens (sender, id)
+      else begin
         let n = tokens_of t ~node:sender ~packet_id:id in
         let give = max 1 (n / 2) in
         let keep = max 1 (n - give) in
@@ -75,4 +79,11 @@ let make ?(l = 12) () : Protocol.packed =
 
     let on_dropped t ~now:_ ~node (p : Packet.t) =
       Hashtbl.remove t.tokens (node, p.Packet.id)
+
+    let on_reboot t ~now:_ ~node ~lost:_ =
+      (* Tickets live with the copies, which the crash destroyed. A copy
+         re-sprayed to this node later arrives with fresh tokens. *)
+      Hashtbl.filter_map_inplace
+        (fun (holder, _) count -> if holder = node then None else Some count)
+        t.tokens
   end : Protocol.S)

@@ -1,13 +1,16 @@
 open Rapid_trace
 module Tracer = Rapid_obs.Tracer
+module Faults = Rapid_faults.Faults
 
 type options = {
   buffer_bytes : int option;
   meta_cap_frac : float option;
   seed : int;
+  faults : Faults.config;
 }
 
-let default_options = { buffer_bytes = None; meta_cap_frac = None; seed = 1 }
+let default_options =
+  { buffer_bytes = None; meta_cap_frac = None; seed = 1; faults = Faults.none }
 
 (* Make room at [node] for [incoming] by evicting protocol-chosen victims.
    Returns true when the incoming packet now fits. A drop_candidate answer
@@ -15,6 +18,12 @@ let default_options = { buffer_bytes = None; meta_cap_frac = None; seed = 1 }
 let make_room (type s) (module P : Protocol.S with type t = s) (st : s)
     (env : Env.t) metrics tracer ~now ~node ~(incoming : Packet.t) =
   let buffer = env.Env.buffers.(node) in
+  (* A packet larger than the whole buffer can never fit: refuse it up
+     front instead of letting the protocol drain every incumbent first
+     and refusing anyway. *)
+  match Buffer.capacity buffer with
+  | Some cap when incoming.Packet.size > cap -> false
+  | _ ->
   let rec loop () =
     if Buffer.would_fit buffer incoming.Packet.size then true
     else begin
@@ -39,13 +48,30 @@ let make_room (type s) (module P : Protocol.S with type t = s) (st : s)
   loop ()
 
 let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
-    (env : Env.t) metrics tracer ~meta_cap_frac (c : Contact.t) =
+    (env : Env.t) metrics tracer ~meta_cap_frac ~effective ~meta_ok
+    (c : Contact.t) =
   let now = c.Contact.time in
-  Metrics.record_contact metrics ~capacity:c.Contact.bytes;
+  Metrics.record_contact metrics ~capacity:effective;
   if Tracer.enabled tracer then
     Tracer.emit tracer
       (Tracer.Contact
          { time = now; a = c.Contact.a; b = c.Contact.b; bytes = c.Contact.bytes });
+  if effective < c.Contact.bytes then begin
+    Faults.note_contact_truncated ~lost_bytes:(c.Contact.bytes - effective);
+    if Tracer.enabled tracer then
+      Tracer.emit tracer
+        (Tracer.Contact_truncated
+           { time = now; a = c.Contact.a; b = c.Contact.b;
+             bytes = c.Contact.bytes; effective })
+  end;
+  if not meta_ok then begin
+    Faults.note_meta_drop ();
+    if Tracer.enabled tracer then
+      Tracer.emit tracer
+        (Tracer.Metadata_dropped { time = now; a = c.Contact.a; b = c.Contact.b })
+  end;
+  (* The protocol is told the recorded opportunity size: a truncation cuts
+     the contact short mid-transfer, which nobody can foresee. *)
   let meta_budget =
     Option.map
       (fun f -> int_of_float (f *. float_of_int c.Contact.bytes))
@@ -53,17 +79,20 @@ let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
   in
   let meta =
     P.on_contact st ~now ~a:c.Contact.a ~b:c.Contact.b ~budget:c.Contact.bytes
-      ~meta_budget
+      ~meta_budget ~meta_ok
   in
   let cap = match meta_budget with Some m -> min m c.Contact.bytes | None -> c.Contact.bytes in
   let meta = max 0 (min meta cap) in
+  (* A lost metadata exchange transfers nothing, whatever the protocol
+     thinks it spent; a truncated contact bounds meta like data. *)
+  let meta = if meta_ok then min meta effective else 0 in
   Metrics.record_metadata metrics ~bytes:meta;
   if Tracer.enabled tracer then
     Tracer.emit tracer
       (Tracer.Metadata
          { time = now; a = c.Contact.a; b = c.Contact.b; bytes = meta;
            kind = "total" });
-  let budget = ref (c.Contact.bytes - meta) in
+  let budget = ref (effective - meta) in
   (* Alternate directions; guard against protocols re-offering a packet. *)
   let dirs = [| (c.Contact.a, c.Contact.b); (c.Contact.b, c.Contact.a) |] in
   let active = [| true; true |] in
@@ -162,6 +191,22 @@ let run ?(options = default_options) ?(tracer = Tracer.null) ~protocol
         Tracer.emit tracer
           (Tracer.Ack_purge { time = now; node; packet = p.Packet.id }));
   let st = P.create env in
+  let plan = Faults.plan options.faults ~run_seed:options.seed ~trace in
+  let reboot ~now ~node =
+    (* Wipe the buffer first, then tell the protocol: on_reboot sees the
+       post-crash world. Lost copies are not storage drops — no drop
+       metrics — the faults.* counters account for them. *)
+    let buffer = env.Env.buffers.(node) in
+    let lost =
+      List.map (fun (e : Buffer.entry) -> e.Buffer.packet) (Buffer.entries buffer)
+    in
+    List.iter (fun (p : Packet.t) -> ignore (Buffer.remove buffer p.Packet.id)) lost;
+    Faults.note_reboot ~lost:(List.length lost);
+    if Tracer.enabled tracer then
+      Tracer.emit tracer
+        (Tracer.Reboot { time = now; node; lost = List.length lost });
+    P.on_reboot st ~now ~node ~lost
+  in
   let create_packet ~id (spec : Workload.spec) =
     let p = Packet.of_spec ~id spec in
     Metrics.record_created metrics p;
@@ -182,11 +227,23 @@ let run ?(options = default_options) ?(tracer = Tracer.null) ~protocol
     end
   in
   (* Merge creations and contacts in time order (creations first on ties,
-     so a packet created "at" a meeting can ride it). *)
+     so a packet created "at" a meeting can ride it). Scheduled reboots
+     interleave via a third cursor and fire before any same-time event —
+     a node that crashes "at" a meeting misses it with empty buffers. *)
   let contacts = trace.Trace.contacts in
   let specs = Array.of_list workload in
-  let nc = Array.length contacts and ns = Array.length specs in
-  let ci = ref 0 and si = ref 0 in
+  let reboots = Faults.reboots plan in
+  let nc = Array.length contacts
+  and ns = Array.length specs
+  and nr = Array.length reboots in
+  let ci = ref 0 and si = ref 0 and ri = ref 0 in
+  let process_reboots_until limit =
+    while !ri < nr && fst reboots.(!ri) <= limit do
+      let time, node = reboots.(!ri) in
+      reboot ~now:time ~node;
+      incr ri
+    done
+  in
   while !ci < nc || !si < ns do
     let take_spec =
       if !si >= ns then false
@@ -194,13 +251,28 @@ let run ?(options = default_options) ?(tracer = Tracer.null) ~protocol
       else specs.(!si).Workload.created <= contacts.(!ci).Contact.time
     in
     if take_spec then begin
+      process_reboots_until specs.(!si).Workload.created;
       create_packet ~id:!si specs.(!si);
       incr si
     end
     else begin
-      run_contact (module P) st env metrics tracer
-        ~meta_cap_frac:options.meta_cap_frac contacts.(!ci);
+      let c = contacts.(!ci) in
+      process_reboots_until c.Contact.time;
+      if Faults.contact_skipped plan !ci then begin
+        Faults.note_contact_suppressed ();
+        if Tracer.enabled tracer then
+          Tracer.emit tracer
+            (Tracer.Contact_suppressed
+               { time = c.Contact.time; a = c.Contact.a; b = c.Contact.b })
+      end
+      else
+        run_contact (module P) st env metrics tracer
+          ~meta_cap_frac:options.meta_cap_frac
+          ~effective:(Faults.contact_capacity plan !ci ~bytes:c.Contact.bytes)
+          ~meta_ok:(Faults.contact_meta_ok plan !ci)
+          c;
       incr ci
     end
   done;
+  process_reboots_until infinity;
   { report = Metrics.report metrics; env }

@@ -13,6 +13,12 @@ type options = {
       (** Cap on control metadata per contact, as a fraction of the
           opportunity (the Fig. 8 knob); [None] = unrestricted. *)
   seed : int;  (** Seed for protocol-visible randomness. *)
+  faults : Rapid_faults.Faults.config;
+      (** Fault injection (reboots, truncated contacts, lossy metadata,
+          contact no-shows); [Faults.none] — the default — makes the run
+          bit-identical to an engine without the fault layer. The fault
+          stream is drawn up front from [(faults.seed, seed, trace)], so
+          reports are byte-identical across [--jobs] settings. *)
 }
 
 val default_options : options

@@ -6,7 +6,14 @@ module type S = sig
   val on_created : t -> now:float -> Packet.t -> unit
 
   val on_contact :
-    t -> now:float -> a:int -> b:int -> budget:int -> meta_budget:int option -> int
+    t ->
+    now:float ->
+    a:int ->
+    b:int ->
+    budget:int ->
+    meta_budget:int option ->
+    meta_ok:bool ->
+    int
 
   val next_packet :
     t -> now:float -> sender:int -> receiver:int -> budget:int -> Packet.t option
@@ -16,6 +23,7 @@ module type S = sig
 
   val drop_candidate : t -> now:float -> node:int -> incoming:Packet.t -> Packet.t option
   val on_dropped : t -> now:float -> node:int -> Packet.t -> unit
+  val on_reboot : t -> now:float -> node:int -> lost:Packet.t list -> unit
 end
 
 type packed = (module S)
@@ -34,6 +42,7 @@ module Ack_store = struct
 
   let create ~num_nodes = { acks = Array.init num_nodes (fun _ -> Hashtbl.create 32) }
   let learn t ~node ~packet_id = Hashtbl.replace t.acks.(node) packet_id ()
+  let reset_node t ~node = Hashtbl.reset t.acks.(node)
   let knows t ~node ~packet_id = Hashtbl.mem t.acks.(node) packet_id
 
   let exchange t ~a ~b =

@@ -31,10 +31,22 @@ module type S = sig
   (** The packet has just entered its source's buffer. *)
 
   val on_contact :
-    t -> now:float -> a:int -> b:int -> budget:int -> meta_budget:int option -> int
+    t ->
+    now:float ->
+    a:int ->
+    b:int ->
+    budget:int ->
+    meta_budget:int option ->
+    meta_ok:bool ->
+    int
   (** Observe a meeting of capacity [budget] bytes; return metadata bytes
       consumed (will be clamped to [meta_budget] if given, then to
-      [budget]). *)
+      [budget]). When [meta_ok] is false the metadata exchange is lost
+      (fault injection): the protocol may still record first-hand
+      observations of the meeting itself (meeting times, encounter
+      probabilities) but must not exchange state with the peer (replica
+      tables, ack sets, delivery-predictability vectors) and should
+      return 0 — the engine forces the charge to 0 regardless. *)
 
   val next_packet :
     t -> now:float -> sender:int -> receiver:int -> budget:int -> Packet.t option
@@ -50,6 +62,14 @@ module type S = sig
       [None] refuses [incoming] instead. *)
 
   val on_dropped : t -> now:float -> node:int -> Packet.t -> unit
+
+  val on_reboot : t -> now:float -> node:int -> lost:Packet.t list -> unit
+  (** [node] rebooted (fault injection): the engine has already wiped its
+      buffer, losing the copies in [lost] (no drop metrics are recorded —
+      a reboot is not a storage decision). The protocol must forget that
+      node's soft state: per-node inference rows, ack sets, tickets for
+      copies it no longer holds. Other nodes' beliefs {e about} [node]
+      are deliberately kept — peers cannot observe the reboot. *)
 end
 
 type packed = (module S)
@@ -76,6 +96,9 @@ module Ack_store : sig
   val create : num_nodes:int -> t
   val learn : t -> node:int -> packet_id:int -> unit
   val knows : t -> node:int -> packet_id:int -> bool
+
+  val reset_node : t -> node:int -> unit
+  (** Forget everything [node] knows (reboot support). *)
 
   val exchange : t -> a:int -> b:int -> int
   (** Union the two nodes' ack sets; returns how many entries were new to

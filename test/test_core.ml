@@ -743,7 +743,7 @@ let prop_rapid_meta_cap_respected =
         (Engine.run
           ~options:
             { Engine.buffer_bytes = Some 20_000; meta_cap_frac = Some cap;
-              seed }
+              seed; faults = Rapid_faults.Faults.none }
           ~protocol:(rapid ()) ~trace ~workload ()).Engine.report
       in
       float_of_int r.Metrics.metadata_bytes

@@ -104,6 +104,38 @@ let test_prophet_aging () =
   in
   Alcotest.(check int) "no transfer after decay" 0 report.Metrics.transfers
 
+let test_prophet_encounter_update_symmetric () =
+  (* The transitivity pass must read predictability snapshots taken at the
+     start of the encounter: with in-place updates the (a, b) loop could
+     feed its own freshly-raised entries back into the (b, a) half, making
+     the result depend on argument order. Swapping a and b must be a
+     no-op. *)
+  let n = 5 in
+  let mk () =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then 0.0
+            else float_of_int (((i * 7) + (j * 3)) mod 10) /. 12.5))
+  in
+  let check ~p_init ~beta a b =
+    let p1 = mk () and p2 = mk () in
+    Prophet.encounter_update ~p_init ~beta p1 a b;
+    Prophet.encounter_update ~p_init ~beta p2 b a;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        check_close
+          (Printf.sprintf "beta=%g p.(%d).(%d)" beta i j)
+          p1.(i).(j) p2.(i).(j)
+      done
+    done
+  in
+  check ~p_init:0.75 ~beta:0.25 1 3;
+  (* beta > 1 is out of PROPHET's range but maximally exposes the
+     in-place feedback: with live rows the two argument orders disagree
+     here, with snapshots they cannot. *)
+  check ~p_init:0.9 ~beta:1.25 1 3;
+  check ~p_init:0.9 ~beta:1.25 0 4
+
 (* ------------------------------------------------------------------ *)
 (* MaxProp *)
 
@@ -151,6 +183,55 @@ let test_maxprop_metadata_charged () =
     (Engine.run ~protocol:(Maxprop.make ()) ~trace ~workload:[] ()).Engine.report
   in
   Alcotest.(check bool) "vectors cost bytes" true (report.Metrics.metadata_bytes > 0)
+
+let test_maxprop_no_acks_without_delivery () =
+  (* Acks exist only for delivered packets: a replication-only run must
+     never purge, even across repeated meetings of the carriers. *)
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:20.0
+      ~active:[ 0; 1; 2 ]
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:1000;
+        Contact.make ~time:2.0 ~a:0 ~b:1 ~bytes:1000;
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:2 () ] in
+  let { Engine.report; env } =
+    Engine.run ~protocol:(Maxprop.make ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "nothing delivered" 0 report.Metrics.delivered;
+  Alcotest.(check int) "no ack purges" 0 report.Metrics.ack_purges;
+  Alcotest.(check bool) "source keeps copy" true (Buffer.mem env.Env.buffers.(0) 0);
+  Alcotest.(check bool) "relay keeps copy" true (Buffer.mem env.Env.buffers.(1) 0)
+
+(* ------------------------------------------------------------------ *)
+(* Spray tickets across duplicate meetings *)
+
+let test_spray_wait_duplicate_meeting_keeps_tokens () =
+  (* Ticket halving happens only when a copy is actually accepted. Meeting
+     the same relay twice must not burn tokens: after the duplicate
+     meeting the source still holds 2 tokens and sprays the next relay. *)
+  let trace =
+    Trace.create ~num_nodes:10 ~duration:20.0
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100;
+        (* L=4: give 2, keep 2 *)
+        Contact.make ~time:2.0 ~a:0 ~b:1 ~bytes:100;
+        (* relay already holds it: no transfer, no halving *)
+        Contact.make ~time:3.0 ~a:0 ~b:2 ~bytes:100;
+        (* still 2 tokens: give 1, keep 1 *)
+        Contact.make ~time:4.0 ~a:0 ~b:3 ~bytes:100;
+        (* 1 token left: wait phase, no spray *)
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:9 () ] in
+  let { Engine.report; env } =
+    Engine.run ~protocol:(Spray_wait.make ~l:4 ()) ~trace ~workload ()
+  in
+  Alcotest.(check int) "two sprays" 2 report.Metrics.transfers;
+  Alcotest.(check bool) "second relay got a copy" true
+    (Buffer.mem env.Env.buffers.(2) 0);
+  Alcotest.(check bool) "wait phase holds" false (Buffer.mem env.Env.buffers.(3) 0)
 
 (* ------------------------------------------------------------------ *)
 (* Random with acks vs without *)
@@ -403,18 +484,24 @@ let () =
             test_spray_wait_single_copy_waits;
           Alcotest.test_case "direct always" `Quick
             test_spray_wait_direct_delivery_always;
+          Alcotest.test_case "duplicate meeting keeps tokens" `Quick
+            test_spray_wait_duplicate_meeting_keeps_tokens;
         ] );
       ( "prophet",
         [
           Alcotest.test_case "predictability gate" `Quick
             test_prophet_requires_predictability;
           Alcotest.test_case "aging" `Quick test_prophet_aging;
+          Alcotest.test_case "encounter update symmetric" `Quick
+            test_prophet_encounter_update_symmetric;
         ] );
       ( "maxprop",
         [
           Alcotest.test_case "acks purge" `Quick test_maxprop_acks_purge;
           Alcotest.test_case "chain delivery" `Quick test_maxprop_delivers_chain;
           Alcotest.test_case "metadata charged" `Quick test_maxprop_metadata_charged;
+          Alcotest.test_case "no acks without delivery" `Quick
+            test_maxprop_no_acks_without_delivery;
         ] );
       ( "random",
         [ Alcotest.test_case "acks reduce waste" `Slow test_random_acks_reduce_waste ] );

@@ -425,7 +425,7 @@ let stub_protocol ?drop () : Protocol.packed =
     let name = "stub"
     let create env = env
     let on_created _ ~now:_ _ = ()
-    let on_contact _ ~now:_ ~a:_ ~b:_ ~budget:_ ~meta_budget:_ = 0
+    let on_contact _ ~now:_ ~a:_ ~b:_ ~budget:_ ~meta_budget:_ ~meta_ok:_ = 0
     let next_packet _ ~now:_ ~sender:_ ~receiver:_ ~budget:_ = None
     let on_transfer _ ~now:_ ~sender:_ ~receiver:_ _ ~delivered:_ = ()
 
@@ -433,6 +433,7 @@ let stub_protocol ?drop () : Protocol.packed =
       match drop with None -> None | Some f -> f env ~node ~incoming
 
     let on_dropped _ ~now:_ ~node:_ _ = ()
+    let on_reboot _ ~now:_ ~node:_ ~lost:_ = ()
   end)
 
 let stub_trace =
@@ -496,6 +497,133 @@ let test_eviction_unbuffered_victim_rejected () =
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "unbuffered drop candidate accepted"
+
+let test_oversized_incoming_skips_evictions () =
+  (* A packet larger than the whole buffer must be refused up front: the
+     engine may not consult drop_candidate and drain incumbents only to
+     refuse anyway. Regression for the early-bail in make_room. *)
+  let drop_calls = ref 0 in
+  let drop env ~node ~incoming:_ =
+    incr drop_calls;
+    match Env.buffered_entries env node with
+    | [] -> None
+    | e :: _ -> Some e.Buffer.packet
+  in
+  let workload =
+    [
+      spec ~src:0 ~dst:1 ~size:10 ~created:0.0 ();
+      spec ~src:0 ~dst:1 ~size:20 ~created:0.1 ();
+      (* 20 > capacity 15: can never fit *)
+    ]
+  in
+  let { Engine.report; env } =
+    Engine.run ~options:stub_options ~protocol:(stub_protocol ~drop ())
+      ~trace:stub_trace ~workload ()
+  in
+  Alcotest.(check int) "drop_candidate never consulted" 0 !drop_calls;
+  Alcotest.(check int) "only the refused creation counted" 1 report.Metrics.drops;
+  Alcotest.(check bool) "incumbent kept" true (Buffer.mem env.Env.buffers.(0) 0);
+  Alcotest.(check bool) "oversized newcomer refused" false
+    (Buffer.mem env.Env.buffers.(0) 1)
+
+(* ------------------------------------------------------------------ *)
+(* The on_transfer contract: fires only for deliveries and accepted
+   stores — never for duplicate pushes or storage refusals. Protocols
+   (Spray's ticket halving, MaxProp's path bookkeeping) rely on this. *)
+
+let contract_stub calls : Protocol.packed =
+  (module struct
+    type t = { env : Env.t; offered : (int * int, unit) Hashtbl.t }
+
+    let name = "contract-stub"
+    let create env = { env; offered = Hashtbl.create 16 }
+    let on_created _ ~now:_ _ = ()
+
+    let on_contact t ~now:_ ~a:_ ~b:_ ~budget:_ ~meta_budget:_ ~meta_ok:_ =
+      Hashtbl.reset t.offered;
+      0
+
+    (* Offer every buffered packet once per contact, duplicates at the
+       peer included — the engine decides their fate. *)
+    let next_packet t ~now:_ ~sender ~receiver:_ ~budget =
+      List.find_map
+        (fun (e : Buffer.entry) ->
+          let p = e.Buffer.packet in
+          if
+            p.Packet.size <= budget
+            && not (Hashtbl.mem t.offered (sender, p.Packet.id))
+          then begin
+            Hashtbl.replace t.offered (sender, p.Packet.id) ();
+            Some p
+          end
+          else None)
+        (Env.buffered_entries t.env sender)
+
+    let on_transfer _ ~now:_ ~sender ~receiver (p : Packet.t) ~delivered =
+      calls := (sender, receiver, p.Packet.id, delivered) :: !calls
+
+    let drop_candidate _ ~now:_ ~node:_ ~incoming:_ = None
+    let on_dropped _ ~now:_ ~node:_ _ = ()
+    let on_reboot _ ~now:_ ~node:_ ~lost:_ = ()
+  end)
+
+let test_on_transfer_skips_duplicate_push () =
+  (* 0 copies to 1; at the second meeting both directions push the copy
+     the peer already has. Bytes are charged, but on_transfer must not
+     fire. The final meeting delivers. *)
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:10.0
+      ~active:[ 0; 1; 2 ]
+      [
+        Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100;
+        Contact.make ~time:2.0 ~a:0 ~b:1 ~bytes:100;
+        Contact.make ~time:3.0 ~a:0 ~b:2 ~bytes:100;
+      ]
+  in
+  let workload = [ spec ~src:0 ~dst:2 ~size:10 () ] in
+  let calls = ref [] in
+  let report =
+    (Engine.run ~protocol:(contract_stub calls) ~trace ~workload ()).Engine.report
+  in
+  (* t=1 store + the fresh copy pushed straight back (duplicate), t=2 two
+     more duplicate pushes, t=3 delivery. *)
+  Alcotest.(check int) "five transfers charged" 5 report.Metrics.transfers;
+  Alcotest.(check int) "all bytes counted" 50 report.Metrics.data_bytes;
+  Alcotest.(check int) "delivered" 1 report.Metrics.delivered;
+  Alcotest.(check (list (pair (pair int int) (pair int bool))))
+    "on_transfer saw only the store and the delivery"
+    [ ((0, 1), (0, false)); ((0, 2), (0, true)) ]
+    (List.rev_map (fun (s, r, id, d) -> ((s, r), (id, d))) !calls)
+
+let test_on_transfer_skips_storage_refusal () =
+  (* Both peers' buffers are full and drop_candidate refuses: offers cross
+     in both directions, get refused, and on_transfer never fires — nor do
+     the refusals consume bandwidth or count as drops. *)
+  let trace =
+    Trace.create ~num_nodes:4 ~duration:10.0
+      ~active:[ 0; 1; 2; 3 ]
+      [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100 ]
+  in
+  let workload =
+    [
+      spec ~src:0 ~dst:3 ~size:10 ~created:0.0 ();
+      spec ~src:1 ~dst:3 ~size:10 ~created:0.1 ();
+    ]
+  in
+  let calls = ref [] in
+  let { Engine.report; env } =
+    Engine.run
+      ~options:{ Engine.default_options with buffer_bytes = Some 15 }
+      ~protocol:(contract_stub calls) ~trace ~workload ()
+  in
+  Alcotest.(check int) "no transfers" 0 report.Metrics.transfers;
+  Alcotest.(check int) "no bytes" 0 report.Metrics.data_bytes;
+  Alcotest.(check int) "no drops" 0 report.Metrics.drops;
+  Alcotest.(check (list (pair (pair int int) (pair int bool))))
+    "on_transfer silent" []
+    (List.rev_map (fun (s, r, id, d) -> ((s, r), (id, d))) !calls);
+  Alcotest.(check bool) "0 keeps its packet" true (Buffer.mem env.Env.buffers.(0) 0);
+  Alcotest.(check bool) "1 keeps its packet" true (Buffer.mem env.Env.buffers.(1) 1)
 
 let test_engine_max_delay_nan_when_undelivered () =
   (* No deliveries: max_delay must be nan (unknown), not a misleading
@@ -588,7 +716,12 @@ let prop_feasibility =
         let { Engine.report; env } =
           Engine.run
             ~options:
-              { Engine.buffer_bytes = Some 40; meta_cap_frac = None; seed }
+              {
+                Engine.buffer_bytes = Some 40;
+                meta_cap_frac = None;
+                seed;
+                faults = Rapid_faults.Faults.none;
+              }
             ~protocol ~trace ~workload ()
         in
         (* Storage. *)
@@ -658,6 +791,15 @@ let () =
             test_eviction_replaces_incumbent;
           Alcotest.test_case "unbuffered victim rejected" `Quick
             test_eviction_unbuffered_victim_rejected;
+          Alcotest.test_case "oversized incoming skips evictions" `Quick
+            test_oversized_incoming_skips_evictions;
+        ] );
+      ( "on_transfer contract",
+        [
+          Alcotest.test_case "skips duplicate push" `Quick
+            test_on_transfer_skips_duplicate_push;
+          Alcotest.test_case "skips storage refusal" `Quick
+            test_on_transfer_skips_storage_refusal;
         ] );
       ("properties", qcheck_cases);
     ]
