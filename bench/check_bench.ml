@@ -1,9 +1,12 @@
 (* CI smoke validator for BENCH.json (schema rapid-bench/1): hard-fails
-   when the file does not parse or the schema/hot-path keys are missing,
-   but only *prints* wall times — perf is tracked by diffing BENCH.json
-   across commits, not gated here.
+   when the file does not parse or the schema/hot-path keys are missing.
+   When a baseline file is given, artifact wall times are compared against
+   it: a >25% regression on a shared artifact id prints WARN (or FAILs
+   when RAPID_BENCH_STRICT=1); profiles must match for the comparison to
+   apply. Microbench numbers are never gated — too noisy in CI.
 
-   Usage: dune exec bench/check_bench.exe -- [path]   (default BENCH.json) *)
+   Usage: dune exec bench/check_bench.exe -- [path] [baseline]
+   (defaults: BENCH.json, no baseline) *)
 
 module Json = Rapid_obs.Json
 
@@ -16,8 +19,69 @@ let fail fmt =
       Printf.eprintf "FAIL: %s\n" msg)
     fmt
 
+let strict () =
+  match Sys.getenv_opt "RAPID_BENCH_STRICT" with
+  | Some "1" -> true
+  | Some _ | None -> false
+
+let regress fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if strict () then begin
+        incr errors;
+        Printf.eprintf "FAIL: %s\n" msg
+      end
+      else Printf.eprintf "WARN: %s\n" msg)
+    fmt
+
+let artifact_walls doc =
+  match Json.member "artifacts" doc with
+  | Some (Json.List items) ->
+      List.filter_map
+        (fun item ->
+          match (Json.member "id" item, Json.member "wall_s" item) with
+          | Some (Json.String id), Some (Json.Float s) -> Some (id, s)
+          | _ -> None)
+        items
+  | Some _ | None -> []
+
+let profile_of doc =
+  match Json.member "profile" doc with
+  | Some (Json.String p) -> Some p
+  | Some _ | None -> None
+
+(* >25% slower than baseline on the same artifact id is a regression;
+   sub-100ms artifacts are skipped (timer noise dominates). *)
+let compare_baseline doc base_path =
+  match
+    try Some (Json.of_file base_path)
+    with Json.Parse_error _ | Sys_error _ -> None
+  with
+  | None -> fail "cannot read baseline %s" base_path
+  | Some base ->
+      if profile_of base <> profile_of doc then
+        Printf.printf
+          "baseline %s: profile differs, skipping wall-time comparison\n"
+          base_path
+      else begin
+        let walls = artifact_walls doc in
+        List.iter
+          (fun (id, base_s) ->
+            match List.assoc_opt id walls with
+            | Some s when base_s >= 0.1 && s > base_s *. 1.25 ->
+                regress "artifact %s regressed: %.2fs vs baseline %.2fs (+%.0f%%)"
+                  id s base_s
+                  ((s /. base_s -. 1.0) *. 100.0)
+            | Some s ->
+                Printf.printf "artifact %-10s %.2fs vs baseline %.2fs ok\n" id s
+                  base_s
+            | None -> ())
+          (artifact_walls base)
+      end
+
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH.json" in
+  let baseline = if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None in
   let doc =
     try Json.of_file path
     with
@@ -56,6 +120,15 @@ let () =
   | None -> fail "missing counter \"meeting_matrix.row_builds\"");
   if counter "rapid.rank_calls" = None then
     fail "missing counter \"rapid.rank_calls\"";
+  (* Indexed-buffer / send-queue instrumentation: snapshot rebuilds and
+     per-contact planning register at module init, so the keys must be
+     present in any run. *)
+  List.iter
+    (fun name ->
+      match counter name with
+      | Some v -> Printf.printf "%s = %d\n" name v
+      | None -> fail "missing counter \"%s\"" name)
+    [ "buffer.rebuilds"; "send_queue.plans"; "send_queue.replans" ];
   (* Solver instrumentation: the bounded-variable simplex and the
      branch-and-bound layer each register their hot-path counters at
      module init, so they must be present (possibly zero) in any run. *)
@@ -97,6 +170,7 @@ let () =
       | Some (total, n) -> Printf.printf "timer %-26s %.3fs / %d\n" name total n
       | None -> fail "missing timer \"%s\" (total_s/count)" name)
     [ "meeting_matrix.row_build"; "rapid.rank"; "lp.solve" ];
+  Option.iter (compare_baseline doc) baseline;
   if !errors > 0 then begin
     Printf.eprintf "%s: %d schema error(s)\n" path !errors;
     exit 1

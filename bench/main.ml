@@ -177,6 +177,57 @@ let microbenchmarks () =
            let d = Dist.Discrete.of_exponential ~dt:0.1 ~cells:400 ~mean:5.0 in
            ignore (Dist.Discrete.convolve d d)))
   in
+  let send_queue_test =
+    let open Rapid_sim in
+    let env =
+      Env.create ~num_nodes:2 ~duration:1e4 ~buffer_capacity:None ~seed:9
+    in
+    let () =
+      for i = 0 to 63 do
+        Buffer.add
+          env.Env.buffers.(0)
+          {
+            Buffer.packet =
+              {
+                Packet.id = i;
+                src = 0;
+                dst = 1;
+                size = 1024;
+                created = float_of_int ((i * 37) mod 64);
+                deadline = None;
+              };
+            received = 0.0;
+            hops = 0;
+          }
+      done
+    in
+    let q = Send_queue.create () in
+    let by_created (a : Buffer.entry) (b : Buffer.entry) =
+      match
+        Float.compare a.packet.Packet.created b.packet.Packet.created
+      with
+      | 0 -> Int.compare a.packet.Packet.id b.packet.Packet.id
+      | n -> n
+    in
+    (* Exercises the per-contact hot loop end to end: rank the sender's
+       buffer through the shared sort arena, then drain the cursor's
+       removal-counter fast path with one [next] call per packet. *)
+    Test.make ~name:"send-queue plan+serve (64-packet contact)"
+      (Staged.stage (fun () ->
+           Send_queue.begin_contact q;
+           Send_queue.begin_plan q env ~sender:0 ~receiver:1;
+           Send_queue.push_entries q ~cmp:by_created
+             (Send_queue.candidates env ~sender:0 ~receiver:1);
+           Send_queue.finish_plan q;
+           let rec drain n =
+             match
+               Send_queue.next q env ~sender:0 ~receiver:1 ~budget:max_int
+             with
+             | Some _ -> drain (n + 1)
+             | None -> n
+           in
+           ignore (drain 0)))
+  in
   let engine_test =
     let trace =
       Rapid_mobility.Mobility.exponential (Rng.create 3) ~num_nodes:8
@@ -198,7 +249,7 @@ let microbenchmarks () =
   let tests =
     Test.make_grouped ~name:"primitives"
       [ pqueue_test; estimate_test; closure_test; simplex_test; ilp_test;
-        convolve_test; engine_test ]
+        convolve_test; send_queue_test; engine_test ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
   let instance = Toolkit.Instance.monotonic_clock in

@@ -21,27 +21,39 @@ else
 fi
 
 # Bench smoke: one quick artifact end to end, then hard-validate the
-# BENCH.json schema (parse + hot-path counter/timer keys). Perf numbers
-# are printed for eyeballing only — regressions are diffed across
-# commits, never gated here.
+# BENCH.json schema (parse + hot-path counter/timer keys) and compare
+# artifact wall times against the committed BENCH.baseline.json — a >25%
+# regression prints WARN (set RAPID_BENCH_STRICT=1 to make it fail).
 echo "== bench smoke =="
 BENCH_SMOKE_OUT="${TMPDIR:-/tmp}/rapid_bench_smoke.json"
 RAPID_BENCH_OUT="$BENCH_SMOKE_OUT" dune exec bench/main.exe -- table3 >/dev/null
-dune exec bench/check_bench.exe -- "$BENCH_SMOKE_OUT"
+dune exec bench/check_bench.exe -- "$BENCH_SMOKE_OUT" BENCH.baseline.json
 
 # ILP smoke: a fig13 day slice the seed solver could not close must solve
 # to proven optimality with the golden objective (see bench/ilp_smoke.ml).
 echo "== ilp smoke =="
 dune exec bench/ilp_smoke.exe
 
-# Parallel determinism smoke: the same figure with --jobs 2 must be
-# byte-identical to the sequential run (the Rapid_par contract).
+# Parallel determinism smoke: the same figure with --jobs 2 and --jobs 4
+# must be byte-identical to the sequential run (the Rapid_par contract),
+# and the sequential run must match a pinned golden hash — buffer/send-
+# queue rewrites must keep reports byte-identical; any deliberate output
+# change (e.g. new counters in the JSON) retunes this hash on purpose.
 echo "== parallel determinism smoke =="
 FIG_SEQ="${TMPDIR:-/tmp}/rapid_fig3_seq.json"
 FIG_PAR="${TMPDIR:-/tmp}/rapid_fig3_par.json"
+FIG_PAR4="${TMPDIR:-/tmp}/rapid_fig3_par4.json"
 dune exec bin/main.exe -- figure -i fig3 --json "$FIG_SEQ" >/dev/null
 dune exec bin/main.exe -- figure -i fig3 --jobs 2 --json "$FIG_PAR" >/dev/null
+dune exec bin/main.exe -- figure -i fig3 --jobs 4 --json "$FIG_PAR4" >/dev/null
 cmp "$FIG_SEQ" "$FIG_PAR"
+cmp "$FIG_SEQ" "$FIG_PAR4"
+FIG3_GOLDEN="60ef2bd1a018165d6e0a18cf06407a1ea99b11a80bedfd140f06c857d0d901b6"
+FIG3_HASH="$(sha256sum "$FIG_SEQ" | cut -d' ' -f1)"
+if [ "$FIG3_HASH" != "$FIG3_GOLDEN" ]; then
+  echo "fig3 report hash mismatch: $FIG3_HASH != $FIG3_GOLDEN" >&2
+  exit 1
+fi
 
 # Fault-injection smoke: three contracts of lib/faults.
 #   1. All-zero fault rates are the plain engine, byte for byte.
@@ -62,7 +74,7 @@ cmp "$FAULT_PLAIN" "$FAULT_ZERO"
 dune exec bin/main.exe -- run --load 2 --faults "$FAULT_SPEC" --json "$FAULT_SEQ" >/dev/null
 dune exec bin/main.exe -- run --load 2 --faults "$FAULT_SPEC" --jobs 4 --json "$FAULT_PAR" >/dev/null
 cmp "$FAULT_SEQ" "$FAULT_PAR"
-FAULT_GOLDEN="5754a0de7e8d38599bf983b5a50a38d747ca8501518d4b5d85cb0b53f5392cb8"
+FAULT_GOLDEN="fb798124e2d6ae4039c6ecf6c0d0c439b863452e05f890daf8d6d797e76fa3ad"
 FAULT_HASH="$(sha256sum "$FAULT_SEQ" | cut -d' ' -f1)"
 if [ "$FAULT_HASH" != "$FAULT_GOLDEN" ]; then
   echo "faulted report hash mismatch: $FAULT_HASH != $FAULT_GOLDEN" >&2

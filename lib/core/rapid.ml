@@ -40,11 +40,28 @@ let c_meta_ack_bytes = Rapid_obs.Counter.create "rapid.meta_ack_bytes"
 let c_meta_table_bytes = Rapid_obs.Counter.create "rapid.meta_table_bytes"
 let c_meta_entry_bytes = Rapid_obs.Counter.create "rapid.meta_entry_bytes"
 
+(* Cached victim ordering for storage adaptation: within one eviction
+   burst (same decision instant, same node) the engine asks for victims
+   one at a time; the per-byte local-loss scores of the survivors do not
+   change between those calls (only the dropped packet's own holder entry
+   is removed), so the whole ordering is computed once and served from a
+   cursor. Any event that can move a score or the candidate set
+   (contact, transfer, packet creation, reboot) invalidates the plan. *)
+type victim_plan = {
+  mutable v_valid : bool;
+  mutable v_node : int;
+  mutable v_now : float;
+  mutable v_own : bool;  (* plan may offer the node's own packets *)
+  mutable v_packets : Packet.t array;
+  mutable v_len : int;
+  mutable v_cursor : int;
+}
+
 let make params : Protocol.packed =
   (module struct
     type t = {
       env : Env.t;
-      ranking : Ranking.t;
+      queue : Send_queue.t;
       acks : Protocol.Ack_store.t;
       matrix : Meeting_matrix.t;
       (* Expected transfer-opportunity bytes per pair and globally
@@ -72,11 +89,39 @@ let make params : Protocol.packed =
          contact's refresh corrects them. *)
       contact_indexes :
         (int, (int, (float * int * int) array * int array) Hashtbl.t) Hashtbl.t;
+      (* node -> (buffer epoch, position index built at that epoch). The
+         index is a pure function of buffer contents, so while the epoch
+         stands still [refresh_own] reuses it across contacts and
+         [cached_index] adopts it instead of rebuilding. *)
+      refresh_cache :
+        (int, int * (int, (float * int * int) array * int array) Hashtbl.t)
+        Hashtbl.t;
+      victim : victim_plan;
+      (* Per (node, dst) buffer-cell version: bumped whenever a copy
+         destined to [dst] is added to or removed from [node]'s buffer.
+         [refresh_own] skips a whole destination cell when neither its
+         version nor the pair's transfer-sample count moved — every
+         n_meet estimate (and hence every hysteresis verdict) of the
+         previous refresh still stands. *)
+      cell_ver : Dense.Int_mat.t;
+      (* node -> (cell versions, pair counts) seen at its last refresh. *)
+      refresh_memo : (int, int array * int array) Hashtbl.t;
+      (* Scratch: (packet id, new n_meet) pairs a refresh must write. *)
+      refresh_changed : (int * int) Sortbuf.t;
+      (* own_n.(node).(packet id): mirror of the n_meet recorded in
+         dbs.(node) for holder [node] itself (-1 = no entry), kept in
+         lockstep with every write path. Turns the per-entry hysteresis
+         lookup of [refresh_own] into an array load. Only consulted for
+         packets currently buffered at [node] — the one case gossip can
+         insert an own-holder entry behind its back (a merge for a
+         non-buffered packet) is never read. *)
+      mutable own_n : int array array;
       (* Reused per-call scratch (reset, never re-created): the
-         position-index accumulation arena, the metadata-delta dedup set,
-         and the delta sort buffer. *)
+         position-index accumulation arena, the metadata-delta dedup set
+         (keyed by packet id * num_nodes + holder id), and the delta sort
+         buffer. *)
       scratch_by_dst : (int, (float * int * int) list ref) Hashtbl.t;
-      scratch_seen : (int * int, unit) Hashtbl.t;
+      scratch_seen : (int, unit) Hashtbl.t;
       delta_buf : Replica_db.entry Sortbuf.t;
     }
 
@@ -92,7 +137,7 @@ let make params : Protocol.packed =
       let n = env.Env.num_nodes in
       {
         env;
-        ranking = Ranking.create ();
+        queue = Send_queue.create ();
         acks = Protocol.Ack_store.create ~num_nodes:n;
         matrix = Meeting_matrix.create ~num_nodes:n;
         pair_transfer = Dense.Cumulative_grid.create n;
@@ -104,6 +149,21 @@ let make params : Protocol.packed =
         last_table_sync = Dense.Int_mat.create n;
         meta_backlog = Hashtbl.create 16;
         contact_indexes = Hashtbl.create 4;
+        refresh_cache = Hashtbl.create 16;
+        victim =
+          {
+            v_valid = false;
+            v_node = -1;
+            v_now = nan;
+            v_own = false;
+            v_packets = [||];
+            v_len = 0;
+            v_cursor = 0;
+          };
+        cell_ver = Dense.Int_mat.create n;
+        refresh_memo = Hashtbl.create 16;
+        refresh_changed = Sortbuf.create ();
+        own_n = Array.init n (fun _ -> [||]);
         scratch_by_dst = Hashtbl.create 16;
         scratch_seen = Hashtbl.create 64;
         delta_buf = Sortbuf.create ();
@@ -111,6 +171,27 @@ let make params : Protocol.packed =
 
     (* -------------------------------------------------------------- *)
     (* Estimation helpers *)
+
+    let own_get t node id =
+      let row = t.own_n.(node) in
+      if id < Array.length row then row.(id) else -1
+
+    let own_set t node id n =
+      let row = t.own_n.(node) in
+      let row =
+        if id < Array.length row then row
+        else begin
+          let g = Array.make (max 256 (2 * (id + 1))) (-1) in
+          Array.blit row 0 g 0 (Array.length row);
+          t.own_n.(node) <- g;
+          g
+        end
+      in
+      row.(id) <- n
+
+    let bump_cell t node dst =
+      Dense.Int_mat.set t.cell_ver node dst
+        (Dense.Int_mat.get t.cell_ver node dst + 1)
 
     let view t node =
       match params.channel with
@@ -271,24 +352,29 @@ let make params : Protocol.packed =
       else a -. a'
 
     let on_created t ~now (p : Packet.t) =
+      t.victim.v_valid <- false;
+      bump_cell t p.Packet.src p.Packet.dst;
       let n = n_meet_at t ~node:p.Packet.src ~packet:p in
+      own_set t p.Packet.src p.Packet.id n;
       Replica_db.set_holder t.truth ~packet:p ~holder_id:p.Packet.src ~n_meet:n
         ~now;
       Replica_db.set_holder t.dbs.(p.Packet.src) ~packet:p
         ~holder_id:p.Packet.src ~n_meet:n ~now
 
     (* -------------------------------------------------------------- *)
-    (* Selection: ranking per direction *)
+    (* Selection: one send-queue plan per direction *)
 
-    let direct_order t ~now entries =
-      ignore t;
-      let by_age (x : Buffer.entry) (y : Buffer.entry) =
-        match Float.compare x.packet.Packet.created y.packet.Packet.created with
-        | 0 -> Int.compare x.packet.Packet.id y.packet.Packet.id
-        | n -> n
-      in
+    let by_age (x : Buffer.entry) (y : Buffer.entry) =
+      match Float.compare x.packet.Packet.created y.packet.Packet.created with
+      | 0 -> Int.compare x.packet.Packet.id y.packet.Packet.id
+      | n -> n
+
+    (* Direct-delivery segment of a plan; every comparator is a total
+       order (id tie-breaks) because the scratch sort is not stable. *)
+    let push_direct t ~now entries =
       match params.metric with
-      | Metric.Average_delay | Metric.Maximum_delay -> List.sort by_age entries
+      | Metric.Average_delay | Metric.Maximum_delay ->
+          Send_queue.push_entries t.queue ~cmp:by_age entries
       | Metric.Missed_deadlines ->
           (* Alive packets by nearest deadline, then the expired ones. *)
           let alive, dead =
@@ -305,21 +391,30 @@ let make params : Protocol.packed =
             | None, Some _ -> 1
             | None, None -> by_age x y
           in
-          List.sort by_deadline alive @ List.sort by_age dead
+          Send_queue.push_entries t.queue ~cmp:by_deadline alive;
+          Send_queue.push_entries t.queue ~cmp:by_age dead
 
     let cached_index t node =
       match Hashtbl.find_opt t.contact_indexes node with
       | Some idx -> idx
       | None ->
-          let idx = position_index t (Env.buffered_entries t.env node) in
+          let idx =
+            match Hashtbl.find_opt t.refresh_cache node with
+            | Some (ep, idx)
+              when ep = Buffer.epoch t.env.Env.buffers.(node) ->
+                idx
+            | _ -> position_index t (Env.buffered_entries t.env node)
+          in
           Hashtbl.replace t.contact_indexes node idx;
           idx
 
-    let rank t ~now ~sender ~receiver =
+    let plan t ~now ~sender ~receiver =
       Rapid_obs.Counter.incr c_rank_calls;
       Rapid_obs.Timer.time t_rank @@ fun () ->
-      let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
+      Send_queue.begin_plan t.queue t.env ~sender ~receiver;
+      let candidates = Send_queue.candidates t.env ~sender ~receiver in
       let direct, rest = Protocol.split_direct ~receiver candidates in
+      push_direct t ~now direct;
       let recv_index = cached_index t receiver in
       let scored =
         List.filter_map
@@ -374,8 +469,8 @@ let make params : Protocol.packed =
                 | n -> n)
               scored
       in
-      List.map (fun (e : Buffer.entry) -> e.packet) (direct_order t ~now direct)
-      @ List.map (fun (p, _, _) -> p) ordered
+      List.iter (fun (p, _, _) -> Send_queue.push t.queue p) ordered;
+      Send_queue.finish_plan t.queue
 
     (* -------------------------------------------------------------- *)
     (* Control channel *)
@@ -384,33 +479,79 @@ let make params : Protocol.packed =
       (* Re-estimate n_meet for every buffered packet, but only mark an
          entry changed when the estimate moved — "the node only sends
          information about packets whose information changed since the
-         last exchange" (§4.2). *)
+         last exchange" (§4.2). Work is per destination cell of the
+         position index: a cell whose contents (cell version) and B_j
+         inputs (pair sample count) are untouched since the last refresh
+         reproduces the exact n_meet of that refresh for every entry, so
+         its hysteresis verdicts stand and the whole cell is skipped. *)
       let entries = Env.buffered_entries t.env node in
-      let index = position_index t entries in
-      List.iter
-        (fun (e : Buffer.entry) ->
-          let p = e.packet in
-          let n = n_meet_from_index t ~node index p in
-          let unchanged =
-            match
-              Replica_db.find_holder t.dbs.(node) ~packet_id:p.Packet.id
-                ~holder_id:node
-            with
-            | Some h ->
-                let old = h.Replica_db.n_meet in
-                (* Hysteresis: deep-queue jitter (17 <-> 18 meetings) barely
-                   moves the estimate but would flood the channel; small
-                   n changes matter and are always shipped. *)
-                old = n || (old > 3 && abs (old - n) < 2)
-            | None -> false
-          in
-          if not unchanged then begin
-            Replica_db.set_holder t.truth ~packet:p ~holder_id:node ~n_meet:n
-              ~now;
-            Replica_db.set_holder t.dbs.(node) ~packet:p ~holder_id:node
-              ~n_meet:n ~now
+      let ep = Buffer.epoch t.env.Env.buffers.(node) in
+      let index =
+        match Hashtbl.find_opt t.refresh_cache node with
+        | Some (cached_ep, idx) when cached_ep = ep -> idx
+        | _ ->
+            let idx = position_index t entries in
+            Hashtbl.replace t.refresh_cache node (ep, idx);
+            idx
+      in
+      let vers, counts =
+        match Hashtbl.find_opt t.refresh_memo node with
+        | Some memo -> memo
+        | None ->
+            let n = t.env.Env.num_nodes in
+            let memo = (Array.make n (-1), Array.make n (-1)) in
+            Hashtbl.replace t.refresh_memo node memo;
+            memo
+      in
+      let db = t.dbs.(node) in
+      let changed = t.refresh_changed in
+      Sortbuf.clear changed;
+      Hashtbl.iter
+        (fun dst ((arr : (float * int * int) array), (prefix : int array)) ->
+          let ver = Dense.Int_mat.get t.cell_ver node dst in
+          let x, y = if node < dst then (node, dst) else (dst, node) in
+          let cnt = Dense.Cumulative_grid.count t.pair_transfer x y in
+          (* A zero pair count falls back to the global transfer average,
+             which moves every contact — never skippable. *)
+          if not (cnt > 0 && vers.(dst) = ver && counts.(dst) = cnt) then begin
+            vers.(dst) <- ver;
+            counts.(dst) <- cnt;
+            let avg = Float.max 1.0 (b_avg t ~holder:node ~dst) in
+            Array.iteri
+              (fun i (_, id, size) ->
+                (* [prefix.(i)] is exactly the bytes strictly ahead of
+                   this entry in delivery order. *)
+                let n =
+                  max 1
+                    (int_of_float
+                       (Float.ceil (float_of_int (prefix.(i) + size) /. avg)))
+                in
+                (* Hysteresis: deep-queue jitter (17 <-> 18 meetings)
+                   barely moves the estimate but would flood the channel;
+                   small n changes matter and are always shipped. *)
+                let old = own_get t node id in
+                let unchanged =
+                  old >= 0 && (old = n || (old > 3 && abs (old - n) < 2))
+                in
+                if not unchanged then Sortbuf.push changed (id, n))
+              arr
           end)
-        entries
+        index;
+      ignore entries;
+      (* Apply in ascending packet id — the order of the buffer-entry
+         walk this replaces — so the update log (and every ordering
+         derived from it downstream) is byte-identical. *)
+      Sortbuf.sort changed ~cmp:(fun (a, _) (b, _) -> Int.compare a b);
+      Sortbuf.iteri changed (fun _ (id, n) ->
+          let p =
+            match Buffer.find t.env.Env.buffers.(node) id with
+            | Some (e : Buffer.entry) -> e.packet
+            | None -> assert false
+          in
+          own_set t node id n;
+          Replica_db.set_holder t.truth ~packet:p ~holder_id:node ~n_meet:n
+            ~now;
+          Replica_db.set_holder db ~packet:p ~holder_id:node ~n_meet:n ~now)
 
     let purge_delivered_instantly t ~now ~node =
       (* Instant-global acknowledgments: any buffered copy of an
@@ -427,6 +568,7 @@ let make params : Protocol.packed =
         (fun (e : Buffer.entry) ->
           match Buffer.remove buffer e.packet.Packet.id with
           | Some _ ->
+              bump_cell t node e.packet.Packet.dst;
               t.env.Env.on_ack_purge ~now ~node e.packet;
               Replica_db.remove_packet t.truth ~packet_id:e.packet.Packet.id
           | None -> ())
@@ -494,8 +636,11 @@ let make params : Protocol.packed =
       Hashtbl.reset seen;
       let delta = t.delta_buf in
       Sortbuf.clear delta;
+      let num_nodes = t.env.Env.num_nodes in
       let consider (e : Replica_db.entry) =
-        let k = (e.Replica_db.packet.Packet.id, e.Replica_db.holder_id) in
+        let k =
+          (e.Replica_db.packet.Packet.id * num_nodes) + e.Replica_db.holder_id
+        in
         if
           (not (Hashtbl.mem seen k))
           && begin
@@ -505,8 +650,15 @@ let make params : Protocol.packed =
         then Sortbuf.push delta e
       in
       List.iter consider backlog;
-      List.iter consider (Replica_db.entries_since t.dbs.(sender) since);
-      Sortbuf.sort delta ~cmp:cmp_delta;
+      (* The raw log suffix may visit a (packet, holder) pair several
+         times; [seen] keeps the first, and every occurrence materializes
+         the same current-db value, so the resulting set (and hence the
+         sorted delta) matches the deduplicated walk it replaces. *)
+      Replica_db.iter_since t.dbs.(sender) since consider;
+      (* Only the first [entry_budget] entries ship (in oldest-first
+         order); everything past the cut lands in the unordered backlog
+         set, so a partial selection replaces the full sort. *)
+      Sortbuf.select delta ~cmp:cmp_delta entry_budget;
       let unsent = ref None in
       let sent = ref 0 in
       Sortbuf.iteri delta (fun i (e : Replica_db.entry) ->
@@ -535,7 +687,8 @@ let make params : Protocol.packed =
       !sent * params.packet_entry_bytes
 
     let on_contact t ~now ~a ~b ~budget ~meta_budget ~meta_ok =
-      Ranking.begin_contact t.ranking;
+      Send_queue.begin_contact t.queue;
+      t.victim.v_valid <- false;
       Hashtbl.reset t.contact_indexes;
       Meeting_matrix.observe t.matrix ~now ~a ~b;
       t.meet_count.(a) <- t.meet_count.(a) + 1;
@@ -581,6 +734,8 @@ let make params : Protocol.packed =
             let purge node =
               Protocol.Ack_store.purge t.acks t.env ~now ~node
                 ~on_purge:(fun p ->
+                  bump_cell t node p.Packet.dst;
+                  own_set t node p.Packet.id (-1);
                   Replica_db.remove_packet t.dbs.(node)
                     ~packet_id:p.Packet.id;
                   Replica_db.remove_holder t.truth ~packet_id:p.Packet.id
@@ -626,26 +781,32 @@ let make params : Protocol.packed =
           bytes := !bytes + spent_ab + spent_ba;
           Rapid_obs.Counter.add c_meta_entry_bytes (spent_ab + spent_ba);
           trace_meta "entries" (spent_ab + spent_ba));
-      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~now ~sender:a ~receiver:b);
-      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~now ~sender:b ~receiver:a);
+      plan t ~now ~sender:a ~receiver:b;
+      plan t ~now ~sender:b ~receiver:a;
       !bytes
 
     let next_packet t ~now:_ ~sender ~receiver ~budget =
-      Ranking.next t.ranking t.env ~sender ~receiver ~budget
+      Send_queue.next t.queue t.env ~sender ~receiver ~budget
 
     let on_transfer t ~now ~sender ~receiver (p : Packet.t) ~delivered =
+      t.victim.v_valid <- false;
+      (* Delivery removes the sender's copy; a relay adds the receiver's. *)
+      bump_cell t (if delivered then sender else receiver) p.Packet.dst;
       let id = p.Packet.id in
       if delivered then begin
         if params.use_acks then begin
           Protocol.Ack_store.learn t.acks ~node:sender ~packet_id:id;
           Protocol.Ack_store.learn t.acks ~node:receiver ~packet_id:id
         end;
+        own_set t sender id (-1);
+        own_set t receiver id (-1);
         Replica_db.remove_packet t.truth ~packet_id:id;
         Replica_db.remove_packet t.dbs.(sender) ~packet_id:id;
         Replica_db.remove_packet t.dbs.(receiver) ~packet_id:id
       end
       else begin
         let n = n_meet_from_index t ~node:receiver (cached_index t receiver) p in
+        own_set t receiver id n;
         Replica_db.set_holder t.truth ~packet:p ~holder_id:receiver ~n_meet:n ~now;
         List.iter
           (fun node ->
@@ -658,25 +819,11 @@ let make params : Protocol.packed =
     (* Storage adaptation (§3.4): lowest-utility first; a source never
        deletes its own unacknowledged packet. *)
 
-    let drop_candidate t ~now ~node ~incoming =
-      (* Foreign replicas are evicted before anything else; a source's own
-         packets are protected (§3.4) — except that a source creating a new
-         packet may replace its own lowest-utility one (the alternative
-         would deadlock a full source buffer forever). *)
-      let all = Env.buffered_entries t.env node in
-      let foreign =
-        List.filter (fun (e : Buffer.entry) -> e.packet.Packet.src <> node) all
-      in
-      let entries =
-        match foreign with
-        | _ :: _ -> foreign
-        | [] -> if incoming.Packet.src = node then all else []
-      in
-      (* Marginal utility of the local copy: how much does losing THIS
-         replica hurt the packet's expected metric contribution? A copy
-         whose packet is well replicated elsewhere (or can never reach its
-         destination) costs little — those go first, per byte. *)
-      let local_loss (p : Packet.t) =
+    (* Marginal utility of the local copy: how much does losing THIS
+       replica hurt the packet's expected metric contribution? A copy
+       whose packet is well replicated elsewhere (or can never reach its
+       destination) costs little — those go first, per byte. *)
+    let local_loss t ~now ~node (p : Packet.t) =
         let r = believed_rate t ~observer:node ~packet:p in
         let r_self =
           match
@@ -710,25 +857,93 @@ let make params : Protocol.packed =
                 if not (Float.is_finite a) then 0.0
                 else if not (Float.is_finite a') then big_delay -. a
                 else a' -. a)
+
+    (* Victims sorted cheapest-per-byte first (float ties broken by id,
+       matching the first-among-ties fold this replaces). *)
+    let build_victim_plan t ~now ~node ~own entries =
+      let v = t.victim in
+      let arr =
+        Array.of_list
+          (List.map
+             (fun (e : Buffer.entry) ->
+               let p = e.packet in
+               (p, local_loss t ~now ~node p /. float_of_int p.Packet.size))
+             entries)
       in
-      let cheapest =
-        List.fold_left
-          (fun acc (e : Buffer.entry) ->
-            let p = e.packet in
-            let s = local_loss p /. float_of_int p.Packet.size in
-            match acc with
-            | Some (_, bs) when bs <= s -> acc
-            | _ -> Some (p, s))
-          None entries
+      Array.sort
+        (fun ((px : Packet.t), sx) ((py : Packet.t), sy) ->
+          match Float.compare sx sy with
+          | 0 -> Int.compare px.Packet.id py.Packet.id
+          | n -> n)
+        arr;
+      v.v_packets <- Array.map fst arr;
+      v.v_len <- Array.length arr;
+      v.v_cursor <- 0;
+      v.v_valid <- true;
+      v.v_node <- node;
+      v.v_now <- now;
+      v.v_own <- own
+
+    let drop_candidate t ~now ~node ~incoming =
+      (* Foreign replicas are evicted before anything else; a source's own
+         packets are protected (§3.4) — except that a source creating a new
+         packet may replace its own lowest-utility one (the alternative
+         would deadlock a full source buffer forever). *)
+      let v = t.victim in
+      let fresh_plan ~own =
+        let all = Env.buffered_entries t.env node in
+        let entries =
+          if own then all
+          else
+            List.filter
+              (fun (e : Buffer.entry) -> e.packet.Packet.src <> node)
+              all
+        in
+        build_victim_plan t ~now ~node ~own entries
       in
-      Option.map fst cheapest
+      if not (v.v_valid && v.v_node = node && v.v_now = now) then
+        fresh_plan ~own:false;
+      let buf = t.env.Env.buffers.(node) in
+      (* Serve the cheapest victim still buffered; already-dropped plan
+         entries are skipped for good. The cursor stays on the served
+         packet — the engine drops it, which is what retires it. *)
+      let rec serve () =
+        if v.v_cursor >= v.v_len then None
+        else begin
+          let p = v.v_packets.(v.v_cursor) in
+          if Buffer.mem buf p.Packet.id then Some p
+          else begin
+            v.v_cursor <- v.v_cursor + 1;
+            serve ()
+          end
+        end
+      in
+      match serve () with
+      | Some p -> Some p
+      | None ->
+          (* No foreign replica left: a source squeezing in its own new
+             packet may evict its own cheapest copy; anyone else refuses.
+             The buffer cannot have regained foreign copies since the plan
+             was built (additions invalidate it), so the own-packet plan
+             is built over what remains. *)
+          if (not v.v_own) && incoming.Packet.src = node then begin
+            fresh_plan ~own:true;
+            serve ()
+          end
+          else None
 
     let on_dropped t ~now:_ ~node (p : Packet.t) =
+      bump_cell t node p.Packet.dst;
+      own_set t node p.Packet.id (-1);
       Replica_db.remove_holder t.truth ~packet_id:p.Packet.id ~holder_id:node;
       Replica_db.remove_holder t.dbs.(node) ~packet_id:p.Packet.id
         ~holder_id:node
 
     let on_reboot t ~now:_ ~node ~lost =
+      t.victim.v_valid <- false;
+      (* The emptied buffer invalidates every cell verdict at once. *)
+      Hashtbl.remove t.refresh_memo node;
+      Array.fill t.own_n.(node) 0 (Array.length t.own_n.(node)) (-1);
       (* First-hand truth: the crashed copies are gone. *)
       List.iter
         (fun (p : Packet.t) ->

@@ -7,16 +7,18 @@ type record = { packet : Packet.t; holders : (int, holder) Hashtbl.t }
 
 type t = {
   records : (int, record) Hashtbl.t;
-  (* Update log, newest first: (log time, packet id, holder id). Lets
-     [entries_since] walk only the recent tail instead of scanning every
-     record. Log times are clamped to be non-increasing from the head
-     (gossip can carry old origin timestamps); emission re-checks the
-     entry's real [updated_at], so clamping can only widen the walk, never
-     lose an entry. Superseded or deleted entries are filtered during the
-     walk. *)
-  mutable log : (float * int * int) list;
-  mutable log_newest : float;
+  (* Update log in append order, as parallel arrays of (log time, packet
+     id, holder id). Lets [iter_since] walk only the recent suffix instead
+     of scanning every record. Log times are clamped to be non-decreasing
+     (gossip can carry old origin timestamps), so the suffix boundary is a
+     binary search; emission re-checks the entry's real [updated_at], so
+     clamping can only widen the walk, never lose an entry. Superseded or
+     deleted entries are filtered during the walk. *)
+  mutable log_times : float array;
+  mutable log_pids : int array;
+  mutable log_hids : int array;
   mutable log_len : int;
+  mutable log_newest : float;
 }
 
 (* Bound on log length: beyond it the oldest deltas are discarded, so a
@@ -26,17 +28,39 @@ type t = {
 let max_log = 8_000
 
 let create () =
-  { records = Hashtbl.create 256; log = []; log_newest = neg_infinity;
-    log_len = 0 }
+  {
+    records = Hashtbl.create 256;
+    log_times = [||];
+    log_pids = [||];
+    log_hids = [||];
+    log_len = 0;
+    log_newest = neg_infinity;
+  }
 
 let log_update t ~time ~packet_id ~holder_id =
   let time = Float.max time t.log_newest in
   t.log_newest <- time;
-  t.log <- (time, packet_id, holder_id) :: t.log;
+  let cap = Array.length t.log_times in
+  if t.log_len = cap then begin
+    let grow a fill =
+      let g = Array.make (max 64 (2 * cap)) fill in
+      Array.blit a 0 g 0 t.log_len;
+      g
+    in
+    t.log_times <- grow t.log_times 0.0;
+    t.log_pids <- grow t.log_pids 0;
+    t.log_hids <- grow t.log_hids 0
+  end;
+  t.log_times.(t.log_len) <- time;
+  t.log_pids.(t.log_len) <- packet_id;
+  t.log_hids.(t.log_len) <- holder_id;
   t.log_len <- t.log_len + 1;
   if t.log_len > 2 * max_log then begin
     (* Amortized truncation: keep the newest half. *)
-    t.log <- List.filteri (fun i _ -> i < max_log) t.log;
+    let src = t.log_len - max_log in
+    Array.blit t.log_times src t.log_times 0 max_log;
+    Array.blit t.log_pids src t.log_pids 0 max_log;
+    Array.blit t.log_hids src t.log_hids 0 max_log;
     t.log_len <- max_log
   end
 
@@ -91,28 +115,52 @@ let find_holder t ~packet_id ~holder_id =
 let known_packet t ~packet_id =
   Option.map (fun r -> r.packet) (Hashtbl.find_opt t.records packet_id)
 
+(* First log index with time > threshold (times are non-decreasing). *)
+let suffix_start t threshold =
+  let lo = ref 0 and hi = ref t.log_len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.log_times.(mid) <= threshold then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let materialize t threshold ~packet_id ~holder_id =
+  match Hashtbl.find_opt t.records packet_id with
+  | None -> None (* forgotten (acked) *)
+  | Some r -> (
+      match Hashtbl.find_opt r.holders holder_id with
+      | Some holder when holder.updated_at > threshold ->
+          Some { packet = r.packet; holder_id; holder }
+      | Some _ | None -> None)
+
+let iter_since t threshold f =
+  for i = suffix_start t threshold to t.log_len - 1 do
+    match
+      materialize t threshold ~packet_id:t.log_pids.(i)
+        ~holder_id:t.log_hids.(i)
+    with
+    | Some e -> f e
+    | None -> ()
+  done
+
 let entries_since t threshold =
   let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
-  let rec walk acc = function
-    | [] -> acc
-    | (time, _, _) :: _ when time <= threshold -> acc
-    | (_, packet_id, holder_id) :: rest ->
-        if Hashtbl.mem seen (packet_id, holder_id) then walk acc rest
-        else begin
-          Hashtbl.replace seen (packet_id, holder_id) ();
-          match Hashtbl.find_opt t.records packet_id with
-          | None -> walk acc rest (* forgotten (acked) *)
-          | Some r -> (
-              match Hashtbl.find_opt r.holders holder_id with
-              | Some holder when holder.updated_at > threshold ->
-                  walk ({ packet = r.packet; holder_id; holder } :: acc) rest
-              | Some _ | None -> walk acc rest)
-        end
-  in
-  (* Log order is newest-first up to the clamping of gossip timestamps —
-     close enough for the control channel, which only needs "roughly
-     newest first" (truncation fairness), not a total order. *)
-  List.rev (walk [] t.log)
+  let lo = suffix_start t threshold in
+  let acc = ref [] in
+  (* Newest first so the dedup keeps the freshest occurrence; the
+     materialized value is the same either way (always the current db
+     state), but the order reported is roughly newest first, which is
+     what truncation fairness on the control channel wants. *)
+  for i = t.log_len - 1 downto lo do
+    let packet_id = t.log_pids.(i) and holder_id = t.log_hids.(i) in
+    if not (Hashtbl.mem seen (packet_id, holder_id)) then begin
+      Hashtbl.replace seen (packet_id, holder_id) ();
+      match materialize t threshold ~packet_id ~holder_id with
+      | Some e -> acc := e :: !acc
+      | None -> ()
+    end
+  done;
+  List.rev !acc
 
 let size t =
   Hashtbl.fold (fun _ r acc -> acc + Hashtbl.length r.holders) t.records 0

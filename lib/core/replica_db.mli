@@ -52,11 +52,19 @@ val fold_holders :
 
 val known_packet : t -> packet_id:int -> Rapid_sim.Packet.t option
 
+val iter_since : t -> float -> (entry -> unit) -> unit
+(** Visit the log suffix of updates newer than the threshold (a binary
+    search finds the boundary; no allocation per call), materializing
+    each surviving (packet, holder) pair from the current db state. A
+    pair updated several times since the threshold is visited once per
+    update with identical (current) contents — callers that need a set
+    dedup on (packet id, holder id). The retained history is bounded
+    (several thousand updates): peers that have not exchanged for a very
+    long time receive a truncated, bounded-staleness delta. *)
+
 val entries_since : t -> float -> entry list
-(** Holder entries with [updated_at > threshold], approximately newest
-    first — the delta the control channel ships. The retained history is
-    bounded (several thousand updates): peers that have not exchanged for
-    a very long time receive a truncated, bounded-staleness delta. *)
+(** The deduplicated {!iter_since} visit as a list, approximately newest
+    first — the delta the control channel ships. *)
 
 val size : t -> int
 (** Total holder entries stored. *)

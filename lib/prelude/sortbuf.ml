@@ -19,8 +19,7 @@ let push t x =
    arrays, which would force a fresh right-sized copy per call — the
    allocation this buffer exists to avoid. Not stable, so [cmp] must be a
    total order for deterministic output. *)
-let sort t ~cmp =
-  let a = t.data and n = t.len in
+let heapsort a n ~cmp =
   let swap i j =
     let x = a.(i) in
     a.(i) <- a.(j);
@@ -46,6 +45,55 @@ let sort t ~cmp =
     swap 0 last;
     sift_down 0 (last - 1)
   done
+
+let sort t ~cmp = heapsort t.data t.len ~cmp
+
+(* Partial sort: the [k] smallest elements end up in slots [0..k-1] in
+   ascending order; the rest land in [k..len-1] in an unspecified (but
+   deterministic) order. A max-heap of size [k] absorbs the scan, so the
+   cost is O(len + len log k) instead of O(len log len) — the win when a
+   budget consumes only a prefix of a large batch. With a total order the
+   selected prefix is exactly the full sort's prefix. *)
+let select t ~cmp k =
+  let n = t.len in
+  let k = max 0 (min k n) in
+  if k = n then (if n > 1 then heapsort t.data n ~cmp)
+  else if k > 0 then begin
+    let a = t.data in
+    let swap i j =
+      let x = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- x
+    in
+    let rec sift_down root last =
+      let child = (2 * root) + 1 in
+      if child <= last then begin
+        let child =
+          if child < last && cmp a.(child) a.(child + 1) < 0 then child + 1
+          else child
+        in
+        if cmp a.(root) a.(child) < 0 then begin
+          swap root child;
+          sift_down child last
+        end
+      end
+    in
+    (* Max-heap over the first k slots; any later element smaller than
+       the heap root displaces it. *)
+    for root = (k - 2) / 2 downto 0 do
+      sift_down root (k - 1)
+    done;
+    for i = k to n - 1 do
+      if cmp a.(i) a.(0) < 0 then begin
+        swap i 0;
+        sift_down 0 (k - 1)
+      end
+    done;
+    for last = k - 1 downto 1 do
+      swap 0 last;
+      sift_down 0 (last - 1)
+    done
+  end
 
 let iteri t f =
   for i = 0 to t.len - 1 do

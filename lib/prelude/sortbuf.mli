@@ -26,4 +26,11 @@ val get : 'a t -> int -> 'a
 val sort : 'a t -> cmp:('a -> 'a -> int) -> unit
 (** Sort the live prefix ascending per [cmp], in place. *)
 
+val select : 'a t -> cmp:('a -> 'a -> int) -> int -> unit
+(** [select t ~cmp k] places the [k] smallest elements in ascending
+    order in slots [0..k-1] — exactly the prefix a full {!sort} would
+    produce when [cmp] is a total order — and leaves the remaining
+    elements in slots [k..length-1] in an unspecified deterministic
+    order. O(len·log k) instead of O(len·log len). *)
+
 val iteri : 'a t -> (int -> 'a -> unit) -> unit

@@ -1,5 +1,7 @@
 open Rapid_sim
 
+(* Total order (heapsort in Send_queue is not stable): oldest first,
+   ties by id, matching the seed's stable sort over id-ordered input. *)
 let by_age (a : Buffer.entry) (b : Buffer.entry) =
   match Float.compare a.packet.Packet.created b.packet.Packet.created with
   | 0 -> Int.compare a.packet.Packet.id b.packet.Packet.id
@@ -7,35 +9,37 @@ let by_age (a : Buffer.entry) (b : Buffer.entry) =
 
 let make () : Protocol.packed =
   (module struct
-    type t = { env : Env.t; ranking : Ranking.t }
+    type t = { env : Env.t; queue : Send_queue.t }
 
     let name = "Epidemic"
-    let create env = { env; ranking = Ranking.create () }
+    let create env = { env; queue = Send_queue.create () }
     let on_created _ ~now:_ _ = ()
 
-    let rank t ~sender ~receiver =
-      let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
+    let plan t ~sender ~receiver =
+      Send_queue.begin_plan t.queue t.env ~sender ~receiver;
+      let candidates = Send_queue.candidates t.env ~sender ~receiver in
       let direct, rest = Protocol.split_direct ~receiver candidates in
-      List.map
-        (fun (e : Buffer.entry) -> e.packet)
-        (List.sort by_age direct @ List.sort by_age rest)
+      Send_queue.push_entries t.queue ~cmp:by_age direct;
+      Send_queue.push_entries t.queue ~cmp:by_age rest;
+      Send_queue.finish_plan t.queue
 
     let on_contact t ~now:_ ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok:_ =
-      Ranking.begin_contact t.ranking;
-      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
-      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
+      Send_queue.begin_contact t.queue;
+      plan t ~sender:a ~receiver:b;
+      plan t ~sender:b ~receiver:a;
       0
 
     let next_packet t ~now:_ ~sender ~receiver ~budget =
-      Ranking.next t.ranking t.env ~sender ~receiver ~budget
+      Send_queue.next t.queue t.env ~sender ~receiver ~budget
 
     let on_transfer _ ~now:_ ~sender:_ ~receiver:_ _ ~delivered:_ = ()
 
     let drop_candidate t ~now:_ ~node ~incoming:_ =
       (* FIFO eviction: oldest copy goes first. *)
-      match List.sort by_age (Env.buffered_entries t.env node) with
-      | [] -> None
-      | e :: _ -> Some e.Buffer.packet
+      Buffer.fold_unordered t.env.Env.buffers.(node) ~init:None
+        ~f:(fun acc (e : Buffer.entry) ->
+          match acc with Some best when by_age best e <= 0 -> acc | _ -> Some e)
+      |> Option.map (fun (e : Buffer.entry) -> e.packet)
 
     let on_dropped _ ~now:_ ~node:_ _ = ()
 

@@ -5,7 +5,7 @@ let make ?(ack_entry_bytes = 8) ?(vector_entry_bytes = 12) () : Protocol.packed 
   (module struct
     type t = {
       env : Env.t;
-      ranking : Ranking.t;
+      queue : Send_queue.t;
       acks : Protocol.Ack_store.t;
       (* own.(x): x's meeting-likelihood vector over all nodes. *)
       own : float array array;
@@ -29,7 +29,7 @@ let make ?(ack_entry_bytes = 8) ?(vector_entry_bytes = 12) () : Protocol.packed 
       let uniform () = uniform n in
       {
         env;
-        ranking = Ranking.create ();
+        queue = Send_queue.create ();
         acks = Protocol.Ack_store.create ~num_nodes:n;
         own = Array.init n (fun _ -> uniform ());
         view = Array.init n (fun _ -> Array.make n None);
@@ -118,8 +118,9 @@ let make ?(ack_entry_bytes = 8) ?(vector_entry_bytes = 12) () : Protocol.packed 
       in
       scan 0.0 0 sorted
 
-    let rank t ~sender ~receiver =
-      let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
+    let plan t ~sender ~receiver =
+      Send_queue.begin_plan t.queue t.env ~sender ~receiver;
+      let candidates = Send_queue.candidates t.env ~sender ~receiver in
       let direct, rest = Protocol.split_direct ~receiver candidates in
       let threshold = hop_threshold t ~sender in
       let head, tail =
@@ -136,12 +137,13 @@ let make ?(ack_entry_bytes = 8) ?(vector_entry_bytes = 12) () : Protocol.packed 
         | 0 -> by_age x y
         | n -> n
       in
-      List.map
-        (fun (e : Buffer.entry) -> e.packet)
-        (List.sort by_age direct @ List.sort by_hops head @ List.sort by_cost tail)
+      Send_queue.push_entries t.queue ~cmp:by_age direct;
+      Send_queue.push_entries t.queue ~cmp:by_hops head;
+      Send_queue.push_entries t.queue ~cmp:by_cost tail;
+      Send_queue.finish_plan t.queue
 
     let on_contact t ~now ~a ~b ~budget ~meta_budget:_ ~meta_ok =
-      Ranking.begin_contact t.ranking;
+      Send_queue.begin_contact t.queue;
       Hashtbl.reset t.cost_cache;
       Moving_average.Cumulative.add t.avg_transfer (float_of_int budget);
       bump_likelihood t ~node:a ~met:b;
@@ -164,12 +166,12 @@ let make ?(ack_entry_bytes = 8) ?(vector_entry_bytes = 12) () : Protocol.packed 
              node saw whom it met), but vectors and acks went unheard. *)
           0
       in
-      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
-      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
+      plan t ~sender:a ~receiver:b;
+      plan t ~sender:b ~receiver:a;
       meta
 
     let next_packet t ~now:_ ~sender ~receiver ~budget =
-      Ranking.next t.ranking t.env ~sender ~receiver ~budget
+      Send_queue.next t.queue t.env ~sender ~receiver ~budget
 
     let on_transfer t ~now:_ ~sender ~receiver (p : Packet.t) ~delivered =
       if delivered then begin

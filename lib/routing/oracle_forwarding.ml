@@ -1,12 +1,17 @@
 open Rapid_trace
 open Rapid_sim
 
+let by_age (a : Buffer.entry) (b : Buffer.entry) =
+  match Float.compare a.packet.Packet.created b.packet.Packet.created with
+  | 0 -> Int.compare a.packet.Packet.id b.packet.Packet.id
+  | n -> n
+
 let make ~trace () : Protocol.packed =
   (module struct
-    type t = { env : Env.t; ranking : Ranking.t }
+    type t = { env : Env.t; queue : Send_queue.t }
 
     let name = "OracleForwarding"
-    let create env = { env; ranking = Ranking.create () }
+    let create env = { env; queue = Send_queue.create () }
     let on_created _ ~now:_ _ = ()
 
     (* Earliest arrival time at [dst] starting from [node] holding the
@@ -30,9 +35,11 @@ let make ~trace () : Protocol.packed =
         trace.Trace.contacts;
       reach.(dst)
 
-    let rank t ~now ~sender ~receiver =
-      let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
+    let plan t ~now ~sender ~receiver =
+      Send_queue.begin_plan t.queue t.env ~sender ~receiver;
+      let candidates = Send_queue.candidates t.env ~sender ~receiver in
       let direct, rest = Protocol.split_direct ~receiver candidates in
+      Send_queue.push_entries t.queue ~cmp:by_age direct;
       (* Forward iff handing over strictly improves the earliest-arrival
          estimate: the receiver (who has the packet from this instant) can
          deliver sooner than the sender could by keeping it past this
@@ -50,23 +57,24 @@ let make ~trace () : Protocol.packed =
           rest
       in
       let ordered =
-        List.sort (fun (_, a) (_, b) -> Float.compare a b) forwardable
+        List.sort
+          (fun ((pa : Packet.t), a) ((pb : Packet.t), b) ->
+            match Float.compare a b with
+            | 0 -> Int.compare pa.Packet.id pb.Packet.id
+            | n -> n)
+          forwardable
       in
-      List.map (fun (e : Buffer.entry) -> e.packet)
-        (List.sort
-           (fun (a : Buffer.entry) b ->
-             Float.compare a.packet.Packet.created b.packet.Packet.created)
-           direct)
-      @ List.map fst ordered
+      List.iter (fun (p, _) -> Send_queue.push t.queue p) ordered;
+      Send_queue.finish_plan t.queue
 
     let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok:_ =
-      Ranking.begin_contact t.ranking;
-      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~now ~sender:a ~receiver:b);
-      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~now ~sender:b ~receiver:a);
+      Send_queue.begin_contact t.queue;
+      plan t ~now ~sender:a ~receiver:b;
+      plan t ~now ~sender:b ~receiver:a;
       0
 
     let next_packet t ~now:_ ~sender ~receiver ~budget =
-      Ranking.next t.ranking t.env ~sender ~receiver ~budget
+      Send_queue.next t.queue t.env ~sender ~receiver ~budget
 
     (* Single copy: the sender relinquishes the packet once forwarded. *)
     let on_transfer t ~now:_ ~sender ~receiver:_ (p : Packet.t) ~delivered =

@@ -25,7 +25,7 @@ let make ?(p_init = 0.75) ?(beta = 0.25) ?(gamma = 0.98) ?(time_unit = 30.0)
   (module struct
     type t = {
       env : Env.t;
-      ranking : Ranking.t;
+      queue : Send_queue.t;
       p : float array array;  (* p.(a).(b): a's predictability of meeting b *)
       last_aged : float array;
     }
@@ -36,7 +36,7 @@ let make ?(p_init = 0.75) ?(beta = 0.25) ?(gamma = 0.98) ?(time_unit = 30.0)
       let n = env.Env.num_nodes in
       {
         env;
-        ranking = Ranking.create ();
+        queue = Send_queue.create ();
         p = Array.init n (fun _ -> Array.make n 0.0);
         last_aged = Array.make n 0.0;
       }
@@ -59,8 +59,9 @@ let make ?(p_init = 0.75) ?(beta = 0.25) ?(gamma = 0.98) ?(time_unit = 30.0)
       | 0 -> Int.compare a.packet.Packet.id b.packet.Packet.id
       | n -> n
 
-    let rank t ~sender ~receiver =
-      let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
+    let plan t ~sender ~receiver =
+      Send_queue.begin_plan t.queue t.env ~sender ~receiver;
+      let candidates = Send_queue.candidates t.env ~sender ~receiver in
       let direct, rest = Protocol.split_direct ~receiver candidates in
       (* Replicate only when the peer is strictly more likely to deliver. *)
       let forwardable =
@@ -79,12 +80,12 @@ let make ?(p_init = 0.75) ?(beta = 0.25) ?(gamma = 0.98) ?(time_unit = 30.0)
         | 0 -> by_age a b
         | n -> n
       in
-      List.map
-        (fun (e : Buffer.entry) -> e.packet)
-        (List.sort by_age direct @ List.sort by_peer_predictability forwardable)
+      Send_queue.push_entries t.queue ~cmp:by_age direct;
+      Send_queue.push_entries t.queue ~cmp:by_peer_predictability forwardable;
+      Send_queue.finish_plan t.queue
 
     let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok =
-      Ranking.begin_contact t.ranking;
+      Send_queue.begin_contact t.queue;
       age t ~now a;
       age t ~now b;
       let n = t.env.Env.num_nodes in
@@ -103,12 +104,12 @@ let make ?(p_init = 0.75) ?(beta = 0.25) ?(gamma = 0.98) ?(time_unit = 30.0)
           0
         end
       in
-      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
-      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
+      plan t ~sender:a ~receiver:b;
+      plan t ~sender:b ~receiver:a;
       meta
 
     let next_packet t ~now:_ ~sender ~receiver ~budget =
-      Ranking.next t.ranking t.env ~sender ~receiver ~budget
+      Send_queue.next t.queue t.env ~sender ~receiver ~budget
 
     let on_transfer _ ~now:_ ~sender:_ ~receiver:_ _ ~delivered:_ = ()
 

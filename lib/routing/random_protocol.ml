@@ -1,12 +1,17 @@
 open Rapid_prelude
 open Rapid_sim
 
+let by_age (a : Buffer.entry) (b : Buffer.entry) =
+  match Float.compare a.packet.Packet.created b.packet.Packet.created with
+  | 0 -> Int.compare a.packet.Packet.id b.packet.Packet.id
+  | n -> n
+
 let make ?(with_acks = false) ?(summary_vector = false) ?(ack_entry_bytes = 8)
     () : Protocol.packed =
   (module struct
     type t = {
       env : Env.t;
-      ranking : Ranking.t;
+      queue : Send_queue.t;
       acks : Protocol.Ack_store.t;
     }
 
@@ -17,36 +22,35 @@ let make ?(with_acks = false) ?(summary_vector = false) ?(ack_entry_bytes = 8)
     let create env =
       {
         env;
-        ranking = Ranking.create ();
+        queue = Send_queue.create ();
         acks = Protocol.Ack_store.create ~num_nodes:env.Env.num_nodes;
       }
 
     let on_created _ ~now:_ _ = ()
 
-    let rank t ~sender ~receiver =
+    let plan t ~sender ~receiver =
       (* Paper baseline: "replicates randomly chosen packets for the
          duration of the transfer opportunity" — without summary vectors
          the candidate set is the whole buffer, duplicates included, and
          the engine charges the waste. Direct deliveries still go first
          (any node knows who it is talking to). *)
+      Send_queue.begin_plan ~check_peer:summary_vector t.queue t.env ~sender
+        ~receiver;
       let entries =
-        if summary_vector then
-          Ranking.replication_candidates t.env ~sender ~receiver
+        if summary_vector then Send_queue.candidates t.env ~sender ~receiver
         else Env.buffered_entries t.env sender
       in
       let direct, rest = Protocol.split_direct ~receiver entries in
-      let direct =
-        List.sort
-          (fun (a : Buffer.entry) (b : Buffer.entry) ->
-            Float.compare a.packet.Packet.created b.packet.Packet.created)
-          direct
-      in
+      Send_queue.push_entries t.queue ~cmp:by_age direct;
       let rest = Array.of_list rest in
       Rng.shuffle t.env.Env.rng rest;
-      List.map (fun (e : Buffer.entry) -> e.packet) (direct @ Array.to_list rest)
+      Array.iter
+        (fun (e : Buffer.entry) -> Send_queue.push t.queue e.packet)
+        rest;
+      Send_queue.finish_plan t.queue
 
     let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok =
-      Ranking.begin_contact t.ranking;
+      Send_queue.begin_contact t.queue;
       let meta =
         if with_acks && meta_ok then begin
           let fresh = Protocol.Ack_store.exchange t.acks ~a ~b in
@@ -56,13 +60,12 @@ let make ?(with_acks = false) ?(summary_vector = false) ?(ack_entry_bytes = 8)
         end
         else 0
       in
-      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
-      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
+      plan t ~sender:a ~receiver:b;
+      plan t ~sender:b ~receiver:a;
       meta
 
     let next_packet t ~now:_ ~sender ~receiver ~budget =
-      Ranking.next ~check_peer:summary_vector t.ranking t.env ~sender ~receiver
-        ~budget
+      Send_queue.next t.queue t.env ~sender ~receiver ~budget
 
     let on_transfer t ~now:_ ~sender ~receiver (p : Packet.t) ~delivered =
       if delivered && with_acks then begin

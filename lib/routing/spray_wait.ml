@@ -5,68 +5,77 @@ let make ?(l = 12) () : Protocol.packed =
   (module struct
     type t = {
       env : Env.t;
-      ranking : Ranking.t;
-      (* (node, packet id) -> remaining logical copies at that node. *)
-      tokens : (int * int, int) Hashtbl.t;
+      queue : Send_queue.t;
+      (* packet id * num_nodes + node -> remaining logical copies at that
+         node (flat int key: no tuple boxing on the per-entry plan scan). *)
+      tokens : (int, int) Hashtbl.t;
     }
 
     let name = Printf.sprintf "SprayWait(L=%d)" l
 
     let create env =
-      { env; ranking = Ranking.create (); tokens = Hashtbl.create 256 }
+      { env; queue = Send_queue.create (); tokens = Hashtbl.create 256 }
+
+    let key t ~node ~packet_id = (packet_id * t.env.Env.num_nodes) + node
 
     let tokens_of t ~node ~packet_id =
-      Option.value (Hashtbl.find_opt t.tokens (node, packet_id)) ~default:1
+      Option.value (Hashtbl.find_opt t.tokens (key t ~node ~packet_id)) ~default:1
 
     let on_created t ~now:_ (p : Packet.t) =
-      Hashtbl.replace t.tokens (p.Packet.src, p.Packet.id) l
+      Hashtbl.replace t.tokens (key t ~node:p.Packet.src ~packet_id:p.Packet.id) l
 
     let by_age (a : Buffer.entry) (b : Buffer.entry) =
       match Float.compare a.packet.Packet.created b.packet.Packet.created with
       | 0 -> Int.compare a.packet.Packet.id b.packet.Packet.id
       | n -> n
 
-    let rank t ~sender ~receiver =
-      let candidates = Ranking.replication_candidates t.env ~sender ~receiver in
+    let plan t ~sender ~receiver =
+      Send_queue.begin_plan t.queue t.env ~sender ~receiver;
+      let candidates = Send_queue.candidates t.env ~sender ~receiver in
       let direct, rest = Protocol.split_direct ~receiver candidates in
-      (* Spray phase requires more than one logical copy in hand. *)
+      (* Spray phase requires more than one logical copy in hand. The
+         token count is looked up once per entry here (decorate), never
+         inside the sort comparator. *)
       let sprayable =
-        List.filter
+        List.filter_map
           (fun (e : Buffer.entry) ->
-            tokens_of t ~node:sender ~packet_id:e.packet.Packet.id > 1)
+            let n = tokens_of t ~node:sender ~packet_id:e.packet.Packet.id in
+            if n > 1 then Some (n, e) else None)
           rest
       in
-      (* Most copies first spreads widest fastest; ties oldest-first. *)
-      let by_tokens (a : Buffer.entry) (b : Buffer.entry) =
-        let ta = tokens_of t ~node:sender ~packet_id:a.packet.Packet.id in
-        let tb = tokens_of t ~node:sender ~packet_id:b.packet.Packet.id in
-        match Int.compare tb ta with 0 -> by_age a b | n -> n
-      in
-      List.map
-        (fun (e : Buffer.entry) -> e.packet)
-        (List.sort by_age direct @ List.sort by_tokens sprayable)
+      Send_queue.push_entries t.queue ~cmp:by_age direct;
+      (* Most copies first spreads widest fastest; ties oldest-first —
+         (tokens desc, created, id) is a total order, so the unstable
+         array sort is deterministic. *)
+      let arr = Array.of_list sprayable in
+      Array.sort
+        (fun (ta, (a : Buffer.entry)) (tb, (b : Buffer.entry)) ->
+          match Int.compare tb ta with 0 -> by_age a b | n -> n)
+        arr;
+      Array.iter (fun (_, (e : Buffer.entry)) -> Send_queue.push t.queue e.packet) arr;
+      Send_queue.finish_plan t.queue
 
     let on_contact t ~now:_ ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok:_ =
-      Ranking.begin_contact t.ranking;
-      Ranking.set t.ranking ~sender:a ~receiver:b (rank t ~sender:a ~receiver:b);
-      Ranking.set t.ranking ~sender:b ~receiver:a (rank t ~sender:b ~receiver:a);
+      Send_queue.begin_contact t.queue;
+      plan t ~sender:a ~receiver:b;
+      plan t ~sender:b ~receiver:a;
       0
 
     let next_packet t ~now:_ ~sender ~receiver ~budget =
-      Ranking.next t.ranking t.env ~sender ~receiver ~budget
+      Send_queue.next t.queue t.env ~sender ~receiver ~budget
 
     let on_transfer t ~now:_ ~sender ~receiver (p : Packet.t) ~delivered =
       let id = p.Packet.id in
       if delivered then
         (* The sender relinquished its copy on delivery: retire its
            token entry rather than leaving it to go stale. *)
-        Hashtbl.remove t.tokens (sender, id)
+        Hashtbl.remove t.tokens (key t ~node:sender ~packet_id:id)
       else begin
         let n = tokens_of t ~node:sender ~packet_id:id in
         let give = max 1 (n / 2) in
         let keep = max 1 (n - give) in
-        Hashtbl.replace t.tokens (sender, id) keep;
-        Hashtbl.replace t.tokens (receiver, id) give
+        Hashtbl.replace t.tokens (key t ~node:sender ~packet_id:id) keep;
+        Hashtbl.replace t.tokens (key t ~node:receiver ~packet_id:id) give
       end
 
     let drop_candidate t ~now:_ ~node ~incoming:_ =
@@ -78,12 +87,13 @@ let make ?(l = 12) () : Protocol.packed =
           Some (Rng.sample t.env.Env.rng arr).Buffer.packet
 
     let on_dropped t ~now:_ ~node (p : Packet.t) =
-      Hashtbl.remove t.tokens (node, p.Packet.id)
+      Hashtbl.remove t.tokens (key t ~node ~packet_id:p.Packet.id)
 
     let on_reboot t ~now:_ ~node ~lost:_ =
       (* Tickets live with the copies, which the crash destroyed. A copy
          re-sprayed to this node later arrives with fresh tokens. *)
+      let n = t.env.Env.num_nodes in
       Hashtbl.filter_map_inplace
-        (fun (holder, _) count -> if holder = node then None else Some count)
+        (fun k count -> if k mod n = node then None else Some count)
         t.tokens
   end : Protocol.S)

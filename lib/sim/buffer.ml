@@ -1,22 +1,57 @@
 type entry = { packet : Packet.t; received : float; hops : int }
 
+(* Counts snapshot rebuilds across all buffers (BENCH.json). *)
+let c_rebuilds = Rapid_obs.Counter.create "buffer.rebuilds"
+
+(* Dense slot array + id->slot index. [arr.(0..len-1)] are the live
+   entries; removal swaps the last slot in, so add/remove are O(1) and
+   iteration never touches the hash table. Unused slots may retain stale
+   entry pointers (used as fill on growth) — [len] guards every read.
+
+   [epoch] moves on every mutation and versions [snapshot], the id-sorted
+   entry list handed out by [entries]: it is rebuilt at most once per
+   buffer change instead of once per call. [removals] moves only when an
+   entry leaves the buffer — Send_queue cursors use it to skip per-pop
+   membership checks while no planned packet can have disappeared. *)
 type t = {
   capacity : int option;
   mutable used : int;
-  table : (int, entry) Hashtbl.t;
+  mutable arr : entry array;
+  mutable len : int;
+  slots : (int, int) Hashtbl.t;
+  mutable epoch : int;
+  mutable removals : int;
+  mutable snapshot : entry list;
+  mutable snapshot_epoch : int;
 }
 
 let create ~capacity =
   (match capacity with
   | Some c when c < 0 -> invalid_arg "Buffer.create: negative capacity"
   | _ -> ());
-  { capacity; used = 0; table = Hashtbl.create 64 }
+  {
+    capacity;
+    used = 0;
+    arr = [||];
+    len = 0;
+    slots = Hashtbl.create 64;
+    epoch = 0;
+    removals = 0;
+    snapshot = [];
+    snapshot_epoch = 0;
+  }
 
 let capacity t = t.capacity
 let used t = t.used
-let count t = Hashtbl.length t.table
-let mem t id = Hashtbl.mem t.table id
-let find t id = Hashtbl.find_opt t.table id
+let count t = t.len
+let epoch t = t.epoch
+let removals t = t.removals
+let mem t id = Hashtbl.mem t.slots id
+
+let find t id =
+  match Hashtbl.find_opt t.slots id with
+  | None -> None
+  | Some slot -> Some t.arr.(slot)
 
 let would_fit t size =
   match t.capacity with None -> true | Some c -> t.used + size <= c
@@ -26,22 +61,69 @@ let add t entry =
   if mem t id then invalid_arg "Buffer.add: duplicate packet";
   if not (would_fit t entry.packet.Packet.size) then
     invalid_arg "Buffer.add: over capacity";
-  Hashtbl.replace t.table id entry;
-  t.used <- t.used + entry.packet.Packet.size
+  let cap = Array.length t.arr in
+  if t.len = cap then begin
+    (* Fill with the incoming entry: slots past [len] are never read. *)
+    let grown = Array.make (max 8 (2 * cap)) entry in
+    Array.blit t.arr 0 grown 0 t.len;
+    t.arr <- grown
+  end;
+  t.arr.(t.len) <- entry;
+  Hashtbl.replace t.slots id t.len;
+  t.len <- t.len + 1;
+  t.used <- t.used + entry.packet.Packet.size;
+  t.epoch <- t.epoch + 1
 
 let remove t id =
-  match Hashtbl.find_opt t.table id with
+  match Hashtbl.find_opt t.slots id with
   | None -> None
-  | Some entry ->
-      Hashtbl.remove t.table id;
+  | Some slot ->
+      let entry = t.arr.(slot) in
+      Hashtbl.remove t.slots id;
+      let last = t.len - 1 in
+      if slot < last then begin
+        let moved = t.arr.(last) in
+        t.arr.(slot) <- moved;
+        Hashtbl.replace t.slots moved.packet.Packet.id slot
+      end;
+      t.len <- last;
       t.used <- t.used - entry.packet.Packet.size;
+      t.epoch <- t.epoch + 1;
+      t.removals <- t.removals + 1;
       Some entry
 
+let clear t =
+  if t.len = 0 then []
+  else begin
+    let lost = ref [] in
+    for slot = t.len - 1 downto 0 do
+      lost := t.arr.(slot).packet :: !lost
+    done;
+    Hashtbl.reset t.slots;
+    t.len <- 0;
+    t.used <- 0;
+    t.epoch <- t.epoch + 1;
+    t.removals <- t.removals + 1;
+    !lost
+  end
+
+let cmp_id a b = Int.compare a.packet.Packet.id b.packet.Packet.id
+
 let entries t =
-  Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
-  |> List.sort (fun a b -> Int.compare a.packet.Packet.id b.packet.Packet.id)
+  if t.snapshot_epoch <> t.epoch then begin
+    Rapid_obs.Counter.incr c_rebuilds;
+    let sorted = Array.sub t.arr 0 t.len in
+    Array.sort cmp_id sorted;
+    t.snapshot <- Array.to_list sorted;
+    t.snapshot_epoch <- t.epoch
+  end;
+  t.snapshot
 
 let fold t ~init ~f = List.fold_left f init (entries t)
 
 let fold_unordered t ~init ~f =
-  Hashtbl.fold (fun _ e acc -> f acc e) t.table init
+  let acc = ref init in
+  for slot = 0 to t.len - 1 do
+    acc := f !acc t.arr.(slot)
+  done;
+  !acc

@@ -4,7 +4,12 @@
     to add packets (so that feasibility — storage never exceeded — is
     enforced in one place); protocols may remove packets (ack-driven
     cleanup, §4.2) and inspect contents. Iteration order is by packet id,
-    which keeps runs deterministic. *)
+    which keeps runs deterministic.
+
+    Internally the store is a dense entry array indexed by an id→slot
+    table: add/remove are O(1), and {!entries} serves a cached id-sorted
+    snapshot versioned by {!epoch}, rebuilt only after a mutation instead
+    of sorted per call. *)
 
 type entry = {
   packet : Packet.t;
@@ -22,6 +27,17 @@ val used : t -> int
 (** Bytes currently stored. *)
 
 val count : t -> int
+
+val epoch : t -> int
+(** Bumped on every mutation (add, remove, clear); versions caches built
+    from the buffer's contents, e.g. the {!entries} snapshot and RAPID's
+    per-contact position indexes. *)
+
+val removals : t -> int
+(** Bumped only when entries leave the buffer (remove, clear). While it
+    stands still every previously observed entry is still present, so
+    {!Send_queue} cursors skip per-pop membership checks. *)
+
 val mem : t -> int -> bool
 val find : t -> int -> entry option
 
@@ -35,12 +51,20 @@ val add : t -> entry -> unit
 val remove : t -> int -> entry option
 (** Remove by packet id; [None] if absent. *)
 
+val clear : t -> Packet.t list
+(** Empty the buffer in one sweep (no per-entry table churn), returning
+    the packets that were stored, in slot order. The engine's reboot path
+    is the only caller; consumers of the list must not depend on its
+    order. *)
+
 val entries : t -> entry list
-(** Sorted by packet id. *)
+(** Sorted by packet id. The returned list is a cached snapshot shared
+    between calls: treat it as immutable and do not hold it across
+    buffer mutations. *)
 
 val fold : t -> init:'a -> f:('a -> entry -> 'a) -> 'a
 (** Fold in packet-id order. *)
 
 val fold_unordered : t -> init:'a -> f:('a -> entry -> 'a) -> 'a
-(** Fold in hash order (hot paths that don't care about order; still
-    deterministic for a given insertion history). *)
+(** Fold in slot order (hot paths that don't care about order; still
+    deterministic for a given mutation history). *)

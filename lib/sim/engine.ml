@@ -48,7 +48,7 @@ let make_room (type s) (module P : Protocol.S with type t = s) (st : s)
   loop ()
 
 let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
-    (env : Env.t) metrics tracer ~meta_cap_frac ~effective ~meta_ok
+    (env : Env.t) metrics tracer ~meta_cap_frac ~effective ~meta_ok ~num_packets
     (c : Contact.t) =
   let now = c.Contact.time in
   Metrics.record_contact metrics ~capacity:effective;
@@ -96,7 +96,10 @@ let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
   (* Alternate directions; guard against protocols re-offering a packet. *)
   let dirs = [| (c.Contact.a, c.Contact.b); (c.Contact.b, c.Contact.a) |] in
   let active = [| true; true |] in
+  (* Flat (sender, packet id) key: packet ids are dense in
+     [0, num_packets), so no tuple boxing on the per-transfer guard. *)
   let seen = Hashtbl.create 16 in
+  let seen_key sender id = (sender * max 1 num_packets) + id in
   let turn = ref 0 in
   let record_transfer ~sender ~receiver (p : Packet.t) ~delivered =
     Metrics.record_transfer metrics ~bytes:p.Packet.size;
@@ -120,10 +123,10 @@ let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
           if not (Buffer.mem env.Env.buffers.(sender) id) then
             invalid_arg
               (Printf.sprintf "protocol %s: offered unbuffered packet %d" P.name id);
-          if Hashtbl.mem seen (sender, id) then
+          if Hashtbl.mem seen (seen_key sender id) then
             invalid_arg
               (Printf.sprintf "protocol %s: packet %d offered twice" P.name id);
-          Hashtbl.replace seen (sender, id) ();
+          Hashtbl.replace seen (seen_key sender id) ();
           if receiver = p.Packet.dst then begin
             (* Delivery: destination storage is unconstrained (§3.1), and
                the sender drops its copy — it has first-hand knowledge the
@@ -196,11 +199,9 @@ let run ?(options = default_options) ?(tracer = Tracer.null) ~protocol
     (* Wipe the buffer first, then tell the protocol: on_reboot sees the
        post-crash world. Lost copies are not storage drops — no drop
        metrics — the faults.* counters account for them. *)
-    let buffer = env.Env.buffers.(node) in
-    let lost =
-      List.map (fun (e : Buffer.entry) -> e.Buffer.packet) (Buffer.entries buffer)
-    in
-    List.iter (fun (p : Packet.t) -> ignore (Buffer.remove buffer p.Packet.id)) lost;
+    (* [clear] empties in one sweep; the slot-order [lost] list is fine
+       because on_reboot implementations treat it as a set. *)
+    let lost = Buffer.clear env.Env.buffers.(node) in
     Faults.note_reboot ~lost:(List.length lost);
     if Tracer.enabled tracer then
       Tracer.emit tracer
@@ -270,7 +271,7 @@ let run ?(options = default_options) ?(tracer = Tracer.null) ~protocol
           ~meta_cap_frac:options.meta_cap_frac
           ~effective:(Faults.contact_capacity plan !ci ~bytes:c.Contact.bytes)
           ~meta_ok:(Faults.contact_meta_ok plan !ci)
-          c;
+          ~num_packets:ns c;
       incr ci
     end
   done;

@@ -28,36 +28,76 @@ end
 
 type packed = (module S)
 
-module Session = struct
-  type t = { offered : (int * int, unit) Hashtbl.t }
-
-  let create () = { offered = Hashtbl.create 64 }
-  let reset t = Hashtbl.reset t.offered
-  let mark t ~sender ~packet_id = Hashtbl.replace t.offered (sender, packet_id) ()
-  let already_offered t ~sender ~packet_id = Hashtbl.mem t.offered (sender, packet_id)
-end
-
 module Ack_store = struct
-  type t = { acks : (int, unit) Hashtbl.t array }
+  (* Membership set plus an append-only log per node, with per-directed-
+     pair consumption watermarks: [consumed.(src).(dst)] is the prefix of
+     [src]'s log already pushed to [dst], so an exchange walks only the
+     acks learned since the two last met instead of both full sets.
+     Entries below the watermark are guaranteed present at [dst] (its set
+     only shrinks on a reboot, which resets the node's watermark row and
+     column), so skipping them changes neither the union nor the
+     fresh-entry count. *)
+  type node_acks = {
+    set : (int, unit) Hashtbl.t;
+    mutable log : int array;
+    mutable len : int;
+  }
 
-  let create ~num_nodes = { acks = Array.init num_nodes (fun _ -> Hashtbl.create 32) }
-  let learn t ~node ~packet_id = Hashtbl.replace t.acks.(node) packet_id ()
-  let reset_node t ~node = Hashtbl.reset t.acks.(node)
-  let knows t ~node ~packet_id = Hashtbl.mem t.acks.(node) packet_id
+  type t = { nodes : node_acks array; consumed : int array array }
+
+  let create ~num_nodes =
+    {
+      nodes =
+        Array.init num_nodes (fun _ ->
+            { set = Hashtbl.create 32; log = [||]; len = 0 });
+      consumed = Array.init num_nodes (fun _ -> Array.make num_nodes 0);
+    }
+
+  let append (n : node_acks) id =
+    let cap = Array.length n.log in
+    if n.len = cap then begin
+      let grown = Array.make (max 32 (2 * cap)) id in
+      Array.blit n.log 0 grown 0 n.len;
+      n.log <- grown
+    end;
+    n.log.(n.len) <- id;
+    n.len <- n.len + 1
+
+  let learn t ~node ~packet_id =
+    let n = t.nodes.(node) in
+    if not (Hashtbl.mem n.set packet_id) then begin
+      Hashtbl.replace n.set packet_id ();
+      append n packet_id
+    end
+
+  let reset_node t ~node =
+    let n = t.nodes.(node) in
+    Hashtbl.reset n.set;
+    n.len <- 0;
+    for peer = 0 to Array.length t.nodes - 1 do
+      t.consumed.(node).(peer) <- 0;
+      t.consumed.(peer).(node) <- 0
+    done
+
+  let knows t ~node ~packet_id = Hashtbl.mem t.nodes.(node).set packet_id
 
   let exchange t ~a ~b =
     let new_entries = ref 0 in
     let push src dst =
-      Hashtbl.iter
-        (fun id () ->
-          if not (Hashtbl.mem t.acks.(dst) id) then begin
-            Hashtbl.replace t.acks.(dst) id ();
-            incr new_entries
-          end)
-        t.acks.(src)
+      let s = t.nodes.(src) and d = t.nodes.(dst) in
+      for i = t.consumed.(src).(dst) to s.len - 1 do
+        let id = s.log.(i) in
+        if not (Hashtbl.mem d.set id) then begin
+          Hashtbl.replace d.set id ();
+          append d id;
+          incr new_entries
+        end
+      done
     in
     push a b;
     push b a;
+    t.consumed.(a).(b) <- t.nodes.(a).len;
+    t.consumed.(b).(a) <- t.nodes.(b).len;
     !new_entries
 
   let purge t env ~now ~node ~on_purge =
@@ -76,14 +116,6 @@ module Ack_store = struct
         | None -> ())
       victims
 end
-
-let candidate_entries env session ~sender ~receiver ~budget =
-  Env.buffered_entries env sender
-  |> List.filter (fun (e : Buffer.entry) ->
-         let p = e.packet in
-         p.Packet.size <= budget
-         && (not (Env.has_packet env ~node:receiver ~packet:p))
-         && not (Session.already_offered session ~sender ~packet_id:p.Packet.id))
 
 let split_direct ~receiver entries =
   List.partition

@@ -2,12 +2,13 @@
 
     The engine drives a contact as follows:
     + {!S.on_contact} — the protocol observes the meeting, updates its
-      inference state, and returns the control-channel bytes it spent
+      inference state, plans its send queues for both directions
+      ({!Send_queue}), and returns the control-channel bytes it spent
       (charged against the transfer opportunity);
     + direct delivery and replication: the engine alternates directions,
       repeatedly asking {!S.next_packet} for the sender's best next packet
       that fits the remaining byte budget. Protocols must not offer a
-      packet twice in the same contact ({!Session} or {!Ranking} tracks
+      packet twice in the same contact ({!Send_queue}'s cursor tracks
       this) and should offer packets destined to the receiver first
       (Protocol rapid, step 2). Offering a packet the peer already holds
       is legal but wasteful: the engine charges the bytes and the receiver
@@ -74,22 +75,12 @@ end
 
 type packed = (module S)
 
-(** Tracks which packets were already offered per direction within the
-    current contact, so [next_packet] never repeats itself (including after
-    a storage refusal). *)
-module Session : sig
-  type t
-
-  val create : unit -> t
-  val reset : t -> unit
-  val mark : t -> sender:int -> packet_id:int -> unit
-  val already_offered : t -> sender:int -> packet_id:int -> bool
-end
-
 (** Per-node acknowledgment stores with flooding semantics: once any node
     learns a packet was delivered, it propagates the ack at every contact
     and purges buffered copies (the mechanism MaxProp introduced and RAPID
-    adopts, §4.2). *)
+    adopts, §4.2). Exchanges walk per-pair watermarked ack logs, so a
+    meeting costs the number of acks learned since the pair last met, not
+    the size of both full sets. *)
 module Ack_store : sig
   type t
 
@@ -112,13 +103,6 @@ module Ack_store : sig
       Each removal is reported through [Env.on_ack_purge] (at [now]) so
       the engine's metrics see it. *)
 end
-
-val candidate_entries :
-  Env.t -> Session.t -> sender:int -> receiver:int -> budget:int ->
-  Buffer.entry list
-(** The legal transfer candidates shared by all protocols: buffered at
-    [sender], missing at [receiver], size within [budget], not yet offered
-    this contact. Sorted by packet id (callers re-rank). *)
 
 val split_direct :
   receiver:int -> Buffer.entry list -> Buffer.entry list * Buffer.entry list

@@ -1,6 +1,6 @@
 (* Tests for Rapid_sim: packets, buffers, the engine's feasibility
    guarantees (bandwidth and storage), delivery accounting, metadata
-   capping, ack stores, and the ranking helper. *)
+   capping, ack stores, and the per-contact send-queue planner. *)
 
 open Rapid_trace
 open Rapid_sim
@@ -109,48 +109,239 @@ let test_ack_store () =
     "hook saw the purge" [ (42.0, 1, 7) ] !hooked
 
 (* ------------------------------------------------------------------ *)
-(* Ranking *)
+(* Buffer counters (epoch / removals) and clear *)
 
-let test_ranking_serves_in_order () =
+let test_buffer_epoch_and_clear () =
+  let b = Buffer.create ~capacity:None in
+  let e0 = Buffer.epoch b and r0 = Buffer.removals b in
+  Buffer.add b (entry (packet ~id:0 ~src:0 ~dst:1 ()));
+  Buffer.add b (entry (packet ~id:1 ~src:0 ~dst:1 ()));
+  Alcotest.(check bool) "adds bump epoch" true (Buffer.epoch b > e0);
+  Alcotest.(check int) "adds do not bump removals" r0 (Buffer.removals b);
+  let snap1 = Buffer.entries b in
+  let snap2 = Buffer.entries b in
+  Alcotest.(check bool) "snapshot cached between calls" true (snap1 == snap2);
+  ignore (Buffer.remove b 0);
+  Alcotest.(check int) "remove bumps removals" (r0 + 1) (Buffer.removals b);
+  Alcotest.(check bool) "snapshot rebuilt after mutation" true
+    (Buffer.entries b != snap1);
+  Buffer.add b (entry (packet ~id:2 ~src:0 ~dst:1 ()));
+  let lost = Buffer.clear b in
+  Alcotest.(check (list int)) "clear returns the stored packets" [ 1; 2 ]
+    (List.sort Int.compare (List.map (fun (p : Packet.t) -> p.Packet.id) lost));
+  Alcotest.(check int) "empty after clear" 0 (Buffer.count b);
+  Alcotest.(check int) "no bytes after clear" 0 (Buffer.used b);
+  Alcotest.(check int) "clear is one removal event" (r0 + 2) (Buffer.removals b)
+
+(* ------------------------------------------------------------------ *)
+(* Send queue *)
+
+let plan_packets ?check_peer env ~sender ~receiver packets =
+  let q = Send_queue.create () in
+  Send_queue.begin_contact q;
+  Send_queue.begin_plan ?check_peer q env ~sender ~receiver;
+  List.iter (Send_queue.push q) packets;
+  Send_queue.finish_plan q;
+  q
+
+let test_send_queue_serves_in_order () =
   let env = mk_env () in
-  let r = Ranking.create () in
   let p1 = packet ~id:1 ~src:0 ~dst:3 () in
   let p2 = packet ~id:2 ~src:0 ~dst:3 () in
   Buffer.add env.Env.buffers.(0) (entry p1);
   Buffer.add env.Env.buffers.(0) (entry p2);
-  Ranking.begin_contact r;
-  Ranking.set r ~sender:0 ~receiver:1 [ p2; p1 ];
-  (match Ranking.next r env ~sender:0 ~receiver:1 ~budget:100 with
+  let q = plan_packets env ~sender:0 ~receiver:1 [ p2; p1 ] in
+  (match Send_queue.next q env ~sender:0 ~receiver:1 ~budget:100 with
   | Some p -> Alcotest.(check int) "first" 2 p.Packet.id
   | None -> Alcotest.fail "empty");
   (* p1 dropped from the buffer mid-contact: must be skipped. *)
   ignore (Buffer.remove env.Env.buffers.(0) 1);
   Alcotest.(check bool) "exhausted" true
-    (Ranking.next r env ~sender:0 ~receiver:1 ~budget:100 = None)
+    (Send_queue.next q env ~sender:0 ~receiver:1 ~budget:100 = None)
 
-let test_ranking_budget_filter () =
+let test_send_queue_budget_filter () =
   let env = mk_env () in
-  let r = Ranking.create () in
   let big = packet ~id:1 ~src:0 ~dst:3 ~size:50 () in
   let small = packet ~id:2 ~src:0 ~dst:3 ~size:5 () in
   Buffer.add env.Env.buffers.(0) (entry big);
   Buffer.add env.Env.buffers.(0) (entry small);
-  Ranking.begin_contact r;
-  Ranking.set r ~sender:0 ~receiver:1 [ big; small ];
-  match Ranking.next r env ~sender:0 ~receiver:1 ~budget:10 with
+  let q = plan_packets env ~sender:0 ~receiver:1 [ big; small ] in
+  match Send_queue.next q env ~sender:0 ~receiver:1 ~budget:10 with
   | Some p -> Alcotest.(check int) "small served" 2 p.Packet.id
   | None -> Alcotest.fail "small should fit"
 
-let test_ranking_skips_duplicates_at_peer () =
+let test_send_queue_candidates_skip_duplicates_at_peer () =
+  (* The peer-has-it filter runs at plan time (protocols plan over
+     [candidates]), not per pop. *)
   let env = mk_env () in
-  let r = Ranking.create () in
   let p = packet ~id:1 ~src:0 ~dst:3 () in
   Buffer.add env.Env.buffers.(0) (entry p);
   Buffer.add env.Env.buffers.(1) (entry p);
-  Ranking.begin_contact r;
-  Ranking.set r ~sender:0 ~receiver:1 [ p ];
-  Alcotest.(check bool) "skipped" true
-    (Ranking.next r env ~sender:0 ~receiver:1 ~budget:100 = None)
+  Alcotest.(check int) "duplicate filtered" 0
+    (List.length (Send_queue.candidates env ~sender:0 ~receiver:1))
+
+let test_send_queue_delivery_keeps_tail () =
+  (* The common case: the engine retires the just-served packet (delivery
+     or single-copy forward). The tail must survive untouched — the O(1)
+     revalidation path, not a replan. *)
+  let env = mk_env () in
+  let p1 = packet ~id:1 ~src:0 ~dst:3 () in
+  let p2 = packet ~id:2 ~src:0 ~dst:3 () in
+  Buffer.add env.Env.buffers.(0) (entry p1);
+  Buffer.add env.Env.buffers.(0) (entry p2);
+  let q = plan_packets env ~sender:0 ~receiver:1 [ p1; p2 ] in
+  (match Send_queue.next q env ~sender:0 ~receiver:1 ~budget:100 with
+  | Some p -> Alcotest.(check int) "p1 first" 1 p.Packet.id
+  | None -> Alcotest.fail "empty");
+  ignore (Buffer.remove env.Env.buffers.(0) 1);
+  match Send_queue.next q env ~sender:0 ~receiver:1 ~budget:100 with
+  | Some p -> Alcotest.(check int) "tail intact" 2 p.Packet.id
+  | None -> Alcotest.fail "tail lost after serving p1"
+
+let test_send_queue_eviction_forces_replan () =
+  (* Mid-contact invalidation regression: an eviction of an UNSERVED
+     planned packet (storage pressure, ack purge) must force a tail
+     re-validation — the evicted packet may not be offered, and packets
+     the receiver has since gained are dropped too. *)
+  let env = mk_env () in
+  let p1 = packet ~id:1 ~src:0 ~dst:3 () in
+  let p2 = packet ~id:2 ~src:0 ~dst:3 () in
+  let p3 = packet ~id:3 ~src:0 ~dst:3 () in
+  let p4 = packet ~id:4 ~src:0 ~dst:3 () in
+  List.iter (fun p -> Buffer.add env.Env.buffers.(0) (entry p)) [ p1; p2; p3; p4 ];
+  let q = plan_packets env ~sender:0 ~receiver:1 [ p1; p2; p3; p4 ] in
+  (match Send_queue.next q env ~sender:0 ~receiver:1 ~budget:100 with
+  | Some p -> Alcotest.(check int) "p1 first" 1 p.Packet.id
+  | None -> Alcotest.fail "empty");
+  (* The served p1 leaves (delivery) AND p2 is evicted: two removals, so
+     the fast path cannot apply and the tail is re-filtered. *)
+  ignore (Buffer.remove env.Env.buffers.(0) 1);
+  ignore (Buffer.remove env.Env.buffers.(0) 2);
+  (* Meanwhile the receiver gained p3 from elsewhere. *)
+  Buffer.add env.Env.buffers.(1) (entry p3);
+  match Send_queue.next q env ~sender:0 ~receiver:1 ~budget:100 with
+  | Some p -> Alcotest.(check int) "p2 and p3 skipped" 4 p.Packet.id
+  | None -> Alcotest.fail "p4 should survive the replan"
+
+let test_send_queue_no_peer_check_revalidates_pops () =
+  (* check_peer:false (Random without summary vectors): after a removal,
+     an evicted packet that reappears at the sender (duplicate push back)
+     must still be offered — eager tail filtering would lose it. *)
+  let env = mk_env () in
+  let p1 = packet ~id:1 ~src:0 ~dst:3 () in
+  let p2 = packet ~id:2 ~src:0 ~dst:3 () in
+  Buffer.add env.Env.buffers.(0) (entry p1);
+  Buffer.add env.Env.buffers.(0) (entry p2);
+  let q = plan_packets ~check_peer:false env ~sender:0 ~receiver:1 [ p1; p2 ] in
+  (* p2 evicted before its turn... *)
+  ignore (Buffer.remove env.Env.buffers.(0) 2);
+  (match Send_queue.next q env ~sender:0 ~receiver:1 ~budget:100 with
+  | Some p -> Alcotest.(check int) "p1 served" 1 p.Packet.id
+  | None -> Alcotest.fail "p1 buffered and planned");
+  (* ...and pushed back: the plan must still offer it. *)
+  Buffer.add env.Env.buffers.(0) (entry p2);
+  match Send_queue.next q env ~sender:0 ~receiver:1 ~budget:100 with
+  | Some p -> Alcotest.(check int) "restored p2 offered" 2 p.Packet.id
+  | None -> Alcotest.fail "restored packet lost"
+
+(* ------------------------------------------------------------------ *)
+(* Property: the indexed buffer is observably equivalent to the seed's
+   Hashtbl implementation under arbitrary add/remove/clear sequences. *)
+
+module Buffer_model = struct
+  type t = {
+    capacity : int option;
+    mutable used : int;
+    table : (int, Buffer.entry) Hashtbl.t;
+  }
+
+  let create ~capacity = { capacity; used = 0; table = Hashtbl.create 16 }
+  let mem t id = Hashtbl.mem t.table id
+
+  let would_fit t size =
+    match t.capacity with None -> true | Some c -> t.used + size <= c
+
+  let add t (e : Buffer.entry) =
+    Hashtbl.replace t.table e.packet.Packet.id e;
+    t.used <- t.used + e.packet.Packet.size
+
+  let remove t id =
+    match Hashtbl.find_opt t.table id with
+    | None -> None
+    | Some e ->
+        Hashtbl.remove t.table id;
+        t.used <- t.used - e.packet.Packet.size;
+        Some e
+
+  let entries t =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+    |> List.sort (fun (a : Buffer.entry) (b : Buffer.entry) ->
+           Int.compare a.packet.Packet.id b.packet.Packet.id)
+
+  let clear t =
+    let ps = List.map (fun (e : Buffer.entry) -> e.packet) (entries t) in
+    Hashtbl.reset t.table;
+    t.used <- 0;
+    ps
+end
+
+let prop_buffer_matches_model =
+  QCheck.Test.make ~name:"indexed buffer matches Hashtbl model" ~count:200
+    QCheck.(list (pair (int_range 0 20) (int_range 0 9)))
+    (fun ops ->
+      let capacity = Some 120 in
+      let buf = Buffer.create ~capacity in
+      let model = Buffer_model.create ~capacity in
+      let ids = 16 in
+      let agree () =
+        Buffer.count buf = List.length (Buffer_model.entries model)
+        && Buffer.used buf = model.Buffer_model.used
+        && List.for_all
+             (fun id -> Buffer.mem buf id = Buffer_model.mem model id)
+             (List.init ids Fun.id)
+        && List.map
+             (fun (e : Buffer.entry) -> e.packet.Packet.id)
+             (Buffer.entries buf)
+           = List.map
+               (fun (e : Buffer.entry) -> e.packet.Packet.id)
+               (Buffer_model.entries model)
+      in
+      List.for_all
+        (fun (raw_id, op) ->
+          let id = raw_id mod ids in
+          (match op with
+          | 0 | 1 | 2 | 3 ->
+              let size = 10 + (op * 7) in
+              let e = entry (packet ~id ~src:0 ~dst:1 ~size ()) in
+              let fits =
+                (not (Buffer.mem buf id)) && Buffer.would_fit buf size
+              in
+              let model_fits =
+                (not (Buffer_model.mem model id))
+                && Buffer_model.would_fit model size
+              in
+              assert (fits = model_fits);
+              if fits then begin
+                Buffer.add buf e;
+                Buffer_model.add model e
+              end
+          | 4 | 5 | 6 | 7 ->
+              let a = Buffer.remove buf id and b = Buffer_model.remove model id in
+              assert (Option.is_some a = Option.is_some b)
+          | _ ->
+              let a =
+                List.sort Int.compare
+                  (List.map (fun (p : Packet.t) -> p.Packet.id) (Buffer.clear buf))
+              in
+              let b =
+                List.sort Int.compare
+                  (List.map
+                     (fun (p : Packet.t) -> p.Packet.id)
+                     (Buffer_model.clear model))
+              in
+              assert (a = b));
+          agree ())
+        ops)
 
 (* ------------------------------------------------------------------ *)
 (* Engine with simple protocols *)
@@ -732,7 +923,9 @@ let prop_feasibility =
         && report.Metrics.delivered <= report.Metrics.created
       end)
 
-let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_feasibility ]
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_feasibility; prop_buffer_matches_model ]
 
 let () =
   Alcotest.run "sim"
@@ -749,12 +942,21 @@ let () =
           Alcotest.test_case "entries sorted" `Quick test_buffer_entries_sorted;
         ] );
       ("acks", [ Alcotest.test_case "ack store" `Quick test_ack_store ]);
-      ( "ranking",
+      ( "send queue",
         [
-          Alcotest.test_case "serves in order" `Quick test_ranking_serves_in_order;
-          Alcotest.test_case "budget filter" `Quick test_ranking_budget_filter;
-          Alcotest.test_case "skips duplicates" `Quick
-            test_ranking_skips_duplicates_at_peer;
+          Alcotest.test_case "buffer epoch and clear" `Quick
+            test_buffer_epoch_and_clear;
+          Alcotest.test_case "serves in order" `Quick
+            test_send_queue_serves_in_order;
+          Alcotest.test_case "budget filter" `Quick test_send_queue_budget_filter;
+          Alcotest.test_case "candidates skip duplicates" `Quick
+            test_send_queue_candidates_skip_duplicates_at_peer;
+          Alcotest.test_case "delivery keeps tail" `Quick
+            test_send_queue_delivery_keeps_tail;
+          Alcotest.test_case "eviction forces replan" `Quick
+            test_send_queue_eviction_forces_replan;
+          Alcotest.test_case "no peer check revalidates pops" `Quick
+            test_send_queue_no_peer_check_revalidates_pops;
         ] );
       ( "engine",
         [
