@@ -153,6 +153,14 @@ let () =
       "faults.contacts_suppressed"; "faults.contacts_truncated";
       "faults.truncated_bytes_lost"; "faults.meta_drops";
     ];
+  (* Point-store counters: likewise force-registered by the bench harness,
+     so present (zero for uncached runs) in every BENCH.json. *)
+  List.iter
+    (fun name ->
+      match counter name with
+      | Some v -> Printf.printf "%s = %d\n" name v
+      | None -> fail "missing counter \"%s\"" name)
+    [ "store.hits"; "store.misses"; "store.writes"; "store.corrupt_cells" ];
   let timer name =
     match Json.member "timers" doc with
     | Some timers -> (

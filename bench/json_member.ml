@@ -1,0 +1,31 @@
+(* Extract one top-level member of a JSON file and print it (compactly)
+   to stdout. CI uses this to byte-compare the "artifact" member of two
+   figure dumps whose surrounding document differs (live counters differ
+   between a cold and a warm --cache-dir run by design).
+
+   Usage: dune exec bench/json_member.exe -- FILE MEMBER
+   Exits 1 on parse failure, 2 when the member is absent. *)
+
+module Json = Rapid_obs.Json
+
+let () =
+  if Array.length Sys.argv <> 3 then begin
+    prerr_endline "usage: json_member FILE MEMBER";
+    exit 2
+  end;
+  let path = Sys.argv.(1) and name = Sys.argv.(2) in
+  let doc =
+    try Json.of_file path
+    with
+    | Json.Parse_error msg ->
+        Printf.eprintf "%s does not parse: %s\n" path msg;
+        exit 1
+    | Sys_error msg ->
+        prerr_endline msg;
+        exit 1
+  in
+  match Json.member name doc with
+  | Some j -> print_endline (Json.to_string j)
+  | None ->
+      Printf.eprintf "%s: no member %S\n" path name;
+      exit 2

@@ -9,6 +9,7 @@
      dune exec bench/main.exe                 # quick profile, everything
      dune exec bench/main.exe -- fig4 fig5    # a subset
      dune exec bench/main.exe -- --jobs 4 fig4     # parallel figure cells
+     dune exec bench/main.exe -- --cache-dir .rapid-cache fig4  # point store
      RAPID_PROFILE=full dune exec bench/main.exe   # paper-scale (slow)
      RAPID_BENCH_OUT=out.json dune exec bench/main.exe  # JSON elsewhere *)
 
@@ -27,24 +28,28 @@ let profile () =
 
 let profile_name = function Params.Quick -> "quick" | Params.Full -> "full"
 
-(* Split "--jobs N" (or -j N) out of argv; the rest are artifact ids.
-   Counter/timer totals in BENCH.json are merge-exact, so they match the
-   sequential run's for any job count. *)
+(* Split "--jobs N" (or -j N) and "--cache-dir DIR" out of argv; the rest
+   are artifact ids. Counter/timer totals in BENCH.json are merge-exact,
+   so they match the sequential run's for any job count. *)
 let parse_args argv =
-  let rec go jobs ids = function
-    | [] -> (jobs, List.rev ids)
+  let rec go jobs cache_dir ids = function
+    | [] -> (jobs, cache_dir, List.rev ids)
     | ("--jobs" | "-j") :: n :: rest -> (
         match int_of_string_opt n with
-        | Some j -> go j ids rest
+        | Some j -> go j cache_dir ids rest
         | None ->
             Printf.eprintf "bad --jobs %S (want an integer)\n" n;
             exit 2)
     | [ ("--jobs" | "-j") ] ->
         prerr_endline "--jobs needs a value";
         exit 2
-    | id :: rest -> go jobs (id :: ids) rest
+    | "--cache-dir" :: dir :: rest -> go jobs (Some dir) ids rest
+    | [ "--cache-dir" ] ->
+        prerr_endline "--cache-dir needs a value";
+        exit 2
+    | id :: rest -> go jobs cache_dir (id :: ids) rest
   in
-  go 1 [] (List.tl (Array.to_list argv))
+  go 1 None [] (List.tl (Array.to_list argv))
 
 (* ------------------------------------------------------------------ *)
 (* Figure / table reproductions *)
@@ -68,8 +73,8 @@ let run_artifacts params ids =
   List.map
     (fun (item : Catalog.item) ->
       let timer = Timer.create ("artifact." ^ item.Catalog.id) in
-      let rendered = Timer.time timer (fun () -> item.Catalog.run params) in
-      print_string rendered;
+      let out = Timer.time timer (fun () -> item.Catalog.render params) in
+      print_string (Catalog.output_text out);
       let wall_s = Timer.total_s timer in
       Printf.printf "  (%s took %.1fs)\n\n%!" item.Catalog.id wall_s;
       (item.Catalog.id, wall_s))
@@ -278,11 +283,14 @@ let microbenchmarks () =
   estimates
 
 let () =
-  let jobs, ids = parse_args Sys.argv in
+  let jobs, cache_dir, ids = parse_args Sys.argv in
   Rapid_par.Pool.set_jobs jobs;
-  (* Fault counters register lazily on first fault; force them so
-     BENCH.json carries the faults.* keys (at zero) even for clean runs. *)
+  (* Fault and store counters register lazily (on first fault / first
+     handle open); force them so BENCH.json carries the faults.* and
+     store.* keys (at zero) even for clean, uncached runs. *)
   Rapid_faults.Faults.register_counters ();
+  Rapid_store.Store.register_counters ();
+  Rapid_experiments.Runners.set_cache_dir cache_dir;
   let profile = profile () in
   let params = Params.get profile in
   let artifacts = run_artifacts params ids in

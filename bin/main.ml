@@ -5,6 +5,7 @@
      figure -i fig4 [...]      reproduce one artifact
      run [...]                 one simulation, one protocol, printed report
      trace [...]               generate synthetic DieselNet days to files
+     cache stats|gc|clear      inspect/maintain a --cache-dir point store
      hardness                  run the appendix constructions *)
 
 open Cmdliner
@@ -62,6 +63,29 @@ let faults_arg =
            (SPEC seed, run seed, trace), so reports stay bit-identical \
            across --jobs settings.")
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent point store: look experiment points up under \
+           $(docv) (created if needed) before computing them, and write \
+           freshly computed points back, so interrupted sweeps resume \
+           where they stopped and warm reruns are near-instant. Off by \
+           default; results are byte-identical either way. Safe to \
+           combine with --jobs and to share between processes.")
+
+(* The `store:` traffic line is part of the CLI contract (ci greps it);
+   printed only when a store is attached, so plain runs are unchanged. *)
+let report_store_traffic () =
+  match Runners.cache_store () with
+  | None -> ()
+  | Some _ ->
+      let open Rapid_store.Store in
+      Printf.printf "store: hits=%d misses=%d writes=%d corrupt_cells=%d\n"
+        (hits ()) (misses ()) (writes ()) (corrupt_cells ())
+
 (* Parallelism only changes wall time: every simulation cell is seeded
    explicitly, and the worker pool preserves result order, so reports
    (and the JSON artifacts) are bit-identical across --jobs settings. *)
@@ -93,33 +117,23 @@ let figure_cmd =
       & opt (some string) None
       & info [ "i"; "id" ] ~docv:"ID" ~doc:"Artifact id, e.g. fig4 or table3.")
   in
-  let run profile id json_path jobs =
+  let run profile id json_path jobs cache_dir =
     Rapid_par.Pool.set_jobs jobs;
+    Runners.set_cache_dir cache_dir;
     match Catalog.find id with
     | None ->
-        Printf.eprintf "unknown artifact %S; try `rapid list`\n" id;
-        exit 1
+        Printf.eprintf "unknown artifact %S; valid ids:\n" id;
+        List.iter
+          (fun (i : Catalog.item) -> Printf.eprintf "  %s\n" i.Catalog.id)
+          Catalog.all;
+        exit 2
     | Some item ->
         let params = Params.get profile in
         print_endline (Catalog.params_header params);
         print_newline ();
         let open Rapid_obs in
-        let rendered, artifact_json =
-          match item.Catalog.series with
-          | Some f ->
-              let s = f params in
-              (Series.render s, Series.to_json s)
-          | None ->
-              let txt = item.Catalog.run params in
-              ( txt,
-                Json.Obj
-                  [
-                    ("id", Json.String item.Catalog.id);
-                    ("title", Json.String item.Catalog.title);
-                    ("rendered", Json.String txt);
-                  ] )
-        in
-        print_string rendered;
+        let out = item.Catalog.render params in
+        print_string (Catalog.output_text out);
         Option.iter
           (fun path ->
             Json.to_file path
@@ -127,14 +141,16 @@ let figure_cmd =
                  [
                    ("schema", Json.String "rapid-figure/1");
                    ("profile", Json.String (profile_string profile));
-                   ("artifact", artifact_json);
+                   ("artifact", Catalog.output_json item out);
                    ("counters", Counter.to_json ());
                  ]);
             Printf.printf "wrote %s\n" path)
-          json_path
+          json_path;
+        report_store_traffic ()
   in
   Cmd.v (Cmd.info "figure" ~doc)
-    Term.(const run $ profile_arg $ id_arg $ json_arg $ jobs_arg)
+    Term.(
+      const run $ profile_arg $ id_arg $ json_arg $ jobs_arg $ cache_dir_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -218,8 +234,9 @@ let run_cmd =
              $(docv). Bypasses the in-process point cache.")
   in
   let run profile proto metric_name load trace_file json_path events_path jobs
-      faults =
+      faults cache_dir =
     Rapid_par.Pool.set_jobs jobs;
+    Runners.set_cache_dir cache_dir;
     match metric_of_string metric_name with
     | Error e ->
         prerr_endline e;
@@ -314,12 +331,14 @@ let run_cmd =
                        ("counters", Counter.to_json ());
                      ]);
                 Printf.printf "wrote %s\n" path)
-              json_path)
+              json_path;
+            report_store_traffic ())
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ profile_arg $ proto_arg $ metric_arg $ load_arg
-      $ trace_file_arg $ json_arg $ events_arg $ jobs_arg $ faults_arg)
+      $ trace_file_arg $ json_arg $ events_arg $ jobs_arg $ faults_arg
+      $ cache_dir_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -382,6 +401,56 @@ let ttest_cmd =
   Cmd.v (Cmd.info "ttest" ~doc)
     Term.(const run $ profile_arg $ proto "a" "rapid" $ proto "b" "maxprop" $ load_arg)
 
+let cache_cmd =
+  let doc = "Inspect and maintain a persistent point store (see --cache-dir)." in
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"The point-store directory (as passed to figure/run).")
+  in
+  let stats_cmd =
+    let sdoc = "Print cell count, total bytes, and leftover temp files." in
+    let run dir =
+      let s = Rapid_store.Store.open_dir dir in
+      let st = Rapid_store.Store.stats s in
+      Printf.printf "dir         %s\n" (Rapid_store.Store.dir s);
+      Printf.printf "cells       %d\n" st.Rapid_store.Store.cells;
+      Printf.printf "bytes       %d\n" st.Rapid_store.Store.bytes;
+      Printf.printf "tmp_files   %d\n" st.Rapid_store.Store.tmp_files
+    in
+    Cmd.v (Cmd.info "stats" ~doc:sdoc) Term.(const run $ dir_arg)
+  in
+  let gc_cmd =
+    let sdoc =
+      "Evict oldest cells until the store fits under a size bound (and \
+       sweep crash-leftover temp files)."
+    in
+    let max_bytes_arg =
+      Arg.(
+        required
+        & opt (some int) None
+        & info [ "max-bytes" ] ~docv:"N"
+            ~doc:"Target size bound for the store's cells, in bytes.")
+    in
+    let run dir max_bytes =
+      let s = Rapid_store.Store.open_dir dir in
+      let removed, freed = Rapid_store.Store.gc s ~max_bytes in
+      Printf.printf "evicted %d cells (%d bytes)\n" removed freed
+    in
+    Cmd.v (Cmd.info "gc" ~doc:sdoc) Term.(const run $ dir_arg $ max_bytes_arg)
+  in
+  let clear_cmd =
+    let sdoc = "Delete every cell in the store." in
+    let run dir =
+      let s = Rapid_store.Store.open_dir dir in
+      Printf.printf "removed %d cells\n" (Rapid_store.Store.clear s)
+    in
+    Cmd.v (Cmd.info "clear" ~doc:sdoc) Term.(const run $ dir_arg)
+  in
+  Cmd.group (Cmd.info "cache" ~doc) [ stats_cmd; gc_cmd; clear_cmd ]
+
 let hardness_cmd =
   let doc = "Exercise the appendix hardness constructions." in
   let run () =
@@ -426,4 +495,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; figure_cmd; run_cmd; trace_cmd; ttest_cmd; hardness_cmd ]))
+          [
+            list_cmd; figure_cmd; run_cmd; trace_cmd; ttest_cmd; cache_cmd;
+            hardness_cmd;
+          ]))

@@ -81,4 +81,63 @@ if [ "$FAULT_HASH" != "$FAULT_GOLDEN" ]; then
   exit 1
 fi
 
+# Point-store smoke: four contracts of lib/store via the CLI.
+#   1. A warm --cache-dir rerun's artifact is byte-identical to the cold
+#      run's (the full JSON differs only in live engine counters, so the
+#      comparison extracts the "artifact" member).
+#   2. The warm run is served from the store: store.hits > 0 and
+#      warm wall-time < 25% of cold.
+#   3. A manually corrupted cell degrades to a recompute — the rerun
+#      still succeeds, still byte-matches, and counts corrupt_cells=1.
+#   4. An uncached run is unaffected (the fig3 golden hash above already
+#      pins that: store counters only register once a store is opened).
+echo "== point store smoke =="
+STORE_DIR="${TMPDIR:-/tmp}/rapid_store_smoke"
+FIG_COLD="${TMPDIR:-/tmp}/rapid_fig3_cold.json"
+FIG_WARM="${TMPDIR:-/tmp}/rapid_fig3_warm.json"
+FIG_REPAIR="${TMPDIR:-/tmp}/rapid_fig3_repair.json"
+STORE_OUT="${TMPDIR:-/tmp}/rapid_store_smoke_out.txt"
+rm -rf "$STORE_DIR"
+RAPID="./_build/default/bin/main.exe"
+JSON_MEMBER="./_build/default/bench/json_member.exe"
+COLD_T0=$(date +%s%N)
+"$RAPID" figure -i fig3 --cache-dir "$STORE_DIR" --json "$FIG_COLD" > "$STORE_OUT"
+COLD_T1=$(date +%s%N)
+grep -E "store: hits=0 misses=[1-9][0-9]* writes=[1-9][0-9]* corrupt_cells=0" "$STORE_OUT" >/dev/null
+WARM_T0=$(date +%s%N)
+"$RAPID" figure -i fig3 --cache-dir "$STORE_DIR" --json "$FIG_WARM" > "$STORE_OUT"
+WARM_T1=$(date +%s%N)
+grep -E "store: hits=[1-9][0-9]* misses=0 writes=0 corrupt_cells=0" "$STORE_OUT" >/dev/null
+"$JSON_MEMBER" "$FIG_COLD" artifact > "$FIG_COLD.artifact"
+"$JSON_MEMBER" "$FIG_WARM" artifact > "$FIG_WARM.artifact"
+cmp "$FIG_COLD.artifact" "$FIG_WARM.artifact"
+COLD_NS=$((COLD_T1 - COLD_T0))
+WARM_NS=$((WARM_T1 - WARM_T0))
+if [ $((WARM_NS * 4)) -ge "$COLD_NS" ]; then
+  echo "warm rerun not fast enough: ${WARM_NS}ns vs cold ${COLD_NS}ns" >&2
+  exit 1
+fi
+# Corrupt one cell and rerun: recomputed, repaired, still byte-identical.
+CELL="$(find "$STORE_DIR" -name '*.json' | sort | head -n 1)"
+printf 'garbage' > "$CELL"
+"$RAPID" figure -i fig3 --cache-dir "$STORE_DIR" --json "$FIG_REPAIR" > "$STORE_OUT" 2>/dev/null
+grep -E "store: hits=[1-9][0-9]* misses=1 writes=1 corrupt_cells=1" "$STORE_OUT" >/dev/null
+"$JSON_MEMBER" "$FIG_REPAIR" artifact > "$FIG_REPAIR.artifact"
+cmp "$FIG_COLD.artifact" "$FIG_REPAIR.artifact"
+# The repair rewrote the cell, so one more run must be all hits again.
+"$RAPID" figure -i fig3 --cache-dir "$STORE_DIR" > "$STORE_OUT"
+grep -E "store: hits=[1-9][0-9]* misses=0 writes=0 corrupt_cells=0" "$STORE_OUT" >/dev/null
+# cache subcommands: stats sees the cells, gc bounds the size, clear empties.
+"$RAPID" cache stats --cache-dir "$STORE_DIR" | grep -E "cells +[1-9]" >/dev/null
+"$RAPID" cache gc --cache-dir "$STORE_DIR" --max-bytes 1 >/dev/null
+"$RAPID" cache stats --cache-dir "$STORE_DIR" | grep -E "cells +0" >/dev/null
+# Unknown artifact ids exit 2 and list the valid ids.
+if "$RAPID" figure -i nosuchfig 2> "$STORE_OUT"; then
+  echo "unknown artifact id should fail" >&2
+  exit 1
+else
+  [ $? -eq 2 ]
+fi
+grep "fig3" "$STORE_OUT" >/dev/null
+
 echo "All checks passed."

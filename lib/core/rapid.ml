@@ -686,7 +686,7 @@ let make params : Protocol.packed =
       Dense.Mat.set t.last_meta_exchange sender receiver now;
       !sent * params.packet_entry_bytes
 
-    let on_contact t ~now ~a ~b ~budget ~meta_budget ~meta_ok =
+    let on_contact t { Protocol.now; a; b; budget; meta_budget; meta_ok } =
       Send_queue.begin_contact t.queue;
       t.victim.v_valid <- false;
       Hashtbl.reset t.contact_indexes;

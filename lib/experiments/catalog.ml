@@ -1,21 +1,37 @@
-type item = {
-  id : string;
-  title : string;
-  run : Params.t -> string;
-  series : (Params.t -> Series.t) option;
-}
+type output = Text of string | Series of Series.t * string
+
+type item = { id : string; title : string; render : Params.t -> output }
 
 let series id title f =
-  { id; title; run = (fun p -> Series.render (f p)); series = Some f }
+  {
+    id;
+    title;
+    render =
+      (fun p ->
+        let s = f p in
+        Series (s, Series.render s));
+  }
+
+let text id title f = { id; title; render = (fun p -> Text (f p)) }
+
+let output_text = function Text s -> s | Series (_, rendered) -> rendered
+
+let output_json item out =
+  let open Rapid_obs in
+  match out with
+  | Series (s, _) -> Series.to_json s
+  | Text rendered ->
+      Json.Obj
+        [
+          ("id", Json.String item.id);
+          ("title", Json.String item.title);
+          ("rendered", Json.String rendered);
+        ]
 
 let all =
   [
-    {
-      id = "table3";
-      title = "Deployment daily statistics";
-      run = (fun p -> Deployment.render_table3 (Deployment.table3 p));
-      series = None;
-    };
+    text "table3" "Deployment daily statistics" (fun p ->
+        Deployment.render_table3 (Deployment.table3 p));
     series "fig3" "Validation: real vs simulation" Deployment.fig3;
     series "fig4" "Trace: average delay" Fig_trace_load.fig4;
     series "fig5" "Trace: delivery rate" Fig_trace_load.fig5;
@@ -41,12 +57,8 @@ let all =
     series "robustness"
       "Trace: delivery under injected faults (not a paper figure)"
       Fig_robustness.robustness;
-    {
-      id = "ablations";
-      title = "RAPID design-knob ablations (not a paper figure)";
-      run = Ablations.run;
-      series = None;
-    };
+    text "ablations" "RAPID design-knob ablations (not a paper figure)"
+      Ablations.run;
   ]
 
 let find id = List.find_opt (fun i -> i.id = id) all

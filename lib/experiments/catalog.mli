@@ -1,15 +1,26 @@
 (** Registry of every reproduced artifact, keyed by paper id ("fig4",
     "table3", ...), used by both the CLI and the bench harness. *)
 
+(** What rendering an artifact produces: prose/table artifacts (table3,
+    ablations) are plain text; figure artifacts carry the structured
+    series alongside its rendered text, so one [render] call serves both
+    the terminal and [--json] without re-running the experiment. *)
+type output =
+  | Text of string
+  | Series of Series.t * string  (** structured form, rendered text *)
+
 type item = {
   id : string;
   title : string;
-  run : Params.t -> string;  (** Render the paper-style rows/series. *)
-  series : (Params.t -> Series.t) option;
-      (** Structured form when the artifact is a figure series; [None] for
-          prose/table artifacts (table3, ablations). The CLI's [--json]
-          uses it and falls back to the rendered text otherwise. *)
+  render : Params.t -> output;  (** Run the experiment and render it. *)
 }
+
+val output_text : output -> string
+(** The paper-style rows/series as printed to the terminal. *)
+
+val output_json : item -> output -> Rapid_obs.Json.t
+(** Machine-readable form: the series JSON for figures, an
+    [{id; title; rendered}] object for text artifacts. *)
 
 val all : item list
 (** In paper order: table3, fig3, fig4 ... fig24. *)

@@ -4,6 +4,8 @@ open Rapid_sim
 open Rapid_core
 module Pool = Rapid_par.Pool
 module Faults = Rapid_faults.Faults
+module Store = Rapid_store.Store
+module Json = Rapid_obs.Json
 
 type protocol_spec = {
   label : string;
@@ -121,8 +123,114 @@ let cache_lock = Mutex.create ()
 let trace_point_cache : (Point_key.t, Metrics.report list) Hashtbl.t =
   Hashtbl.create 64
 
+(* The session's persistent point store ([--cache-dir]); [None] — the
+   default — keeps everything exactly as it was before lib/store existed.
+   Shares [cache_lock] with the in-memory cache: both are touched from
+   pool workers. *)
+let session_store : Store.t option ref = ref None
+
+let set_cache_dir = function
+  | None -> Mutex.protect cache_lock (fun () -> session_store := None)
+  | Some dir ->
+      (* Open outside the lock: creating directories can be slow. *)
+      let s = Store.open_dir dir in
+      Mutex.protect cache_lock (fun () -> session_store := Some s)
+
+let cache_store () = Mutex.protect cache_lock (fun () -> !session_store)
+
 let reset_point_cache () =
-  Mutex.protect cache_lock (fun () -> Hashtbl.reset trace_point_cache)
+  Mutex.protect cache_lock (fun () ->
+      Hashtbl.reset trace_point_cache;
+      (* Also drop the store handle: a test that reset the caches must
+         not silently resurrect points from an earlier [set_cache_dir]. *)
+      session_store := None)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent store keying: every input a point's reports depend on,
+   spelled out as a self-describing JSON document (the store hashes its
+   canonical form, so field order here is immaterial). [point_schema]
+   versions the *payload* shape — bump it when the report serialization
+   changes so stale cells become unreachable rather than corrupt. *)
+
+let point_schema = 1
+
+let json_opt_int = function Some i -> Json.Int i | None -> Json.Null
+let json_opt_float = function Some f -> Json.Float f | None -> Json.Null
+
+let dieselnet_json (dn : Dieselnet.params) =
+  Json.Obj
+    [
+      ("fleet_size", Json.Int dn.Dieselnet.fleet_size);
+      ("mean_scheduled", Json.Int dn.Dieselnet.mean_scheduled);
+      ("num_routes", Json.Int dn.Dieselnet.num_routes);
+      ("day_seconds", Json.Float dn.Dieselnet.day_seconds);
+      ("meetings_per_day", Json.Float dn.Dieselnet.meetings_per_day);
+      ("mean_contact_bytes", Json.Float dn.Dieselnet.mean_contact_bytes);
+    ]
+
+let trace_store_key ~(params : Params.t) (k : Point_key.t) =
+  Json.Obj
+    [
+      ("kind", Json.String "trace_point");
+      ("point_schema", Json.Int point_schema);
+      ("cache_id", Json.String k.Point_key.cache_id);
+      ("load", Json.Float k.Point_key.load);
+      ("meta_cap_frac", json_opt_float k.Point_key.meta_cap_frac);
+      ("buffer_bytes", json_opt_int k.Point_key.buffer_bytes);
+      ("deployment_noise", Json.Bool k.Point_key.deployment_noise);
+      ("days", Json.Int k.Point_key.days);
+      ("base_seed", Json.Int k.Point_key.base_seed);
+      ("packet_bytes", Json.Int k.Point_key.packet_bytes);
+      ("deadline", Json.Float k.Point_key.deadline);
+      ("faults", Json.String (Faults.spec_string k.Point_key.faults));
+      ("dieselnet", dieselnet_json params.Params.dieselnet);
+    ]
+
+let synthetic_store_key ~(params : Params.t) ~cache_id ~mobility ~load
+    ~(spec : point_spec) ~buffer_bytes ~faults =
+  Json.Obj
+    [
+      ("kind", Json.String "synthetic_point");
+      ("point_schema", Json.Int point_schema);
+      ("cache_id", Json.String cache_id);
+      ( "mobility",
+        Json.String
+          (match mobility with
+          | `Powerlaw -> "powerlaw"
+          | `Exponential -> "exponential") );
+      ("load", Json.Float load);
+      ("meta_cap_frac", json_opt_float spec.meta_cap_frac);
+      ("buffer_bytes", json_opt_int buffer_bytes);
+      ("faults", Json.String (Faults.spec_string faults));
+      ("syn_runs", Json.Int params.Params.syn_runs);
+      ("syn_nodes", Json.Int params.Params.syn_nodes);
+      ("syn_duration", Json.Float params.Params.syn_duration);
+      ( "syn_mean_inter_meeting",
+        Json.Float params.Params.syn_mean_inter_meeting );
+      ("syn_opportunity_bytes", Json.Int params.Params.syn_opportunity_bytes);
+      ("syn_packet_bytes", Json.Int params.Params.syn_packet_bytes);
+      ("syn_deadline", Json.Float params.Params.syn_deadline);
+      ("base_seed", Json.Int params.Params.base_seed);
+    ]
+
+let point_to_json pt = Json.List (List.map Metrics.report_to_json pt)
+
+let point_of_json = function
+  | Json.List l -> List.map Metrics.report_of_json l
+  | _ -> invalid_arg "Runners.point_of_json: payload is not a list"
+
+(* A cell that parses and checksums but no longer decodes (payload shape
+   drift without a point_schema bump) degrades to a recompute, exactly
+   like a checksum failure. *)
+let store_find_point s skey =
+  match Store.find s ~key:skey with
+  | None -> None
+  | Some payload -> (
+      match point_of_json payload with
+      | pt -> Some pt
+      | exception Invalid_argument reason ->
+          Store.note_corrupt s ~key:skey ~reason;
+          None)
 
 (* Each day is an independent cell: trace, workload and engine seed all
    derive from (base_seed, day), so the pool fan-out is bit-identical to
@@ -180,17 +288,35 @@ let run_trace_point ~(params : Params.t) ~protocol ~load ?(spec = default_spec)
         Hashtbl.find_opt trace_point_cache key)
   with
   | Some pt -> pt
-  | None ->
-      (* Computed outside the lock (a point is seconds of simulation);
-         a racing duplicate computation would produce the identical
-         value, so a lost replace is harmless. *)
-      let pt =
-        run_trace_point_uncached ~params ~protocol ~load ~spec ~buffer_bytes
-          ~faults
+  | None -> (
+      let store = cache_store () in
+      let skey () = trace_store_key ~params key in
+      let memoize pt =
+        Mutex.protect cache_lock (fun () ->
+            Hashtbl.replace trace_point_cache key pt)
       in
-      Mutex.protect cache_lock (fun () ->
-          Hashtbl.replace trace_point_cache key pt);
-      pt
+      match
+        match store with
+        | None -> None
+        | Some s -> store_find_point s (skey ())
+      with
+      | Some pt ->
+          memoize pt;
+          pt
+      | None ->
+          (* Computed outside the lock (a point is seconds of simulation);
+             a racing duplicate computation would produce the identical
+             value, so a lost replace is harmless — as is a racing store
+             write, thanks to the atomic rename. *)
+          let pt =
+            run_trace_point_uncached ~params ~protocol ~load ~spec
+              ~buffer_bytes ~faults
+          in
+          (match store with
+          | None -> ()
+          | Some s -> Store.store s ~key:(skey ()) (point_to_json pt));
+          memoize pt;
+          pt)
 
 let run_synthetic_point ~(params : Params.t) ~protocol ~mobility ~load
     ?(spec = default_spec) () =
@@ -200,39 +326,53 @@ let run_synthetic_point ~(params : Params.t) ~protocol ~mobility ~load
     | Unlimited -> None
     | Bytes b -> Some b
   in
-  Pool.init params.Params.syn_runs (fun run ->
-      let seed = params.Params.base_seed + (1000 * run) in
-      let rng = Rng.create seed in
-      let trace =
-        match mobility with
-        | `Powerlaw ->
-            Rapid_mobility.Mobility.powerlaw rng
-              ~num_nodes:params.Params.syn_nodes
-              ~mean_inter_meeting:params.Params.syn_mean_inter_meeting
-              ~duration:params.Params.syn_duration
-              ~opportunity_bytes:params.Params.syn_opportunity_bytes ()
-        | `Exponential ->
-            Rapid_mobility.Mobility.exponential rng
-              ~num_nodes:params.Params.syn_nodes
-              ~mean_inter_meeting:params.Params.syn_mean_inter_meeting
-              ~duration:params.Params.syn_duration
-              ~opportunity_bytes:params.Params.syn_opportunity_bytes
+  let faults = if Faults.is_none spec.faults then Faults.none else spec.faults in
+  let compute () =
+    Pool.init params.Params.syn_runs (fun run ->
+        let seed = params.Params.base_seed + (1000 * run) in
+        let rng = Rng.create seed in
+        let trace =
+          match mobility with
+          | `Powerlaw ->
+              Rapid_mobility.Mobility.powerlaw rng
+                ~num_nodes:params.Params.syn_nodes
+                ~mean_inter_meeting:params.Params.syn_mean_inter_meeting
+                ~duration:params.Params.syn_duration
+                ~opportunity_bytes:params.Params.syn_opportunity_bytes ()
+          | `Exponential ->
+              Rapid_mobility.Mobility.exponential rng
+                ~num_nodes:params.Params.syn_nodes
+                ~mean_inter_meeting:params.Params.syn_mean_inter_meeting
+                ~duration:params.Params.syn_duration
+                ~opportunity_bytes:params.Params.syn_opportunity_bytes
+        in
+        let workload =
+          Workload.generate rng ~trace
+            ~pkts_per_hour_per_dest:(Params.syn_pair_rate_per_hour params load)
+            ~size:params.Params.syn_packet_bytes
+            ~lifetime:params.Params.syn_deadline ()
+        in
+        (Engine.run
+           ~options:
+             {
+               Engine.buffer_bytes;
+               meta_cap_frac = spec.meta_cap_frac;
+               seed;
+               faults;
+             }
+           ~protocol:(protocol.make ()) ~trace ~workload ())
+          .Engine.report)
+  in
+  match cache_store () with
+  | None -> compute ()
+  | Some s -> (
+      let skey =
+        synthetic_store_key ~params ~cache_id:protocol.cache_id ~mobility
+          ~load ~spec ~buffer_bytes ~faults
       in
-      let workload =
-        Workload.generate rng ~trace
-          ~pkts_per_hour_per_dest:(Params.syn_pair_rate_per_hour params load)
-          ~size:params.Params.syn_packet_bytes
-          ~lifetime:params.Params.syn_deadline ()
-      in
-      (Engine.run
-         ~options:
-           {
-             Engine.buffer_bytes;
-             meta_cap_frac = spec.meta_cap_frac;
-             seed;
-             faults =
-               (if Faults.is_none spec.faults then Faults.none
-                else spec.faults);
-           }
-         ~protocol:(protocol.make ()) ~trace ~workload ())
-        .Engine.report)
+      match store_find_point s skey with
+      | Some pt -> pt
+      | None ->
+          let pt = compute () in
+          Store.store s ~key:skey (point_to_json pt);
+          pt)

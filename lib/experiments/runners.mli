@@ -104,7 +104,21 @@ module Point_key : sig
 end
 
 val reset_point_cache : unit -> unit
-(** Drop every cached trace point (tests use this to force live runs). *)
+(** Drop every cached trace point AND the session's persistent store
+    handle (tests use this to force live runs and isolate cache state). *)
+
+val set_cache_dir : string option -> unit
+(** Attach a persistent {!Rapid_store.Store} under the given directory
+    (created if missing) to the point runners: subsequent
+    {!run_trace_point} / {!run_synthetic_point} calls consult it before
+    computing and write each freshly computed point back, so interrupted
+    sweeps resume where they left off. [None] (the default state)
+    disables the store. Safe under [--jobs N]: the handle is shared and
+    internally locked, and cell writes are atomic. *)
+
+val cache_store : unit -> Rapid_store.Store.t option
+(** The session store installed by {!set_cache_dir}, if any (the CLI
+    uses this to print store traffic after a cached run). *)
 
 val trace_day :
   params:Params.t -> day:int -> Rapid_trace.Trace.t

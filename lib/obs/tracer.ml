@@ -22,6 +22,10 @@ type event =
       effective : int;
     }
   | Metadata_dropped of { time : float; a : int; b : int }
+  | Store_hit of { digest : string }
+  | Store_miss of { digest : string }
+  | Store_write of { digest : string; bytes : int }
+  | Store_corrupt of { digest : string; reason : string }
 
 type t = (event -> unit) option
 
@@ -41,6 +45,10 @@ let event_label = function
   | Contact_suppressed _ -> "contact_suppressed"
   | Contact_truncated _ -> "contact_truncated"
   | Metadata_dropped _ -> "metadata_dropped"
+  | Store_hit _ -> "store_hit"
+  | Store_miss _ -> "store_miss"
+  | Store_write _ -> "store_write"
+  | Store_corrupt _ -> "store_corrupt"
 
 let event_to_json ev =
   let fields =
@@ -74,6 +82,12 @@ let event_to_json ev =
           ("bytes", Json.Int bytes); ("effective", Json.Int effective) ]
     | Metadata_dropped { time; a; b } ->
         [ ("time", Json.Float time); ("a", Json.Int a); ("b", Json.Int b) ]
+    | Store_hit { digest } | Store_miss { digest } ->
+        [ ("digest", Json.String digest) ]
+    | Store_write { digest; bytes } ->
+        [ ("digest", Json.String digest); ("bytes", Json.Int bytes) ]
+    | Store_corrupt { digest; reason } ->
+        [ ("digest", Json.String digest); ("reason", Json.String reason) ]
   in
   Json.Obj (("event", Json.String (event_label ev)) :: fields)
 

@@ -49,6 +49,15 @@ type event =
           cut to [effective]. *)
   | Metadata_dropped of { time : float; a : int; b : int }
       (** Fault injection: the contact's metadata exchange was lost. *)
+  | Store_hit of { digest : string }
+      (** Result store: a cell was read back in place of a recompute. *)
+  | Store_miss of { digest : string }
+      (** Result store: no cell for this key; the caller recomputes. *)
+  | Store_write of { digest : string; bytes : int }
+      (** Result store: a cell of [bytes] was atomically written. *)
+  | Store_corrupt of { digest : string; reason : string }
+      (** Result store: a cell failed parse/checksum validation and was
+          treated as a miss (recompute-and-overwrite, never fatal). *)
 
 type t
 

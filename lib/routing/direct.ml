@@ -22,7 +22,7 @@ let make () : Protocol.packed =
       Send_queue.push_entries t.queue ~cmp:by_age direct;
       Send_queue.finish_plan t.queue
 
-    let on_contact t ~now:_ ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok:_ =
+    let on_contact t { Protocol.a; b; _ } =
       Send_queue.begin_contact t.queue;
       plan t ~sender:a ~receiver:b;
       plan t ~sender:b ~receiver:a;

@@ -142,7 +142,7 @@ let make ?(ack_entry_bytes = 8) ?(vector_entry_bytes = 12) () : Protocol.packed 
       Send_queue.push_entries t.queue ~cmp:by_cost tail;
       Send_queue.finish_plan t.queue
 
-    let on_contact t ~now ~a ~b ~budget ~meta_budget:_ ~meta_ok =
+    let on_contact t { Protocol.now; a; b; budget; meta_ok; _ } =
       Send_queue.begin_contact t.queue;
       Hashtbl.reset t.cost_cache;
       Moving_average.Cumulative.add t.avg_transfer (float_of_int budget);

@@ -67,7 +67,7 @@ let make ~trace () : Protocol.packed =
       List.iter (fun (p, _) -> Send_queue.push t.queue p) ordered;
       Send_queue.finish_plan t.queue
 
-    let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok:_ =
+    let on_contact t { Protocol.now; a; b; _ } =
       Send_queue.begin_contact t.queue;
       plan t ~now ~sender:a ~receiver:b;
       plan t ~now ~sender:b ~receiver:a;

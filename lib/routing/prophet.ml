@@ -84,7 +84,7 @@ let make ?(p_init = 0.75) ?(beta = 0.25) ?(gamma = 0.98) ?(time_unit = 30.0)
       Send_queue.push_entries t.queue ~cmp:by_peer_predictability forwardable;
       Send_queue.finish_plan t.queue
 
-    let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok =
+    let on_contact t { Protocol.now; a; b; meta_ok; _ } =
       Send_queue.begin_contact t.queue;
       age t ~now a;
       age t ~now b;

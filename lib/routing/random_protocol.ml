@@ -49,7 +49,7 @@ let make ?(with_acks = false) ?(summary_vector = false) ?(ack_entry_bytes = 8)
         rest;
       Send_queue.finish_plan t.queue
 
-    let on_contact t ~now ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok =
+    let on_contact t { Protocol.now; a; b; meta_ok; _ } =
       Send_queue.begin_contact t.queue;
       let meta =
         if with_acks && meta_ok then begin

@@ -55,7 +55,7 @@ let make ?(l = 12) () : Protocol.packed =
       Array.iter (fun (_, (e : Buffer.entry)) -> Send_queue.push t.queue e.packet) arr;
       Send_queue.finish_plan t.queue
 
-    let on_contact t ~now:_ ~a ~b ~budget:_ ~meta_budget:_ ~meta_ok:_ =
+    let on_contact t { Protocol.a; b; _ } =
       Send_queue.begin_contact t.queue;
       plan t ~sender:a ~receiver:b;
       plan t ~sender:b ~receiver:a;

@@ -78,8 +78,15 @@ let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
       meta_cap_frac
   in
   let meta =
-    P.on_contact st ~now ~a:c.Contact.a ~b:c.Contact.b ~budget:c.Contact.bytes
-      ~meta_budget ~meta_ok
+    P.on_contact st
+      {
+        Protocol.now;
+        a = c.Contact.a;
+        b = c.Contact.b;
+        budget = c.Contact.bytes;
+        meta_budget;
+        meta_ok;
+      }
   in
   let cap = match meta_budget with Some m -> min m c.Contact.bytes | None -> c.Contact.bytes in
   let meta = max 0 (min meta cap) in

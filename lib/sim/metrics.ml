@@ -216,6 +216,100 @@ let report_to_json (r : report) =
                r.outcomes)));
     ]
 
+(* Inverse of [report_to_json], for the persistent point store: a report
+   written with the strict writer (finite floats in %.17g, integer-valued
+   floats as x.0, non-finite as null) reads back bit-identical, so a
+   figure rendered from round-tripped reports is byte-identical to one
+   rendered from live runs. Raises [Invalid_argument] on any shape
+   mismatch — callers treat that as a corrupt cell and recompute. *)
+let report_of_json j =
+  let open Rapid_obs in
+  let get name =
+    match Json.member name j with
+    | Some v -> v
+    | None -> invalid_arg ("Metrics.report_of_json: missing " ^ name)
+  in
+  let shape name =
+    invalid_arg ("Metrics.report_of_json: bad field " ^ name)
+  in
+  let int name = match get name with Json.Int i -> i | _ -> shape name in
+  let float name =
+    (* Non-finite values serialize as null (JSON has no nan/inf); the
+       only non-finite the metrics layer produces is nan-for-undefined. *)
+    match get name with
+    | Json.Float f -> f
+    | Json.Int i -> float_of_int i
+    | Json.Null -> nan
+    | _ -> shape name
+  in
+  let float_v name = function
+    | Json.Float f -> f
+    | Json.Int i -> float_of_int i
+    | Json.Null -> nan
+    | _ -> shape name
+  in
+  let list name = match get name with Json.List l -> l | _ -> shape name in
+  let delays =
+    Array.of_list (List.map (float_v "delays") (list "delays"))
+  in
+  let pair_delays =
+    Array.of_list
+      (List.map
+         (fun item ->
+           match
+             ( Json.member "src" item,
+               Json.member "dst" item,
+               Json.member "delays" item )
+           with
+           | Some (Json.Int src), Some (Json.Int dst), Some (Json.List ds) ->
+               ( (src, dst),
+                 Array.of_list (List.map (float_v "pair_delays") ds) )
+           | _ -> shape "pair_delays")
+         (list "pair_delays"))
+  in
+  let outcomes =
+    Array.of_list
+      (List.map
+         (fun item ->
+           match
+             ( Json.member "id" item,
+               Json.member "created" item,
+               Json.member "delivered_at" item )
+           with
+           | Some (Json.Int id), Some created, Some Json.Null ->
+               (id, float_v "outcomes.created" created, None)
+           | Some (Json.Int id), Some created, Some at ->
+               ( id,
+                 float_v "outcomes.created" created,
+                 Some (float_v "outcomes.delivered_at" at) )
+           | _ -> shape "outcomes")
+         (list "outcomes"))
+  in
+  {
+    duration = float "duration";
+    created = int "created";
+    delivered = int "delivered";
+    delivery_rate = float "delivery_rate";
+    avg_delay = float "avg_delay";
+    avg_delay_all = float "avg_delay_all";
+    max_delay = float "max_delay";
+    within_deadline = int "within_deadline";
+    within_deadline_rate = float "within_deadline_rate";
+    data_bytes = int "data_bytes";
+    metadata_bytes = int "metadata_bytes";
+    capacity_bytes = int "capacity_bytes";
+    num_contacts = int "num_contacts";
+    utilization = float "utilization";
+    metadata_frac_bandwidth = float "metadata_frac_bandwidth";
+    metadata_frac_data = float "metadata_frac_data";
+    drops = int "drops";
+    ack_purges = int "ack_purges";
+    transfers = int "transfers";
+    delays;
+    pair_delays;
+    outcomes;
+  }
+
 let pp_report fmt r =
   Format.fprintf fmt
     "@[created=%d delivered=%d (%.1f%%) avg_delay=%.1fs max=%.1fs deadline=%.1f%% \

@@ -55,5 +55,13 @@ val report_to_json : report -> Rapid_obs.Json.t
     outcomes — as a JSON object (non-finite values serialize as [null]).
     This is what [bin/main.exe run --json] writes. *)
 
+val report_of_json : Rapid_obs.Json.t -> report
+(** Inverse of {!report_to_json}: a serialized report reads back
+    bit-identical (the writer emits finite floats with round-trip
+    precision and non-finite ones as [null], which map back to [nan]).
+    The persistent point store relies on this to make warm figure runs
+    byte-identical to cold ones. Raises [Invalid_argument] on shape
+    mismatch; store readers treat that as a corrupt cell. *)
+
 val pp_report : Format.formatter -> report -> unit
 (** Compact one-line rendering used by the CLI. *)

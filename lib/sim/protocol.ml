@@ -1,19 +1,19 @@
+type contact_info = {
+  now : float;
+  a : int;
+  b : int;
+  budget : int;
+  meta_budget : int option;
+  meta_ok : bool;
+}
+
 module type S = sig
   type t
 
   val name : string
   val create : Env.t -> t
   val on_created : t -> now:float -> Packet.t -> unit
-
-  val on_contact :
-    t ->
-    now:float ->
-    a:int ->
-    b:int ->
-    budget:int ->
-    meta_budget:int option ->
-    meta_ok:bool ->
-    int
+  val on_contact : t -> contact_info -> int
 
   val next_packet :
     t -> now:float -> sender:int -> receiver:int -> budget:int -> Packet.t option

@@ -22,6 +22,21 @@
     engine asks {!S.drop_candidate} which buffered packet to evict, until
     it fits or the protocol answers [None] (refuse the incoming packet). *)
 
+(** Everything the engine tells a protocol about one meeting, in a single
+    record (one value to thread, extensible without touching all eight
+    protocol implementations). *)
+type contact_info = {
+  now : float;
+  a : int;
+  b : int;  (** The two meeting nodes. *)
+  budget : int;  (** Capacity of the opportunity, in bytes. *)
+  meta_budget : int option;
+      (** Administrator cap on control metadata for this contact
+          (the Fig. 8 knob); [None] = the protocol's own policy. *)
+  meta_ok : bool;
+      (** False when fault injection lost the metadata exchange. *)
+}
+
 module type S = sig
   type t
 
@@ -31,15 +46,7 @@ module type S = sig
   val on_created : t -> now:float -> Packet.t -> unit
   (** The packet has just entered its source's buffer. *)
 
-  val on_contact :
-    t ->
-    now:float ->
-    a:int ->
-    b:int ->
-    budget:int ->
-    meta_budget:int option ->
-    meta_ok:bool ->
-    int
+  val on_contact : t -> contact_info -> int
   (** Observe a meeting of capacity [budget] bytes; return metadata bytes
       consumed (will be clamped to [meta_budget] if given, then to
       [budget]). When [meta_ok] is false the metadata exchange is lost

@@ -1,0 +1,248 @@
+module Json = Rapid_obs.Json
+module Counter = Rapid_obs.Counter
+module Tracer = Rapid_obs.Tracer
+
+let schema = "rapid-store/1"
+
+(* Registered lazily (first handle open / register_counters), like the
+   faults.* counters: a process that never touches a store reports
+   exactly the counter set it did before this module existed, which keeps
+   the pinned figure-JSON goldens stable for uncached runs. *)
+type counters = {
+  c_hits : Counter.t;
+  c_misses : Counter.t;
+  c_writes : Counter.t;
+  c_corrupt : Counter.t;
+}
+
+let counters =
+  lazy
+    {
+      c_hits = Counter.create "store.hits";
+      c_misses = Counter.create "store.misses";
+      c_writes = Counter.create "store.writes";
+      c_corrupt = Counter.create "store.corrupt_cells";
+    }
+
+let register_counters () = ignore (Lazy.force counters)
+let hits () = Counter.value (Lazy.force counters).c_hits
+let misses () = Counter.value (Lazy.force counters).c_misses
+let writes () = Counter.value (Lazy.force counters).c_writes
+let corrupt_cells () = Counter.value (Lazy.force counters).c_corrupt
+
+type t = { dir : string; lock : Mutex.t; tracer : Tracer.t }
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755
+    with Sys_error _ when Sys.is_directory path -> () (* lost a race: fine *)
+  end
+
+let open_dir ?(tracer = Tracer.null) dir =
+  register_counters ();
+  mkdir_p dir;
+  { dir; lock = Mutex.create (); tracer }
+
+let dir t = t.dir
+
+(* ------------------------------------------------------------------ *)
+(* Content addressing *)
+
+(* Canonical form: object fields sorted recursively, compact rendering.
+   Two keys that differ only in field order (or in which process built
+   them) digest identically; any value difference changes the digest. *)
+let rec canonical = function
+  | (Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.String _) as v
+    -> v
+  | Json.List items -> Json.List (List.map canonical items)
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map (fun (k, v) -> (k, canonical v)) fields
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let digest_of_key key =
+  Digest.to_hex (Digest.string (schema ^ "\n" ^ Json.to_string (canonical key)))
+
+let cell_path t digest =
+  Filename.concat (Filename.concat t.dir (String.sub digest 0 2))
+    (digest ^ ".json")
+
+let checksum payload = Digest.to_hex (Digest.string (Json.to_string payload))
+
+(* ------------------------------------------------------------------ *)
+(* Reads *)
+
+let log_corrupt path reason =
+  Printf.eprintf "store: corrupt cell %s (%s); recomputing\n%!" path reason
+
+let validate digest doc =
+  match Json.member "schema" doc with
+  | Some (Json.String s) when s = schema -> (
+      match (Json.member "checksum" doc, Json.member "payload" doc) with
+      | Some (Json.String sum), Some payload ->
+          if String.equal sum (checksum payload) then Ok payload
+          else Error "checksum mismatch"
+      | _ -> Error "missing checksum/payload")
+  | Some (Json.String s) -> Error (Printf.sprintf "schema %S" s)
+  | Some _ | None -> Error ("missing schema; digest " ^ digest)
+
+let find t ~key =
+  let cs = Lazy.force counters in
+  let digest = digest_of_key key in
+  let path = cell_path t digest in
+  Mutex.protect t.lock (fun () ->
+      let miss () =
+        Counter.incr cs.c_misses;
+        if Tracer.enabled t.tracer then
+          Tracer.emit t.tracer (Tracer.Store_miss { digest });
+        None
+      in
+      let corrupt reason =
+        log_corrupt path reason;
+        Counter.incr cs.c_corrupt;
+        if Tracer.enabled t.tracer then
+          Tracer.emit t.tracer (Tracer.Store_corrupt { digest; reason });
+        miss ()
+      in
+      if not (Sys.file_exists path) then miss ()
+      else
+        match Json.of_file path with
+        | exception Json.Parse_error reason -> corrupt reason
+        | exception Sys_error _ ->
+            (* Vanished between the existence check and the read (e.g. a
+               concurrent gc): an ordinary miss, not a corruption. *)
+            miss ()
+        | doc -> (
+            match validate digest doc with
+            | Error reason -> corrupt reason
+            | Ok payload ->
+                Counter.incr cs.c_hits;
+                if Tracer.enabled t.tracer then
+                  Tracer.emit t.tracer (Tracer.Store_hit { digest });
+                Some payload))
+
+let note_corrupt t ~key ~reason =
+  let cs = Lazy.force counters in
+  let digest = digest_of_key key in
+  log_corrupt (cell_path t digest) reason;
+  (* The preceding [find] counted a hit for a cell the caller could not
+     use; reclassify it as a corrupt miss so hits = usable cells. *)
+  Counter.add cs.c_hits (-1);
+  Counter.incr cs.c_misses;
+  Counter.incr cs.c_corrupt;
+  if Tracer.enabled t.tracer then
+    Tracer.emit t.tracer (Tracer.Store_corrupt { digest; reason })
+
+(* ------------------------------------------------------------------ *)
+(* Writes *)
+
+let temp_seq = Atomic.make 0
+
+let store t ~key payload =
+  let cs = Lazy.force counters in
+  let digest = digest_of_key key in
+  let path = cell_path t digest in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String schema);
+        ("digest", Json.String digest);
+        ("key", key);
+        ("checksum", Json.String (checksum payload));
+        ("payload", payload);
+      ]
+  in
+  Mutex.protect t.lock (fun () ->
+      mkdir_p (Filename.dirname path);
+      (* Temp file in the same shard directory (same filesystem, so the
+         rename is atomic); unique per process and per write, so crashed
+         or racing writers can never interleave bytes. *)
+      let tmp =
+        Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+          (Atomic.fetch_and_add temp_seq 1)
+      in
+      let oc = open_out_bin tmp in
+      let bytes =
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            let s = Json.to_string_pretty doc in
+            output_string oc s;
+            output_char oc '\n';
+            String.length s + 1)
+      in
+      Sys.rename tmp path;
+      Counter.incr cs.c_writes;
+      if Tracer.enabled t.tracer then
+        Tracer.emit t.tracer (Tracer.Store_write { digest; bytes }))
+
+(* ------------------------------------------------------------------ *)
+(* Operations: stats / gc / clear *)
+
+type stats = { cells : int; bytes : int; tmp_files : int }
+
+let is_cell name = Filename.check_suffix name ".json"
+let is_tmp name = Filename.check_suffix name ".tmp"
+
+(* (path, size, mtime) of every complete cell, plus every temp file. *)
+let walk t =
+  let cells = ref [] and tmps = ref [] in
+  let shards = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  Array.iter
+    (fun shard ->
+      let sdir = Filename.concat t.dir shard in
+      if Sys.is_directory sdir then
+        Array.iter
+          (fun name ->
+            let path = Filename.concat sdir name in
+            if is_cell name then begin
+              match Unix.stat path with
+              | st -> cells := (path, st.Unix.st_size, st.Unix.st_mtime) :: !cells
+              | exception Unix.Unix_error _ -> ()
+            end
+            else if is_tmp name then tmps := path :: !tmps)
+          (try Sys.readdir sdir with Sys_error _ -> [||]))
+    shards;
+  (!cells, !tmps)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      let cells, tmps = walk t in
+      {
+        cells = List.length cells;
+        bytes = List.fold_left (fun acc (_, size, _) -> acc + size) 0 cells;
+        tmp_files = List.length tmps;
+      })
+
+let remove path = try Sys.remove path with Sys_error _ -> ()
+
+let gc t ~max_bytes =
+  Mutex.protect t.lock (fun () ->
+      let cells, tmps = walk t in
+      List.iter remove tmps;
+      (* Oldest first; mtime ties (common within one sweep) break by path
+         so the victim order is deterministic. *)
+      let by_age =
+        List.sort
+          (fun (pa, _, ma) (pb, _, mb) ->
+            match Float.compare ma mb with
+            | 0 -> String.compare pa pb
+            | n -> n)
+          cells
+      in
+      let total = List.fold_left (fun acc (_, size, _) -> acc + size) 0 cells in
+      let rec evict removed freed total = function
+        | (path, size, _) :: rest when total > max_bytes ->
+            remove path;
+            evict (removed + 1) (freed + size) (total - size) rest
+        | _ -> (removed, freed)
+      in
+      evict 0 0 total by_age)
+
+let clear t =
+  Mutex.protect t.lock (fun () ->
+      let cells, tmps = walk t in
+      List.iter remove tmps;
+      List.iter (fun (path, _, _) -> remove path) cells;
+      List.length cells)

@@ -1,0 +1,98 @@
+(** Persistent, content-addressed experiment result store.
+
+    Figures are built from hundreds of expensive [Engine.run] points, and
+    the in-memory point cache dies with the process. This store keeps each
+    point on disk as one self-describing JSON cell addressed by a stable
+    digest of its full identity (store schema version + a caller-supplied
+    canonical key document). A warm rerun of a figure then reads its
+    points back instead of recomputing them, and an interrupted sweep
+    resumes from the points it already finished.
+
+    Guarantees:
+
+    - {b content addressing}: the cell path is [dir/xy/<digest>.json]
+      where [digest] is {!digest_of_key} — a canonical-form hash, so the
+      key's JSON field order never matters and two processes agree on
+      the address of a point.
+    - {b atomic writes}: cells are written to a temp file in the same
+      shard directory and [rename]d into place, so readers (including
+      concurrent [--jobs] workers and other processes) only ever see
+      absent or complete cells. A crash mid-write leaves a [*.tmp] file
+      that readers ignore and {!gc}/{!clear} sweep away.
+    - {b graceful degradation}: every cell embeds a checksum of its
+      payload; a cell that fails to parse or verify is logged, counted
+      under [store.corrupt_cells] and treated as a miss — the caller
+      recomputes and the next write replaces the bad cell. A corrupt
+      store can cost time, never correctness.
+    - {b thread safety}: all operations on a handle are mutex-guarded,
+      so point runners on pool workers can share one handle.
+
+    Observability: the [store.{hits,misses,writes,corrupt_cells}]
+    counters register lazily on first handle open (or explicitly via
+    {!register_counters}, which the bench harness uses so BENCH.json has
+    a stable schema), and each operation emits a [Store_*] tracer event
+    when the handle carries a tracer. *)
+
+type t
+
+val schema : string
+(** The store's cell schema id, ["rapid-store/1"]. It participates in
+    every digest, so bumping it orphans (but does not invalidate) all
+    existing cells. *)
+
+val open_dir : ?tracer:Rapid_obs.Tracer.t -> string -> t
+(** Open (creating it and its parents if needed) the store rooted at the
+    given directory. *)
+
+val dir : t -> string
+
+val digest_of_key : Rapid_obs.Json.t -> string
+(** Stable hex digest of ({!schema}, canonical form of the key): object
+    fields are sorted recursively and rendered compactly before hashing,
+    so logically equal keys digest identically regardless of field order
+    or the process that built them. *)
+
+val find : t -> key:Rapid_obs.Json.t -> Rapid_obs.Json.t option
+(** Look up the payload stored under [key]. [None] on a missing cell
+    (counted as a miss) and on a corrupt one (logged to stderr, counted
+    under [store.corrupt_cells] {e and} as a miss — the caller's
+    recompute path must not care why the cell was unusable). *)
+
+val store : t -> key:Rapid_obs.Json.t -> Rapid_obs.Json.t -> unit
+(** Atomically write [payload] as the cell for [key] (temp file +
+    rename; last concurrent writer wins with a complete cell). *)
+
+val note_corrupt : t -> key:Rapid_obs.Json.t -> reason:string -> unit
+(** Report a cell whose payload verified but failed the {e caller's}
+    decode step (e.g. a report field missing after a schema drift):
+    logged and counted exactly like a checksum failure. *)
+
+type stats = { cells : int; bytes : int; tmp_files : int }
+
+val stats : t -> stats
+(** Walk the store: complete cells, their total size, and leftover
+    temp files from crashed writers. *)
+
+val gc : t -> max_bytes:int -> int * int
+(** Delete oldest-first (mtime, ties by name) until the cells fit in
+    [max_bytes], removing crash-leftover temp files unconditionally.
+    Returns [(cells_removed, bytes_freed)]. *)
+
+val clear : t -> int
+(** Delete every cell (and temp file); returns the number of cells
+    removed. *)
+
+(** {2 Counters} *)
+
+val register_counters : unit -> unit
+(** Force registration of the [store.*] counters so they appear
+    (possibly zero) in counter dumps — the bench harness calls this so
+    BENCH.json carries a stable counter schema even for uncached runs. *)
+
+val hits : unit -> int
+
+val misses : unit -> int
+(** Misses include corrupt cells (each corrupt cell bumps both). *)
+
+val writes : unit -> int
+val corrupt_cells : unit -> int

@@ -155,7 +155,7 @@ let recording_protocol calls : Protocol.packed =
     let name = "recorder"
     let create env = env
     let on_created _ ~now:_ _ = ()
-    let on_contact _ ~now:_ ~a:_ ~b:_ ~budget:_ ~meta_budget:_ ~meta_ok:_ = 0
+    let on_contact _ (_ : Protocol.contact_info) = 0
     let next_packet _ ~now:_ ~sender:_ ~receiver:_ ~budget:_ = None
     let on_transfer _ ~now:_ ~sender:_ ~receiver:_ _ ~delivered:_ = ()
     let drop_candidate _ ~now:_ ~node:_ ~incoming:_ = None
@@ -311,7 +311,9 @@ let prop_faulted_budget_invariants =
                 spent := !spent + bytes;
                 total_data := !total_data + bytes
             | Tracer.Metadata_dropped _ | Tracer.Reboot _ | Tracer.Delivery _
-            | Tracer.Drop _ | Tracer.Ack_purge _ ->
+            | Tracer.Drop _ | Tracer.Ack_purge _ | Tracer.Store_hit _
+            | Tracer.Store_miss _ | Tracer.Store_write _ | Tracer.Store_corrupt _
+              ->
                 ())
           (Tracer.Collector.events collector);
         close_group ();

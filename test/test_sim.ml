@@ -616,7 +616,7 @@ let stub_protocol ?drop () : Protocol.packed =
     let name = "stub"
     let create env = env
     let on_created _ ~now:_ _ = ()
-    let on_contact _ ~now:_ ~a:_ ~b:_ ~budget:_ ~meta_budget:_ ~meta_ok:_ = 0
+    let on_contact _ (_ : Protocol.contact_info) = 0
     let next_packet _ ~now:_ ~sender:_ ~receiver:_ ~budget:_ = None
     let on_transfer _ ~now:_ ~sender:_ ~receiver:_ _ ~delivered:_ = ()
 
@@ -730,7 +730,7 @@ let contract_stub calls : Protocol.packed =
     let create env = { env; offered = Hashtbl.create 16 }
     let on_created _ ~now:_ _ = ()
 
-    let on_contact t ~now:_ ~a:_ ~b:_ ~budget:_ ~meta_budget:_ ~meta_ok:_ =
+    let on_contact t (_ : Protocol.contact_info) =
       Hashtbl.reset t.offered;
       0
 

@@ -1,0 +1,258 @@
+(* Tests for Rapid_store and its Runners integration: digest stability
+   (field order, process restarts), atomic-write crash artifacts,
+   corrupted-cell degradation, gc size bounds, and warm-vs-cold point
+   byte-equality through the runners under a parallel pool. *)
+
+open Rapid_experiments
+module Store = Rapid_store.Store
+module Json = Rapid_obs.Json
+module Metrics = Rapid_sim.Metrics
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* Fresh store directories under the test cwd (dune's sandbox). *)
+let fresh_dir =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    let d = Printf.sprintf "_store_test_%d_%s_%d" (Unix.getpid ()) name !n in
+    rm_rf d;
+    d
+
+let with_dir name f =
+  let d = fresh_dir name in
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+let key_a =
+  Json.Obj
+    [
+      ("kind", Json.String "test");
+      ("load", Json.Float 2.5);
+      ("nested", Json.Obj [ ("x", Json.Int 1); ("y", Json.Null) ]);
+      ("tags", Json.List [ Json.String "a"; Json.Bool true ]);
+    ]
+
+(* Same document, every object permuted. *)
+let key_a_permuted =
+  Json.Obj
+    [
+      ("tags", Json.List [ Json.String "a"; Json.Bool true ]);
+      ("nested", Json.Obj [ ("y", Json.Null); ("x", Json.Int 1) ]);
+      ("load", Json.Float 2.5);
+      ("kind", Json.String "test");
+    ]
+
+let test_digest_stability () =
+  Alcotest.(check string)
+    "field order is immaterial"
+    (Store.digest_of_key key_a)
+    (Store.digest_of_key key_a_permuted);
+  Alcotest.(check bool)
+    "different value, different digest" false
+    (Store.digest_of_key key_a
+    = Store.digest_of_key
+        (Json.Obj [ ("kind", Json.String "test"); ("load", Json.Float 2.0) ]));
+  (* Pinned digest: a fresh process (and any future version of the
+     canonicalizer) must address existing cells identically, or every
+     on-disk store silently goes cold. *)
+  Alcotest.(check string) "stable across processes"
+    "6505adacabe74a3ddc3dcae1c4d9e4b2"
+    (Store.digest_of_key key_a)
+
+let cell_path dir key =
+  let digest = Store.digest_of_key key in
+  Filename.concat (Filename.concat dir (String.sub digest 0 2)) (digest ^ ".json")
+
+let payload = Json.Obj [ ("v", Json.List [ Json.Int 1; Json.Int 2 ]) ]
+
+let test_find_store_roundtrip () =
+  with_dir "roundtrip" @@ fun dir ->
+  let s = Store.open_dir dir in
+  Alcotest.(check bool) "miss before store" true (Store.find s ~key:key_a = None);
+  Store.store s ~key:key_a payload;
+  (match Store.find s ~key:key_a_permuted with
+  | Some p ->
+      Alcotest.(check string) "payload round-trips (permuted key)"
+        (Json.to_string payload) (Json.to_string p)
+  | None -> Alcotest.fail "expected hit");
+  (* A second handle on the same directory sees the same cell. *)
+  let s2 = Store.open_dir dir in
+  Alcotest.(check bool) "second handle hits" true
+    (Store.find s2 ~key:key_a <> None)
+
+let test_atomic_crash_leftover () =
+  with_dir "crash" @@ fun dir ->
+  let s = Store.open_dir dir in
+  Store.store s ~key:key_a payload;
+  (* Simulate a writer that died mid-write: a truncated temp file in the
+     cell's own shard directory. *)
+  let tmp = Filename.concat (Filename.dirname (cell_path dir key_a)) "dead.17.3.tmp" in
+  let oc = open_out tmp in
+  output_string oc "{\"schema\":\"rapid-store/1\",\"dig";
+  close_out oc;
+  (match Store.find s ~key:key_a with
+  | Some _ -> ()
+  | None -> Alcotest.fail "tmp leftover must not shadow the real cell");
+  let st = Store.stats s in
+  Alcotest.(check int) "one complete cell" 1 st.Store.cells;
+  Alcotest.(check int) "one crash leftover" 1 st.Store.tmp_files;
+  (* gc under a generous bound only sweeps the leftover. *)
+  let removed, _ = Store.gc s ~max_bytes:max_int in
+  Alcotest.(check int) "no cells evicted" 0 removed;
+  let st = Store.stats s in
+  Alcotest.(check int) "leftover swept" 0 st.Store.tmp_files;
+  Alcotest.(check int) "cell survives" 1 st.Store.cells;
+  Alcotest.(check int) "clear removes the cell" 1 (Store.clear s);
+  Alcotest.(check int) "store empty" 0 (Store.stats s).Store.cells
+
+let test_corrupt_cell_recomputed () =
+  with_dir "corrupt" @@ fun dir ->
+  let s = Store.open_dir dir in
+  Store.store s ~key:key_a payload;
+  (* Flip the cell to garbage behind the store's back. *)
+  let oc = open_out (cell_path dir key_a) in
+  output_string oc "garbage, not json";
+  close_out oc;
+  let c0 = Store.corrupt_cells () and m0 = Store.misses () in
+  Alcotest.(check bool) "corrupt cell reads as a miss" true
+    (Store.find s ~key:key_a = None);
+  Alcotest.(check int) "corrupt counted" 1 (Store.corrupt_cells () - c0);
+  Alcotest.(check int) "also a miss" 1 (Store.misses () - m0);
+  (* The recompute path overwrites the bad cell and service resumes. *)
+  Store.store s ~key:key_a payload;
+  let h0 = Store.hits () in
+  Alcotest.(check bool) "rewritten cell hits" true
+    (Store.find s ~key:key_a <> None);
+  Alcotest.(check int) "hit counted" 1 (Store.hits () - h0)
+
+let test_checksum_mismatch_is_corrupt () =
+  with_dir "checksum" @@ fun dir ->
+  let s = Store.open_dir dir in
+  Store.store s ~key:key_a payload;
+  (* Valid JSON, valid shape, wrong checksum: a bit-flipped payload. *)
+  let path = cell_path dir key_a in
+  let doc = Json.of_file path in
+  let tampered =
+    match doc with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function
+               | "payload", _ -> ("payload", Json.Obj [ ("v", Json.Int 666) ])
+               | f -> f)
+             fields)
+    | _ -> Alcotest.fail "cell is not an object"
+  in
+  Json.to_file path tampered;
+  let c0 = Store.corrupt_cells () in
+  Alcotest.(check bool) "tampered payload rejected" true
+    (Store.find s ~key:key_a = None);
+  Alcotest.(check int) "counted corrupt" 1 (Store.corrupt_cells () - c0)
+
+let test_gc_size_bound () =
+  with_dir "gc" @@ fun dir ->
+  let s = Store.open_dir dir in
+  let big = Json.String (String.make 2048 'x') in
+  for i = 0 to 7 do
+    Store.store s ~key:(Json.Obj [ ("i", Json.Int i) ]) big
+  done;
+  let st = Store.stats s in
+  Alcotest.(check int) "eight cells" 8 st.Store.cells;
+  let bound = st.Store.bytes / 2 in
+  let removed, freed = Store.gc s ~max_bytes:bound in
+  let st' = Store.stats s in
+  Alcotest.(check bool) "under the bound" true (st'.Store.bytes <= bound);
+  Alcotest.(check int) "accounting: cells" (8 - st'.Store.cells) removed;
+  Alcotest.(check int) "accounting: bytes" (st.Store.bytes - st'.Store.bytes)
+    freed;
+  Alcotest.(check bool) "did not clear everything" true (st'.Store.cells > 0)
+
+let small_params =
+  { (Params.get Params.Quick) with Params.days = 2; trace_loads = [ 1.0 ] }
+
+let point_bytes pt =
+  Json.to_string (Json.List (List.map Metrics.report_to_json pt))
+
+let test_reset_drops_store_handle () =
+  with_dir "reset" @@ fun dir ->
+  Runners.set_cache_dir (Some dir);
+  Alcotest.(check bool) "handle installed" true (Runners.cache_store () <> None);
+  Runners.reset_point_cache ();
+  Alcotest.(check bool) "reset drops the handle" true
+    (Runners.cache_store () = None)
+
+let test_warm_equals_cold_parallel () =
+  with_dir "warm" @@ fun dir ->
+  let finally () =
+    Rapid_par.Pool.set_jobs 1;
+    Runners.reset_point_cache ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  Rapid_par.Pool.set_jobs 4;
+  Runners.reset_point_cache ();
+  Runners.set_cache_dir (Some dir);
+  let w0 = Store.writes () in
+  let cold =
+    Runners.run_trace_point ~params:small_params ~protocol:Runners.spray_wait
+      ~load:1.0 ()
+  in
+  Alcotest.(check int) "cold run wrote its cell" 1 (Store.writes () - w0);
+  (* Drop both cache layers, re-attach the same directory: the "restart". *)
+  Runners.reset_point_cache ();
+  Runners.set_cache_dir (Some dir);
+  let h0 = Store.hits () in
+  let warm =
+    Runners.run_trace_point ~params:small_params ~protocol:Runners.spray_wait
+      ~load:1.0 ()
+  in
+  Alcotest.(check int) "warm run hit" 1 (Store.hits () - h0);
+  Alcotest.(check string) "warm point byte-identical to cold"
+    (point_bytes cold) (point_bytes warm)
+
+let test_report_json_roundtrip () =
+  Runners.reset_point_cache ();
+  let pt =
+    Runners.run_trace_point ~params:small_params ~protocol:Runners.random
+      ~load:1.0 ()
+  in
+  List.iter
+    (fun r ->
+      let j = Metrics.report_to_json r in
+      let j' = Metrics.report_to_json (Metrics.report_of_json j) in
+      Alcotest.(check string) "report JSON round-trips exactly"
+        (Json.to_string j) (Json.to_string j'))
+    pt
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "digest",
+        [ Alcotest.test_case "stability" `Quick test_digest_stability ] );
+      ( "cells",
+        [
+          Alcotest.test_case "find/store roundtrip" `Quick
+            test_find_store_roundtrip;
+          Alcotest.test_case "crash leftover ignored" `Quick
+            test_atomic_crash_leftover;
+          Alcotest.test_case "corrupt cell recomputed" `Quick
+            test_corrupt_cell_recomputed;
+          Alcotest.test_case "checksum mismatch" `Quick
+            test_checksum_mismatch_is_corrupt;
+          Alcotest.test_case "gc size bound" `Quick test_gc_size_bound;
+        ] );
+      ( "runners",
+        [
+          Alcotest.test_case "reset drops handle" `Quick
+            test_reset_drops_store_handle;
+          Alcotest.test_case "warm equals cold (jobs=4)" `Slow
+            test_warm_equals_cold_parallel;
+          Alcotest.test_case "report json roundtrip" `Slow
+            test_report_json_roundtrip;
+        ] );
+    ]
