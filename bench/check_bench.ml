@@ -50,6 +50,17 @@ let profile_of doc =
   | Some (Json.String p) -> Some p
   | Some _ | None -> None
 
+let timer_total doc name =
+  match Json.member "timers" doc with
+  | Some timers -> (
+      match Json.member name timers with
+      | Some t -> (
+          match Json.member "total_s" t with
+          | Some (Json.Float total) -> Some total
+          | _ -> None)
+      | None -> None)
+  | None -> None
+
 (* >25% slower than baseline on the same artifact id is a regression;
    sub-100ms artifacts are skipped (timer noise dominates). *)
 let compare_baseline doc base_path =
@@ -76,7 +87,20 @@ let compare_baseline doc base_path =
                 Printf.printf "artifact %-10s %.2fs vs baseline %.2fs ok\n" id s
                   base_s
             | None -> ())
-          (artifact_walls base)
+          (artifact_walls base);
+        (* The RAPID ranking hot path is gated on its own timer, not just
+           artifact walls: rank time can regress badly while staying
+           hidden inside an artifact's noise budget. Same contract as the
+           walls — >25% over baseline WARNs, FAILs under strict. *)
+        match (timer_total doc "rapid.rank", timer_total base "rapid.rank") with
+        | Some s, Some base_s when base_s >= 0.1 && s > base_s *. 1.25 ->
+            regress "rapid.rank regressed: %.2fs vs baseline %.2fs (+%.0f%%)" s
+              base_s
+              ((s /. base_s -. 1.0) *. 100.0)
+        | Some s, Some base_s ->
+            Printf.printf "timer rapid.rank %.2fs vs baseline %.2fs ok\n" s
+              base_s
+        | _ -> ()
       end
 
 let () =
@@ -161,6 +185,16 @@ let () =
       | Some v -> Printf.printf "%s = %d\n" name v
       | None -> fail "missing counter \"%s\"" name)
     [ "store.hits"; "store.misses"; "store.writes"; "store.corrupt_cells" ];
+  (* Believed-rate cache counters: registration is opt-in (the CLI leaves
+     them off to keep its pinned report goldens byte-stable) but the
+     bench harness always turns them on, so a BENCH.json without them
+     means the cache instrumentation was dropped. *)
+  List.iter
+    (fun name ->
+      match counter name with
+      | Some v -> Printf.printf "%s = %d\n" name v
+      | None -> fail "missing counter \"%s\"" name)
+    [ "rapid.rate_cache_hits"; "rapid.rate_cache_misses" ];
   let timer name =
     match Json.member "timers" doc with
     | Some timers -> (
@@ -178,6 +212,37 @@ let () =
       | Some (total, n) -> Printf.printf "timer %-26s %.3fs / %d\n" name total n
       | None -> fail "missing timer \"%s\" (total_s/count)" name)
     [ "meeting_matrix.row_build"; "rapid.rank"; "lp.solve" ];
+  (* GC stats of the artifact reproductions: allocation-flattening work is
+     validated through these when wall clocks are too noisy. *)
+  (match Json.member "gc" doc with
+  | Some gc ->
+      List.iter
+        (fun name ->
+          match Json.member name gc with
+          | Some (Json.Float v) -> Printf.printf "gc.%s = %.3e\n" name v
+          | Some _ | None -> fail "gc block lacks \"%s\"" name)
+        [
+          "minor_words"; "promoted_words"; "major_words";
+          "minor_collections"; "major_collections";
+        ]
+  | None -> fail "missing \"gc\" block");
+  (* The believed-rate microbench must exist (its numbers are not gated —
+     too noisy in CI — but its disappearance means the cache benchmark
+     was dropped). *)
+  (match Json.member "microbench" doc with
+  | Some (Json.List items) ->
+      let has_believed =
+        List.exists
+          (fun item ->
+            match Json.member "name" item with
+            | Some (Json.String name) ->
+                name = "primitives/believed-rate (cached vs cold)"
+            | _ -> false)
+          items
+      in
+      if not has_believed then
+        fail "missing microbench \"primitives/believed-rate (cached vs cold)\""
+  | Some _ | None -> fail "missing \"microbench\" list");
   Option.iter (compare_baseline doc) baseline;
   if !errors > 0 then begin
     Printf.eprintf "%s: %d schema error(s)\n" path !errors;

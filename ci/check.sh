@@ -55,6 +55,50 @@ if [ "$FIG3_HASH" != "$FIG3_GOLDEN" ]; then
   exit 1
 fi
 
+# Protocol report goldens: every protocol/metric/load cell of the core
+# comparison, pinned by MD5 of the run's "reports" JSON member. The hot
+# paths behind these runs (believed-rate caching, positional indexes,
+# flat plan scoring, delta dedup) are all exact rewrites — a drifting
+# hash here means an "optimization" changed routing behavior. Only the
+# reports member is hashed, so adding counters/instrumentation does not
+# retune these; the fig3 hash above pins the full JSON.
+echo "== protocol report goldens =="
+RAPID_BIN="./_build/default/bin/main.exe"
+JSON_MEMBER_BIN="./_build/default/bench/json_member.exe"
+PROTO_OUT="${TMPDIR:-/tmp}/rapid_proto_golden.json"
+check_proto() {
+  proto="$1"; metric="$2"; load="$3"; want="$4"
+  "$RAPID_BIN" run --protocol "$proto" --metric "$metric" --load "$load" \
+    --json "$PROTO_OUT" >/dev/null
+  got="$("$JSON_MEMBER_BIN" "$PROTO_OUT" reports | md5sum | cut -d' ' -f1)"
+  if [ "$got" != "$want" ]; then
+    echo "report golden mismatch: $proto/$metric/load=$load: $got != $want" >&2
+    exit 1
+  fi
+}
+check_proto rapid        avg 2 d37c5341580264d3181d64627c09c503
+check_proto rapid-global avg 2 02dcc5902850b68f4ab4e44c86f62ac0
+check_proto rapid-local  avg 2 65c3004adbdfaf69c1b4cddd8faaacbb
+check_proto maxprop      avg 2 9efbf2868e4d7db7e852571f96a78add
+check_proto spraywait    avg 2 d838e042f08d09197966c3ff1950f337
+check_proto prophet      avg 2 907494843160b8813f9ff27a0ff603ff
+check_proto random       avg 2 562073e36a3e0f76a3cc393a384d9588
+check_proto random-acks  avg 2 e85a11e5f6d7db9bd11d25e2f1c87eba
+check_proto epidemic     avg 2 baaeadf39d8b2ac1959ea25ed7e4907e
+check_proto direct       avg 2 efd9df0f3b66c730427bb14ee4b63d16
+check_proto rapid        avg 4 2e0d1f2c1a9ebc70a652409948feb1ea
+check_proto rapid-global avg 4 41754bd39ff59d7df3393e708bcfa704
+check_proto rapid-local  avg 4 666448a3071955f2630e1413172f4d95
+check_proto maxprop      avg 4 20f855d1c0eba6306fec38a837a4b94a
+check_proto spraywait    avg 4 a9067e10148f68f76179a5e3aeca8b26
+check_proto prophet      avg 4 aa70da4defa86dfced85819821313116
+check_proto random       avg 4 9cf35c677b0cc4558d8350737cd95d0a
+check_proto random-acks  avg 4 fb889ae15b621511ad1bd6c4a99808c4
+check_proto epidemic     avg 4 c4355abcaaf4910713cac37034fd59a5
+check_proto direct       avg 4 4b5c33c86d2c7fcfb59e542878c3b9bf
+check_proto rapid max      2 9abdef2a27caadece73f918c9e87447c
+check_proto rapid deadline 2 59d370a22d5f880fca9c417ec74c5b45
+
 # Fault-injection smoke: three contracts of lib/faults.
 #   1. All-zero fault rates are the plain engine, byte for byte.
 #   2. A faulted run is byte-identical across --jobs widths (the fault

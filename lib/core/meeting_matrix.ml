@@ -16,6 +16,10 @@ type t = {
   rows : float array array;  (* rows.(a): ≤h-hop row from a; [||] = never built *)
   row_epoch : int array;
   row_h : int array;
+  (* Content version of rows.(a): bumped by a rebuild only when some cell
+     actually moved, so believed-rate caches stamped with it survive the
+     (frequent) epoch bumps that leave this row's values untouched. *)
+  row_ver : int array;
   scratch : Dense.Scratch.t;
 }
 
@@ -34,6 +38,7 @@ let create ~num_nodes =
     rows = Array.make num_nodes [||];
     row_epoch = Array.make num_nodes (-1);
     row_h = Array.make num_nodes 0;
+    row_ver = Array.make num_nodes 0;
     scratch = Dense.Scratch.create ();
   }
 
@@ -106,15 +111,33 @@ let build_row t ~h a =
     cur := !next;
     next := tmp
   done;
+  let fresh = !cur in
   let row =
-    if Array.length t.rows.(a) = n then t.rows.(a)
+    if Array.length t.rows.(a) = n then begin
+      (* Bump the content version only if some cell moved: a rebuild that
+         reproduces the old values keeps every stamp derived from this
+         row alive. Cells are means / min-plus sums of positive gaps (or
+         [infinity], or 0 on the diagonal) — never nan, never -0. — so
+         plain float equality is exact. *)
+      let old = t.rows.(a) in
+      let changed = ref false in
+      let i = ref 0 in
+      while (not !changed) && !i < n do
+        if Array.unsafe_get old !i <> Array.unsafe_get fresh !i then
+          changed := true;
+        incr i
+      done;
+      if !changed then t.row_ver.(a) <- t.row_ver.(a) + 1;
+      old
+    end
     else begin
       let r = Array.make n 0.0 in
       t.rows.(a) <- r;
+      t.row_ver.(a) <- t.row_ver.(a) + 1;
       r
     end
   in
-  Array.blit !cur 0 row 0 n;
+  Array.blit fresh 0 row 0 n;
   t.row_epoch.(a) <- t.epoch;
   t.row_h.(a) <- h;
   row
@@ -131,6 +154,24 @@ let expected_meeting_time ?(h = 3) t a b =
     in
     row.(a)
   end
+
+(* The up-to-date ≤h-hop row keyed on [b] (same lazy build a query
+   triggers). Borrowed, not owned: valid only until the next [observe] —
+   hot loops that score many holders against one destination read it
+   directly instead of re-validating per [expected_meeting_time] call. *)
+let row ?(h = 3) t b =
+  if t.row_epoch.(b) = t.epoch && t.row_h.(b) = h then t.rows.(b)
+  else build_row t ~h b
+
+(* Bring the row up to date exactly as a query would (same lazy build,
+   same counters), then report its content version. Callers stamping a
+   cached value with this must only call it when a query for the row is
+   about to happen anyway, so the build accounting stays identical to the
+   uncached walk. *)
+let row_version ?(h = 3) t a =
+  if not (t.row_epoch.(a) = t.epoch && t.row_h.(a) = h) then
+    ignore (build_row t ~h a);
+  t.row_ver.(a)
 
 let updates_count t = t.updates
 

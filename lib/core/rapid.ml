@@ -57,6 +57,31 @@ type victim_plan = {
   mutable v_cursor : int;
 }
 
+(* One destination cell of a node's position index: that destination's
+   buffered packets as (created, id, size) triples sorted in delivery
+   order, plus byte prefix sums, stamped with the (node, dst) cell
+   version they were built from. *)
+type pos_cell = {
+  pc_ver : int;
+  pc_arr : (float * int * int) array;
+  pc_prefix : int array;
+}
+
+(* A node's persistent position index. [pi_epoch] is the buffer epoch the
+   cells describe (-1 = never synced); a sync at a newer epoch re-sorts
+   only the destination cells whose (node, dst) version moved and keeps
+   every other cell untouched — the kept cells are bit-identical to what
+   a from-scratch rebuild would produce, because an unmoved version pins
+   the cell's entry set. [pi_refresh_epoch] mirrors the epoch the
+   pre-incremental refresh-level cache recorded at its last miss; it
+   exists only so the build counter keeps its old values (see
+   [sync_index]). *)
+type pos_index = {
+  mutable pi_epoch : int;
+  mutable pi_refresh_epoch : int;
+  pi_cells : (int, pos_cell) Hashtbl.t;  (* dst -> cell *)
+}
+
 let make params : Protocol.packed =
   (module struct
     type t = {
@@ -86,17 +111,22 @@ let make params : Protocol.packed =
       (* Per-contact cache of buffer position indexes (cleared each
          contact): transfers would otherwise rescan the receiver's buffer
          per packet. Entries go slightly stale within a contact; the next
-         contact's refresh corrects them. *)
-      contact_indexes :
-        (int, (int, (float * int * int) array * int array) Hashtbl.t) Hashtbl.t;
-      (* node -> (buffer epoch, position index built at that epoch). The
-         index is a pure function of buffer contents, so while the epoch
-         stands still [refresh_own] reuses it across contacts and
-         [cached_index] adopts it instead of rebuilding. *)
-      refresh_cache :
-        (int, int * (int, (float * int * int) array * int array) Hashtbl.t)
-        Hashtbl.t;
+         contact's refresh corrects them. Values carry the contact_seq
+         they were built under, asserted on every lookup. *)
+      contact_indexes : (int, int * pos_index) Hashtbl.t;
+      (* node -> its incrementally-synced position index. The index is a
+         pure function of buffer contents; a sync re-sorts only the
+         destination cells whose (node, dst) cell version moved since
+         they were built and reuses every other cell bit-identically. *)
+      pos_cache : (int, pos_index) Hashtbl.t;
       victim : victim_plan;
+      (* Believed-rate cache (Eq. 9): rates stamped with
+         (Replica_db.version, Meeting_matrix.row_version) and reused
+         until either input moves. See Rate_cache / DESIGN §3a. *)
+      rcache : Rate_cache.t;
+      (* Contact sequence number; stamps contact_indexes entries so
+         cached_index can assert it never serves across contacts. *)
+      mutable contact_seq : int;
       (* Per (node, dst) buffer-cell version: bumped whenever a copy
          destined to [dst] is added to or removed from [node]'s buffer.
          [refresh_own] skips a whole destination cell when neither its
@@ -118,11 +148,28 @@ let make params : Protocol.packed =
       mutable own_n : int array array;
       (* Reused per-call scratch (reset, never re-created): the
          position-index accumulation arena, the metadata-delta dedup set
-         (keyed by packet id * num_nodes + holder id), and the delta sort
-         buffer. *)
+         (indexed by packet id * num_nodes + holder id, generation-stamped
+         so "clearing" is one counter bump), and the delta sort buffer. *)
       scratch_by_dst : (int, (float * int * int) list ref) Hashtbl.t;
-      scratch_seen : (int, unit) Hashtbl.t;
+      mutable delta_seen : int array;
+      mutable delta_gen : int;
       delta_buf : Replica_db.entry Sortbuf.t;
+      (* Flat per-plan scoring scratch: candidate packets and their
+         ranking key in parallel growable arrays, ranked by sorting an
+         index permutation through the shared Sortbuf arena — no boxed
+         (packet, float, float) tuples, no per-plan list churn. *)
+      mutable plan_pkts : Packet.t array;
+      mutable plan_key : float array;
+      mutable plan_len : int;
+      plan_order : int Sortbuf.t;
+      (* Per-plan memo of the (receiver, dst)-constant sub-expressions of
+         Estimate_delay — meeting_time receiver dst and the clamped B_j —
+         hoisted out of the candidate loop. Keyed by dst; a generation
+         stamp (bumped per plan) replaces clearing. *)
+      mt_memo : float array;
+      avg_memo : float array;
+      memo_stamp : int array;
+      mutable memo_gen : int;
     }
 
     let name =
@@ -149,7 +196,7 @@ let make params : Protocol.packed =
         last_table_sync = Dense.Int_mat.create n;
         meta_backlog = Hashtbl.create 16;
         contact_indexes = Hashtbl.create 4;
-        refresh_cache = Hashtbl.create 16;
+        pos_cache = Hashtbl.create 16;
         victim =
           {
             v_valid = false;
@@ -160,13 +207,24 @@ let make params : Protocol.packed =
             v_len = 0;
             v_cursor = 0;
           };
+        rcache = Rate_cache.create ~num_nodes:n;
+        contact_seq = 0;
         cell_ver = Dense.Int_mat.create n;
         refresh_memo = Hashtbl.create 16;
         refresh_changed = Sortbuf.create ();
         own_n = Array.init n (fun _ -> [||]);
         scratch_by_dst = Hashtbl.create 16;
-        scratch_seen = Hashtbl.create 64;
+        delta_seen = [||];
+        delta_gen = 0;
         delta_buf = Sortbuf.create ();
+        plan_pkts = [||];
+        plan_key = [||];
+        plan_len = 0;
+        plan_order = Sortbuf.create ();
+        mt_memo = Array.make n 0.0;
+        avg_memo = Array.make n 0.0;
+        memo_stamp = Array.make n 0;
+        memo_gen = 0;
       }
 
     (* -------------------------------------------------------------- *)
@@ -214,39 +272,69 @@ let make params : Protocol.packed =
     let meeting_time t a b =
       Meeting_matrix.expected_meeting_time ~h:params.h_hops t.matrix a b
 
-    (* n_j(i) for a single packet, without sorting the buffer: only the
-       bytes of same-destination packets ahead in delivery order matter. *)
-    let n_meet_at t ~node ~(packet : Packet.t) =
+    (* n_j(i) for a freshly created packet, O(1): only the bytes of
+       same-destination packets ahead in delivery order (created, then id)
+       matter, and a just-created packet is strictly last in its cell —
+       the engine hands out ids in workload order and both workload
+       generators emit specs sorted by creation time, so every other copy
+       anywhere carries a smaller (created, id). The per-destination byte
+       total the buffer maintains is therefore exactly "bytes ahead plus
+       the packet itself" once the packet's own copy is counted once. *)
+    let n_meet_created t ~node ~(packet : Packet.t) =
       let dst = packet.Packet.dst in
-      let before (p : Packet.t) =
-        p.Packet.created < packet.Packet.created
-        || (p.Packet.created = packet.Packet.created
-           && p.Packet.id < packet.Packet.id)
-      in
+      let buffer = t.env.Env.buffers.(node) in
       let bytes =
-        Buffer.fold_unordered t.env.Env.buffers.(node) ~init:0
-          ~f:(fun acc (e : Buffer.entry) ->
-            let p = e.packet in
-            if p.Packet.dst = dst && p.Packet.id <> packet.Packet.id && before p
-            then acc + p.Packet.size
-            else acc)
+        Buffer.dst_bytes buffer dst
+        + (if Buffer.mem buffer packet.Packet.id then 0 else packet.Packet.size)
       in
       let avg = Float.max 1.0 (b_avg t ~holder:node ~dst) in
-      max 1
-        (int_of_float
-           (Float.ceil (float_of_int (bytes + packet.Packet.size) /. avg)))
+      max 1 (int_of_float (Float.ceil (float_of_int bytes /. avg)))
 
     (* Total delivery rate R over the believed holders of [packet] as seen
-       by [observer] (Eq. 9 summation). *)
+       by [observer] (Eq. 9 summation), cached per (observer, packet).
+       The fold's value is a pure function of the packet's holder set in
+       the observer's view and of the h-hop row keyed on the destination;
+       both carry versions, so the cached value is reused until one of
+       them moves. With no holders the fold touches neither the matrix
+       nor the cache — the 0.0 short-circuit keeps row-build accounting
+       identical to the plain walk. On a hit the holder table is
+       untouched since the stamp was taken, so a re-fold would visit the
+       same holders in the same order over the same row: the cached float
+       is bit-identical to the recomputation it replaces. *)
     let believed_rate t ~observer ~(packet : Packet.t) =
       let db = view t observer in
-      let dst = packet.Packet.dst in
-      Replica_db.fold_holders db ~packet_id:packet.Packet.id ~init:0.0
-        ~f:(fun acc holder_id (h : Replica_db.holder) ->
-          acc
-          +. Estimate_delay.rate_of_holder
-               ~meeting_time:(meeting_time t holder_id dst)
-               ~n_meet:h.Replica_db.n_meet)
+      let id = packet.Packet.id in
+      if Replica_db.holder_count db ~packet_id:id = 0 then 0.0
+      else begin
+        let dst = packet.Packet.dst in
+        let pkt_ver = Replica_db.version db ~packet_id:id in
+        let row_ver = Meeting_matrix.row_version ~h:params.h_hops t.matrix dst in
+        let cached =
+          Rate_cache.find t.rcache ~observer ~packet_id:id ~pkt_ver ~row_ver
+        in
+        if not (Float.is_nan cached) then cached
+        else begin
+          (* Fold over the borrowed row directly: [row.(holder)] is the
+             exact cell [meeting_time t holder dst] reads (0.0 on the
+             diagonal), minus the per-holder revalidation. The row cannot
+             move mid-fold — nothing in it observes the matrix. *)
+          let row = Meeting_matrix.row ~h:params.h_hops t.matrix dst in
+          let r =
+            Replica_db.fold_holders db ~packet_id:id ~init:0.0
+              ~f:(fun acc holder_id (h : Replica_db.holder) ->
+                let mt =
+                  if holder_id = dst then 0.0
+                  else Array.unsafe_get row holder_id
+                in
+                acc
+                +. Estimate_delay.rate_of_holder ~meeting_time:mt
+                     ~n_meet:h.Replica_db.n_meet)
+          in
+          Rate_cache.store t.rcache ~observer ~packet_id:id ~pkt_ver ~row_ver
+            ~rate:r;
+          r
+        end
+      end
 
     (* Delivery order within a destination cell: (created, id, size)
        triples, id unique — a total order, so any comparison sort yields
@@ -260,52 +348,101 @@ let make params : Protocol.packed =
     (* Per-destination index over a node's buffer: entries sorted in
        delivery order (created, then id) with byte prefix sums, so the
        would-be queue position of any packet is a binary search instead of
-       a buffer scan per candidate. [t.scratch_by_dst] is the reused
-       accumulation arena; the returned index is fresh because it outlives
-       the call (cached for the rest of the contact). *)
-    let position_index t entries =
-      Rapid_obs.Counter.incr c_position_index_builds;
-      let by_dst = t.scratch_by_dst in
-      Hashtbl.reset by_dst;
-      List.iter
-        (fun (e : Buffer.entry) ->
-          let p = e.packet in
-          let cell =
-            match Hashtbl.find_opt by_dst p.Packet.dst with
-            | Some c -> c
-            | None ->
-                let c = ref [] in
-                Hashtbl.replace by_dst p.Packet.dst c;
-                c
-          in
-          cell := (p.Packet.created, p.Packet.id, p.Packet.size) :: !cell)
-        entries;
-      let index = Hashtbl.create 16 in
-      Hashtbl.iter
-        (fun dst cell ->
-          let arr = Array.of_list !cell in
-          Array.sort cmp_cell arr;
-          let prefix = Array.make (Array.length arr + 1) 0 in
-          Array.iteri
-            (fun i (_, _, size) -> prefix.(i + 1) <- prefix.(i) + size)
-            arr;
-          Hashtbl.replace index dst (arr, prefix))
-        by_dst;
-      index
+       a buffer scan per candidate. The index is persistent and synced
+       incrementally: when the buffer epoch moved, one walk collects the
+       entries of destinations whose cell version changed (into the
+       reused [t.scratch_by_dst] arena), only those cells are re-sorted,
+       and cells whose version moved but have no surviving entries are
+       dropped. Unchanged-version cells are reused as-is.
+
+       Counter discipline: [c_position_index_builds] lands in hashed
+       report JSON, so it must keep the values of the from-scratch build
+       it replaces. That build was counted at two miss sites — the
+       refresh-level epoch cache (whose recorded epoch only refresh_own
+       advanced) and the per-contact cache's fallback through it — so the
+       increments live at those call sites (keyed on [pi_refresh_epoch]),
+       not here: a sync is the build made cheap, not a new countable
+       event. *)
+    let sync_index t node =
+      let pi =
+        match Hashtbl.find_opt t.pos_cache node with
+        | Some pi -> pi
+        | None ->
+            let pi =
+              { pi_epoch = -1; pi_refresh_epoch = -1;
+                pi_cells = Hashtbl.create 16 }
+            in
+            Hashtbl.replace t.pos_cache node pi;
+            pi
+      in
+      let ep = Buffer.epoch t.env.Env.buffers.(node) in
+      if pi.pi_epoch <> ep then begin
+        let by_dst = t.scratch_by_dst in
+        Hashtbl.reset by_dst;
+        List.iter
+          (fun (e : Buffer.entry) ->
+            let p = e.packet in
+            let dst = p.Packet.dst in
+            let stale =
+              match Hashtbl.find_opt pi.pi_cells dst with
+              | Some c -> c.pc_ver <> Dense.Int_mat.get t.cell_ver node dst
+              | None -> true
+            in
+            if stale then begin
+              let cell =
+                match Hashtbl.find_opt by_dst dst with
+                | Some c -> c
+                | None ->
+                    let c = ref [] in
+                    Hashtbl.replace by_dst dst c;
+                    c
+              in
+              cell := (p.Packet.created, p.Packet.id, p.Packet.size) :: !cell
+            end)
+          (Env.buffered_entries t.env node);
+        (* A cell whose version moved but collected nothing lost its last
+           entry (drop / delivery / ack purge): remove it, as a rebuild
+           would. Unmoved versions are untouchable — every buffer
+           mutation bumps its (node, dst) cell. *)
+        let dead = ref [] in
+        Hashtbl.iter
+          (fun dst (c : pos_cell) ->
+            if
+              c.pc_ver <> Dense.Int_mat.get t.cell_ver node dst
+              && not (Hashtbl.mem by_dst dst)
+            then dead := dst :: !dead)
+          pi.pi_cells;
+        List.iter (Hashtbl.remove pi.pi_cells) !dead;
+        Hashtbl.iter
+          (fun dst cell ->
+            let arr = Array.of_list !cell in
+            Array.sort cmp_cell arr;
+            let prefix = Array.make (Array.length arr + 1) 0 in
+            Array.iteri
+              (fun i (_, _, size) -> prefix.(i + 1) <- prefix.(i) + size)
+              arr;
+            Hashtbl.replace pi.pi_cells dst
+              { pc_ver = Dense.Int_mat.get t.cell_ver node dst;
+                pc_arr = arr; pc_prefix = prefix })
+          by_dst;
+        pi.pi_epoch <- ep
+      end;
+      pi
 
     (* Bytes queued ahead of [packet] (strictly earlier in delivery order,
        excluding the packet itself) at the node the index describes. *)
-    let bytes_before index (packet : Packet.t) =
-      match Hashtbl.find_opt index packet.Packet.dst with
+    let bytes_before (index : pos_index) (packet : Packet.t) =
+      match Hashtbl.find_opt index.pi_cells packet.Packet.dst with
       | None -> 0
-      | Some (arr, prefix) ->
+      | Some c ->
+          let arr = c.pc_arr in
           let key = (packet.Packet.created, packet.Packet.id, min_int) in
           let lo = ref 0 and hi = ref (Array.length arr) in
           while !lo < !hi do
             let mid = (!lo + !hi) / 2 in
             if cmp_cell arr.(mid) key < 0 then lo := mid + 1 else hi := mid
           done;
-          prefix.(!lo)
+          c.pc_prefix.(!lo)
 
     let n_meet_from_index t ~node index (packet : Packet.t) =
       let b = bytes_before index packet in
@@ -315,34 +452,6 @@ let make params : Protocol.packed =
       max 1
         (int_of_float
            (Float.ceil (float_of_int (b + packet.Packet.size) /. avg)))
-
-    (* Current believed rate and the rate the receiver would add, from the
-       sender's knowledge (the deciding node is the sender, §3.4). The
-       receiver is not currently a holder (the candidate filter checked its
-       buffer), so any stale holder entry for it is excluded from the
-       baseline — otherwise its rate would be counted twice. *)
-    let marginal t ~sender ~receiver ~recv_index ~(packet : Packet.t) =
-      let r = believed_rate t ~observer:sender ~packet in
-      let r =
-        match
-          Replica_db.find_holder (view t sender) ~packet_id:packet.Packet.id
-            ~holder_id:receiver
-        with
-        | Some stale ->
-            Float.max 0.0
-              (r
-              -. Estimate_delay.rate_of_holder
-                   ~meeting_time:(meeting_time t receiver packet.Packet.dst)
-                   ~n_meet:stale.Replica_db.n_meet)
-        | None -> r
-      in
-      let n_recv = n_meet_from_index t ~node:receiver recv_index packet in
-      let r_recv =
-        Estimate_delay.rate_of_holder
-          ~meeting_time:(meeting_time t receiver packet.Packet.dst)
-          ~n_meet:n_recv
-      in
-      (r, r_recv)
 
     let delay_improvement ~r ~r_recv =
       let a = Estimate_delay.expected_delay ~rate:r in
@@ -354,7 +463,7 @@ let make params : Protocol.packed =
     let on_created t ~now (p : Packet.t) =
       t.victim.v_valid <- false;
       bump_cell t p.Packet.src p.Packet.dst;
-      let n = n_meet_at t ~node:p.Packet.src ~packet:p in
+      let n = n_meet_created t ~node:p.Packet.src ~packet:p in
       own_set t p.Packet.src p.Packet.id n;
       Replica_db.set_holder t.truth ~packet:p ~holder_id:p.Packet.src ~n_meet:n
         ~now;
@@ -396,80 +505,155 @@ let make params : Protocol.packed =
 
     let cached_index t node =
       match Hashtbl.find_opt t.contact_indexes node with
-      | Some idx -> idx
-      | None ->
-          let idx =
-            match Hashtbl.find_opt t.refresh_cache node with
-            | Some (ep, idx)
-              when ep = Buffer.epoch t.env.Env.buffers.(node) ->
-                idx
-            | _ -> position_index t (Env.buffered_entries t.env node)
-          in
-          Hashtbl.replace t.contact_indexes node idx;
+      | Some (seq, idx) ->
+          (* Entries go slightly stale within a contact (receiver-side
+             buffer mutations), which is sound only because on_contact
+             resets the table: a served index must come from THIS
+             contact. A refactor that decouples the reset from the cache
+             trips this instead of silently serving stale positions. *)
+          assert (seq = t.contact_seq);
           idx
+      | None ->
+          let idx = sync_index t node in
+          (* Count a build iff the refresh-level cache would have missed
+             (its epoch record is only advanced by refresh_own, matching
+             the cache this discipline replaces). *)
+          if idx.pi_refresh_epoch <> Buffer.epoch t.env.Env.buffers.(node)
+          then Rapid_obs.Counter.incr c_position_index_builds;
+          Hashtbl.replace t.contact_indexes node (t.contact_seq, idx);
+          idx
+
+    let plan_push t p key =
+      let cap = Array.length t.plan_key in
+      if t.plan_len = cap then begin
+        let n = max 64 (2 * cap) in
+        let pk = Array.make n p in
+        Array.blit t.plan_pkts 0 pk 0 t.plan_len;
+        t.plan_pkts <- pk;
+        let kk = Array.make n 0.0 in
+        Array.blit t.plan_key 0 kk 0 t.plan_len;
+        t.plan_key <- kk
+      end;
+      t.plan_pkts.(t.plan_len) <- p;
+      t.plan_key.(t.plan_len) <- key;
+      t.plan_len <- t.plan_len + 1
 
     let plan t ~now ~sender ~receiver =
       Rapid_obs.Counter.incr c_rank_calls;
       Rapid_obs.Timer.time t_rank @@ fun () ->
       Send_queue.begin_plan t.queue t.env ~sender ~receiver;
-      let candidates = Send_queue.candidates t.env ~sender ~receiver in
-      let direct, rest = Protocol.split_direct ~receiver candidates in
-      push_direct t ~now direct;
       let recv_index = cached_index t receiver in
-      let scored =
-        List.filter_map
-          (fun (e : Buffer.entry) ->
+      t.memo_gen <- t.memo_gen + 1;
+      t.plan_len <- 0;
+      (* One walk over the sender's buffer snapshot — no materialized
+         candidate / direct / rest lists. Sound because every downstream
+         order is a total-order sort (id tie-breaks everywhere), so the
+         walk order never shows in the output. Direct-to-receiver packets
+         are collected aside (few); every other candidate the receiver
+         lacks is scored straight into the flat arrays: one slot per
+         shippable candidate, keyed by marginal utility per byte (metrics
+         1/3') or expected delay D(i) (metric 2) — the only value the
+         ranking below reads. Both orders are "key descending, id
+         ascending", so one comparator serves every metric. *)
+      let direct =
+        List.fold_left
+          (fun direct (e : Buffer.entry) ->
             let p = e.packet in
-            let r, r_recv = marginal t ~sender ~receiver ~recv_index ~packet:p in
-            if r_recv <= 0.0 then None
+            if Env.has_packet t.env ~node:receiver ~packet:p then direct
+            else if p.Packet.dst = receiver then e :: direct
             else begin
-              let delta =
-                match params.metric with
-                | Metric.Average_delay | Metric.Maximum_delay ->
-                    delay_improvement ~r ~r_recv
-                | Metric.Missed_deadlines -> (
-                    match Packet.remaining_lifetime p ~now with
-                    | None -> delay_improvement ~r ~r_recv
-                    | Some rem ->
-                        Estimate_delay.delivery_prob_within ~rate:(r +. r_recv)
-                          ~horizon:rem
-                        -. Estimate_delay.delivery_prob_within ~rate:r
-                             ~horizon:rem)
+              let dst = p.Packet.dst in
+              (* (receiver, dst)-constant sub-expressions of the score —
+                 the receiver's expected meeting time with the destination
+                 and its clamped expected transfer size — memoized per
+                 plan: they cannot move while the plan is built. *)
+              if t.memo_stamp.(dst) <> t.memo_gen then begin
+                t.mt_memo.(dst) <- meeting_time t receiver dst;
+                t.avg_memo.(dst) <-
+                  Float.max 1.0 (b_avg t ~holder:receiver ~dst);
+                t.memo_stamp.(dst) <- t.memo_gen
+              end;
+              let mt_rd = t.mt_memo.(dst) and avg_rd = t.avg_memo.(dst) in
+              (* Current believed rate and the rate the receiver would
+                 add, from the sender's knowledge (the deciding node is
+                 the sender, §3.4). The receiver is not currently a
+                 holder (checked above), so any stale holder entry for it
+                 is excluded from the baseline — otherwise its rate would
+                 be counted twice. *)
+              let r0 = believed_rate t ~observer:sender ~packet:p in
+              let r =
+                match
+                  Replica_db.find_holder (view t sender)
+                    ~packet_id:p.Packet.id ~holder_id:receiver
+                with
+                | Some stale ->
+                    Float.max 0.0
+                      (r0
+                      -. Estimate_delay.rate_of_holder ~meeting_time:mt_rd
+                           ~n_meet:stale.Replica_db.n_meet)
+                | None -> r0
               in
-              if delta <= 0.0 then None
-              else begin
-                let per_byte = delta /. float_of_int p.Packet.size in
-                (* Expected delay D(i), the metric-3 ranking key. *)
-                let a = Estimate_delay.expected_delay ~rate:r in
-                let d =
-                  Packet.age p ~now +. Float.min a big_delay
+              let b = bytes_before recv_index p in
+              let n_recv =
+                max 1
+                  (int_of_float
+                     (Float.ceil
+                        (float_of_int (b + p.Packet.size) /. avg_rd)))
+              in
+              let r_recv =
+                Estimate_delay.rate_of_holder ~meeting_time:mt_rd
+                  ~n_meet:n_recv
+              in
+              if r_recv > 0.0 then begin
+                let delta =
+                  match params.metric with
+                  | Metric.Average_delay | Metric.Maximum_delay ->
+                      delay_improvement ~r ~r_recv
+                  | Metric.Missed_deadlines -> (
+                      match Packet.remaining_lifetime p ~now with
+                      | None -> delay_improvement ~r ~r_recv
+                      | Some rem ->
+                          Estimate_delay.delivery_prob_within
+                            ~rate:(r +. r_recv) ~horizon:rem
+                          -. Estimate_delay.delivery_prob_within ~rate:r
+                               ~horizon:rem)
                 in
-                Some (p, per_byte, d)
-              end
+                if delta > 0.0 then begin
+                  let key =
+                    match params.metric with
+                    | Metric.Average_delay | Metric.Missed_deadlines ->
+                        delta /. float_of_int p.Packet.size
+                    | Metric.Maximum_delay ->
+                        (* Work conservation: serve highest expected delay
+                           D(i) first; replication only changes the served
+                           packet's own D(i), so a static descending order
+                           is equivalent within one contact. *)
+                        let a = Estimate_delay.expected_delay ~rate:r in
+                        Packet.age p ~now +. Float.min a big_delay
+                  in
+                  plan_push t p key
+                end
+              end;
+              direct
             end)
-          rest
+          []
+          (Env.buffered_entries t.env sender)
       in
-      let ordered =
-        match params.metric with
-        | Metric.Average_delay | Metric.Missed_deadlines ->
-            List.sort
-              (fun (px, sx, _) (py, sy, _) ->
-                match Float.compare sy sx with
-                | 0 -> Int.compare px.Packet.id py.Packet.id
-                | n -> n)
-              scored
-        | Metric.Maximum_delay ->
-            (* Work conservation: serve highest expected delay first;
-               replication only changes the served packet's own D(i), so a
-               static descending order is equivalent within one contact. *)
-            List.sort
-              (fun (px, _, dx) (py, _, dy) ->
-                match Float.compare dy dx with
-                | 0 -> Int.compare px.Packet.id py.Packet.id
-                | n -> n)
-              scored
-      in
-      List.iter (fun (p, _, _) -> Send_queue.push t.queue p) ordered;
+      push_direct t ~now direct;
+      (* Rank an index permutation through the shared arena; key and id
+         make the order total, so the (unstable) heapsort reproduces the
+         stable sort it replaces byte for byte. *)
+      let order = t.plan_order in
+      Sortbuf.clear order;
+      for i = 0 to t.plan_len - 1 do
+        Sortbuf.push order i
+      done;
+      let key = t.plan_key and pkts = t.plan_pkts in
+      Sortbuf.sort order ~cmp:(fun i j ->
+          match Float.compare key.(j) key.(i) with
+          | 0 -> Int.compare pkts.(i).Packet.id pkts.(j).Packet.id
+          | n -> n);
+      Sortbuf.iteri order (fun _ i -> Send_queue.push t.queue pkts.(i));
       Send_queue.finish_plan t.queue
 
     (* -------------------------------------------------------------- *)
@@ -484,16 +668,16 @@ let make params : Protocol.packed =
          inputs (pair sample count) are untouched since the last refresh
          reproduces the exact n_meet of that refresh for every entry, so
          its hysteresis verdicts stand and the whole cell is skipped. *)
-      let entries = Env.buffered_entries t.env node in
+      (* Unconditional snapshot fetch, as before the incremental index:
+         keeps the lazy snapshot-rebuild accounting (buffer.rebuilds)
+         identical run for run. *)
+      ignore (Env.buffered_entries t.env node : Buffer.entry list);
       let ep = Buffer.epoch t.env.Env.buffers.(node) in
-      let index =
-        match Hashtbl.find_opt t.refresh_cache node with
-        | Some (cached_ep, idx) when cached_ep = ep -> idx
-        | _ ->
-            let idx = position_index t entries in
-            Hashtbl.replace t.refresh_cache node (ep, idx);
-            idx
-      in
+      let index = sync_index t node in
+      if index.pi_refresh_epoch <> ep then begin
+        Rapid_obs.Counter.incr c_position_index_builds;
+        index.pi_refresh_epoch <- ep
+      end;
       let vers, counts =
         match Hashtbl.find_opt t.refresh_memo node with
         | Some memo -> memo
@@ -507,7 +691,8 @@ let make params : Protocol.packed =
       let changed = t.refresh_changed in
       Sortbuf.clear changed;
       Hashtbl.iter
-        (fun dst ((arr : (float * int * int) array), (prefix : int array)) ->
+        (fun dst (c : pos_cell) ->
+          let arr = c.pc_arr and prefix = c.pc_prefix in
           let ver = Dense.Int_mat.get t.cell_ver node dst in
           let x, y = if node < dst then (node, dst) else (dst, node) in
           let cnt = Dense.Cumulative_grid.count t.pair_transfer x y in
@@ -536,8 +721,7 @@ let make params : Protocol.packed =
                 if not unchanged then Sortbuf.push changed (id, n))
               arr
           end)
-        index;
-      ignore entries;
+        index.pi_cells;
       (* Apply in ascending packet id — the order of the buffer-entry
          walk this replaces — so the update log (and every ordering
          derived from it downstream) is byte-identical. *)
@@ -632,29 +816,55 @@ let make params : Protocol.packed =
                         { Replica_db.packet; holder_id; holder } :: acc))
               set []
       in
-      let seen = t.scratch_seen in
-      Hashtbl.reset seen;
+      t.delta_gen <- t.delta_gen + 1;
+      let gen = t.delta_gen in
       let delta = t.delta_buf in
       Sortbuf.clear delta;
       let num_nodes = t.env.Env.num_nodes in
+      (* Generation-stamped flat dedup: seen(k) iff delta_seen.(k) holds
+         this call's generation, so no per-call clear and no hashing. *)
+      let fresh k =
+        if k < Array.length t.delta_seen then Array.unsafe_get t.delta_seen k <> gen
+        else true
+      in
+      let mark k =
+        let cap = Array.length t.delta_seen in
+        if k >= cap then begin
+          let g = Array.make (max 1024 (2 * (k + 1))) 0 in
+          Array.blit t.delta_seen 0 g 0 cap;
+          t.delta_seen <- g
+        end;
+        Array.unsafe_set t.delta_seen k gen
+      in
       let consider (e : Replica_db.entry) =
         let k =
           (e.Replica_db.packet.Packet.id * num_nodes) + e.Replica_db.holder_id
         in
-        if
-          (not (Hashtbl.mem seen k))
-          && begin
-               Hashtbl.replace seen k ();
-               eligible e
-             end
-        then Sortbuf.push delta e
+        if fresh k then begin
+          mark k;
+          if eligible e then Sortbuf.push delta e
+        end
       in
       List.iter consider backlog;
       (* The raw log suffix may visit a (packet, holder) pair several
-         times; [seen] keeps the first, and every occurrence materializes
-         the same current-db value, so the resulting set (and hence the
-         sorted delta) matches the deduplicated walk it replaces. *)
-      Replica_db.iter_since t.dbs.(sender) since consider;
+         times; the dedup keeps the first, and every occurrence would
+         materialize the same current-db value, so deduping on raw ids
+         BEFORE materializing yields the same set (and hence the same
+         sorted delta) while paying the record lookups and the entry
+         allocation once per distinct pair instead of once per log
+         occurrence. *)
+      Replica_db.iter_ids_since t.dbs.(sender) since
+        (fun ~packet_id ~holder_id ->
+          let k = (packet_id * num_nodes) + holder_id in
+          if fresh k then begin
+            mark k;
+            match
+              Replica_db.entry_since t.dbs.(sender) since ~packet_id
+                ~holder_id
+            with
+            | Some e -> if eligible e then Sortbuf.push delta e
+            | None -> ()
+          end);
       (* Only the first [entry_budget] entries ship (in oldest-first
          order); everything past the cut lands in the unordered backlog
          set, so a partial selection replaces the full sort. *)
@@ -689,6 +899,7 @@ let make params : Protocol.packed =
     let on_contact t { Protocol.now; a; b; budget; meta_budget; meta_ok } =
       Send_queue.begin_contact t.queue;
       t.victim.v_valid <- false;
+      t.contact_seq <- t.contact_seq + 1;
       Hashtbl.reset t.contact_indexes;
       Meeting_matrix.observe t.matrix ~now ~a ~b;
       t.meet_count.(a) <- t.meet_count.(a) + 1;
@@ -941,8 +1152,16 @@ let make params : Protocol.packed =
 
     let on_reboot t ~now:_ ~node ~lost =
       t.victim.v_valid <- false;
-      (* The emptied buffer invalidates every cell verdict at once. *)
+      (* The emptied buffer invalidates every cell verdict at once. The
+         positional index must go too: a reboot clears the buffer without
+         bumping (node, dst) cell versions, so an incremental sync would
+         wrongly keep every cell. *)
       Hashtbl.remove t.refresh_memo node;
+      Hashtbl.remove t.pos_cache node;
+      (* The replacement replica DB below restarts the node's version
+         sequence, so every believed-rate stamp this observer holds is
+         poisoned. *)
+      Rate_cache.drop_observer t.rcache node;
       Array.fill t.own_n.(node) 0 (Array.length t.own_n.(node)) (-1);
       (* First-hand truth: the crashed copies are gone. *)
       List.iter

@@ -19,6 +19,13 @@ type t = {
   mutable log_hids : int array;
   mutable log_len : int;
   mutable log_newest : float;
+  (* Per-packet mutation version, bumped by every write that can change a
+     packet's holder set (set_holder, applied merge, remove_holder of a
+     present holder, remove_packet of a known packet). Indexed by packet
+     id; slots survive record removal so a forgotten-then-regossiped
+     packet can never replay an old version value. Backs the believed-rate
+     cache's (packet version, row version) stamp. *)
+  mutable vers : int array;
 }
 
 (* Bound on log length: beyond it the oldest deltas are discarded, so a
@@ -35,7 +42,20 @@ let create () =
     log_hids = [||];
     log_len = 0;
     log_newest = neg_infinity;
+    vers = [||];
   }
+
+let bump_version t packet_id =
+  let cap = Array.length t.vers in
+  if packet_id >= cap then begin
+    let g = Array.make (max 256 (2 * (packet_id + 1))) 0 in
+    Array.blit t.vers 0 g 0 cap;
+    t.vers <- g
+  end;
+  t.vers.(packet_id) <- t.vers.(packet_id) + 1
+
+let version t ~packet_id =
+  if packet_id < Array.length t.vers then t.vers.(packet_id) else 0
 
 let log_update t ~time ~packet_id ~holder_id =
   let time = Float.max time t.log_newest in
@@ -75,6 +95,7 @@ let record_of t (packet : Packet.t) =
 let set_holder t ~packet ~holder_id ~n_meet ~now =
   let r = record_of t packet in
   Hashtbl.replace r.holders holder_id { n_meet; updated_at = now };
+  bump_version t packet.Packet.id;
   log_update t ~time:now ~packet_id:packet.Packet.id ~holder_id
 
 let merge t ~packet ~holder_id ~holder =
@@ -83,6 +104,7 @@ let merge t ~packet ~holder_id ~holder =
   | Some existing when existing.updated_at >= holder.updated_at -> false
   | Some _ | None ->
       Hashtbl.replace r.holders holder_id holder;
+      bump_version t packet.Packet.id;
       log_update t ~time:holder.updated_at ~packet_id:packet.Packet.id ~holder_id;
       true
 
@@ -90,10 +112,17 @@ let remove_holder t ~packet_id ~holder_id =
   match Hashtbl.find_opt t.records packet_id with
   | None -> ()
   | Some r ->
-      Hashtbl.remove r.holders holder_id;
-      if Hashtbl.length r.holders = 0 then Hashtbl.remove t.records packet_id
+      if Hashtbl.mem r.holders holder_id then begin
+        Hashtbl.remove r.holders holder_id;
+        bump_version t packet_id;
+        if Hashtbl.length r.holders = 0 then Hashtbl.remove t.records packet_id
+      end
 
-let remove_packet t ~packet_id = Hashtbl.remove t.records packet_id
+let remove_packet t ~packet_id =
+  if Hashtbl.mem t.records packet_id then begin
+    Hashtbl.remove t.records packet_id;
+    bump_version t packet_id
+  end
 
 let holders t ~packet_id =
   match Hashtbl.find_opt t.records packet_id with
@@ -106,6 +135,11 @@ let fold_holders t ~packet_id ~init ~f =
   match Hashtbl.find_opt t.records packet_id with
   | None -> init
   | Some r -> Hashtbl.fold (fun id h acc -> f acc id h) r.holders init
+
+let holder_count t ~packet_id =
+  match Hashtbl.find_opt t.records packet_id with
+  | None -> 0
+  | Some r -> Hashtbl.length r.holders
 
 let find_holder t ~packet_id ~holder_id =
   match Hashtbl.find_opt t.records packet_id with
@@ -142,6 +176,19 @@ let iter_since t threshold f =
     | Some e -> f e
     | None -> ()
   done
+
+(* Raw id walk of the same suffix: duplicates and dead entries included,
+   nothing materialized. Lets a caller that dedups on (packet, holder)
+   pay the two record lookups and the entry allocation once per distinct
+   pair (via [entry_since]) instead of once per log occurrence. *)
+let iter_ids_since t threshold f =
+  for i = suffix_start t threshold to t.log_len - 1 do
+    f ~packet_id:(Array.unsafe_get t.log_pids i)
+      ~holder_id:(Array.unsafe_get t.log_hids i)
+  done
+
+let entry_since t threshold ~packet_id ~holder_id =
+  materialize t threshold ~packet_id ~holder_id
 
 let entries_since t threshold =
   let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in

@@ -50,6 +50,20 @@ val fold_holders :
 (** Fold over a packet's holders without sorting (hot path; iteration
     order is deterministic for a given update sequence). *)
 
+val holder_count : t -> packet_id:int -> int
+(** Number of believed holders; 0 when the packet is unknown. *)
+
+val version : t -> packet_id:int -> int
+(** Per-packet mutation version: strictly increases on every write that
+    can change the packet's holder set — {!set_holder}, an applied
+    {!merge}, {!remove_holder} of a present holder, {!remove_packet} of a
+    known packet. A rejected (stale) merge or a removal of something not
+    stored leaves it untouched. Versions survive {!remove_packet}, so a
+    packet forgotten and later re-learned from gossip continues the same
+    sequence — a cache stamped with an old version can never be revived
+    by coincidence. Unknown packets read as 0; any stored state implies a
+    version >= 1. *)
+
 val known_packet : t -> packet_id:int -> Rapid_sim.Packet.t option
 
 val iter_since : t -> float -> (entry -> unit) -> unit
@@ -61,6 +75,18 @@ val iter_since : t -> float -> (entry -> unit) -> unit
     dedup on (packet id, holder id). The retained history is bounded
     (several thousand updates): peers that have not exchanged for a very
     long time receive a truncated, bounded-staleness delta. *)
+
+val iter_ids_since :
+  t -> float -> (packet_id:int -> holder_id:int -> unit) -> unit
+(** The raw (packet id, holder id) walk underlying {!iter_since}:
+    duplicates and superseded entries included, nothing allocated or
+    looked up. Callers dedup and then {!entry_since} each distinct pair,
+    so the per-occurrence cost of a long suffix is two array reads. *)
+
+val entry_since : t -> float -> packet_id:int -> holder_id:int -> entry option
+(** Materialize one (packet, holder) pair from the current db state, as
+    {!iter_since} would: [None] if forgotten or not updated since the
+    threshold. *)
 
 val entries_since : t -> float -> entry list
 (** The deduplicated {!iter_since} visit as a list, approximately newest

@@ -23,6 +23,9 @@ type t = {
   mutable removals : int;
   mutable snapshot : entry list;
   mutable snapshot_epoch : int;
+  (* Live bytes per destination, maintained at add/remove/clear so
+     per-destination queue totals are O(1) instead of a buffer scan. *)
+  dst_bytes : (int, int) Hashtbl.t;
 }
 
 let create ~capacity =
@@ -39,6 +42,7 @@ let create ~capacity =
     removals = 0;
     snapshot = [];
     snapshot_epoch = 0;
+    dst_bytes = Hashtbl.create 16;
   }
 
 let capacity t = t.capacity
@@ -56,6 +60,12 @@ let find t id =
 let would_fit t size =
   match t.capacity with None -> true | Some c -> t.used + size <= c
 
+let dst_bytes t dst =
+  match Hashtbl.find_opt t.dst_bytes dst with Some b -> b | None -> 0
+
+let add_dst_bytes t dst delta =
+  Hashtbl.replace t.dst_bytes dst (dst_bytes t dst + delta)
+
 let add t entry =
   let id = entry.packet.Packet.id in
   if mem t id then invalid_arg "Buffer.add: duplicate packet";
@@ -72,6 +82,7 @@ let add t entry =
   Hashtbl.replace t.slots id t.len;
   t.len <- t.len + 1;
   t.used <- t.used + entry.packet.Packet.size;
+  add_dst_bytes t entry.packet.Packet.dst entry.packet.Packet.size;
   t.epoch <- t.epoch + 1
 
 let remove t id =
@@ -88,6 +99,7 @@ let remove t id =
       end;
       t.len <- last;
       t.used <- t.used - entry.packet.Packet.size;
+      add_dst_bytes t entry.packet.Packet.dst (-entry.packet.Packet.size);
       t.epoch <- t.epoch + 1;
       t.removals <- t.removals + 1;
       Some entry
@@ -100,6 +112,7 @@ let clear t =
       lost := t.arr.(slot).packet :: !lost
     done;
     Hashtbl.reset t.slots;
+    Hashtbl.reset t.dst_bytes;
     t.len <- 0;
     t.used <- 0;
     t.epoch <- t.epoch + 1;

@@ -44,6 +44,12 @@ val find : t -> int -> entry option
 val would_fit : t -> int -> bool
 (** Whether [size] additional bytes fit right now. *)
 
+val dst_bytes : t -> int -> int
+(** Total bytes currently stored for this destination, maintained
+    incrementally (O(1)): equals folding the sizes of entries whose packet
+    destination matches. Protocol queue-position math against the newest
+    packet of a destination reads this instead of scanning the buffer. *)
+
 val add : t -> entry -> unit
 (** Raises [Invalid_argument] if the entry does not fit or is a duplicate.
     Callers must check [would_fit] / [mem] first. *)

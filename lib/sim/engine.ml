@@ -49,7 +49,7 @@ let make_room (type s) (module P : Protocol.S with type t = s) (st : s)
 
 let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
     (env : Env.t) metrics tracer ~meta_cap_frac ~effective ~meta_ok ~num_packets
-    (c : Contact.t) =
+    ~seen (c : Contact.t) =
   let now = c.Contact.time in
   Metrics.record_contact metrics ~capacity:effective;
   if Tracer.enabled tracer then
@@ -104,8 +104,11 @@ let run_contact (type s) (module P : Protocol.S with type t = s) (st : s)
   let dirs = [| (c.Contact.a, c.Contact.b); (c.Contact.b, c.Contact.a) |] in
   let active = [| true; true |] in
   (* Flat (sender, packet id) key: packet ids are dense in
-     [0, num_packets), so no tuple boxing on the per-transfer guard. *)
-  let seen = Hashtbl.create 16 in
+     [0, num_packets), so no tuple boxing on the per-transfer guard. The
+     table itself is run-lifetime scratch owned by [run] — cleared (not
+     reallocated) here so its bucket array is reused contact after
+     contact. *)
+  Hashtbl.clear seen;
   let seen_key sender id = (sender * max 1 num_packets) + id in
   let turn = ref 0 in
   let record_transfer ~sender ~receiver (p : Packet.t) ~delivered =
@@ -241,6 +244,9 @@ let run ?(options = default_options) ?(tracer = Tracer.null) ~protocol
   let contacts = trace.Trace.contacts in
   let specs = Array.of_list workload in
   let reboots = Faults.reboots plan in
+  (* Run-lifetime duplicate-offer guard, cleared per contact inside
+     run_contact instead of allocated fresh for each of them. *)
+  let seen = Hashtbl.create 16 in
   let nc = Array.length contacts
   and ns = Array.length specs
   and nr = Array.length reboots in
@@ -278,7 +284,7 @@ let run ?(options = default_options) ?(tracer = Tracer.null) ~protocol
           ~meta_cap_frac:options.meta_cap_frac
           ~effective:(Faults.contact_capacity plan !ci ~bytes:c.Contact.bytes)
           ~meta_ok:(Faults.contact_meta_ok plan !ci)
-          ~num_packets:ns c;
+          ~num_packets:ns ~seen c;
       incr ci
     end
   done;

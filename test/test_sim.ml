@@ -73,6 +73,44 @@ let test_buffer_entries_sorted () =
   Alcotest.(check (list int)) "sorted" [ 1; 3; 5 ] ids;
   Alcotest.(check int) "count" 3 (Buffer.count b)
 
+let test_buffer_dst_bytes () =
+  (* The incremental per-destination byte totals must track every
+     mutation path (add, remove, clear) — RAPID's O(1) queue-position
+     estimate for fresh packets reads them instead of scanning. The
+     random walk cross-checks against a from-scratch fold after each
+     step. *)
+  let b = Buffer.create ~capacity:None in
+  let rng = Rapid_prelude.Rng.create 11 in
+  let next_id = ref 0 in
+  let check_all () =
+    for dst = 0 to 3 do
+      let want =
+        Buffer.fold_unordered b ~init:0 ~f:(fun acc (e : Buffer.entry) ->
+            if e.packet.Packet.dst = dst then acc + e.packet.Packet.size
+            else acc)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "dst %d bytes" dst)
+        want (Buffer.dst_bytes b dst)
+    done
+  in
+  for _ = 1 to 200 do
+    (match Rapid_prelude.Rng.int rng 5 with
+    | 0 | 1 | 2 ->
+        let id = !next_id in
+        incr next_id;
+        let dst = 1 + Rapid_prelude.Rng.int rng 3 in
+        let size = 1 + Rapid_prelude.Rng.int rng 50 in
+        Buffer.add b (entry (packet ~id ~src:0 ~dst ~size ()))
+    | 3 ->
+        if !next_id > 0 then
+          ignore (Buffer.remove b (Rapid_prelude.Rng.int rng !next_id))
+    | _ -> if Rapid_prelude.Rng.int rng 10 = 0 then ignore (Buffer.clear b));
+    check_all ()
+  done;
+  ignore (Buffer.clear b);
+  check_all ()
+
 (* ------------------------------------------------------------------ *)
 (* Ack store *)
 
@@ -816,6 +854,50 @@ let test_on_transfer_skips_storage_refusal () =
   Alcotest.(check bool) "0 keeps its packet" true (Buffer.mem env.Env.buffers.(0) 0);
   Alcotest.(check bool) "1 keeps its packet" true (Buffer.mem env.Env.buffers.(1) 1)
 
+let test_engine_rejects_double_offer () =
+  (* The duplicate-offer guard: a protocol that re-offers the same
+     (sender, packet) within one contact must be failed loudly, not left
+     to spin the budget down on duplicate pushes. The guard table is
+     run-lifetime scratch cleared per contact, so this also pins the
+     clearing — a reuse bug that leaked offers across contacts would
+     break the legal re-offer in [test_on_transfer_skips_duplicate_push],
+     while one that stopped clearing state WITHIN a contact breaks here. *)
+  let evil : Protocol.packed =
+    (module struct
+      type t = Env.t
+
+      let name = "evil-stub"
+      let create env = env
+      let on_created _ ~now:_ _ = ()
+      let on_contact _ (_ : Protocol.contact_info) = 0
+
+      (* Always re-offer the first buffered packet, ignoring history. *)
+      let next_packet t ~now:_ ~sender ~receiver:_ ~budget =
+        List.find_map
+          (fun (e : Buffer.entry) ->
+            if e.Buffer.packet.Packet.size <= budget then Some e.Buffer.packet
+            else None)
+          (Env.buffered_entries t sender)
+
+      let on_transfer _ ~now:_ ~sender:_ ~receiver:_ _ ~delivered:_ = ()
+      let drop_candidate _ ~now:_ ~node:_ ~incoming:_ = None
+      let on_dropped _ ~now:_ ~node:_ _ = ()
+      let on_reboot _ ~now:_ ~node:_ ~lost:_ = ()
+    end)
+  in
+  let trace =
+    Trace.create ~num_nodes:3 ~duration:10.0
+      ~active:[ 0; 1; 2 ]
+      [ Contact.make ~time:1.0 ~a:0 ~b:1 ~bytes:100 ]
+  in
+  (* dst is node 2 (absent from the contact): the first offer relays the
+     copy to node 1 and the sender keeps its own, so the second offer is
+     the same packet from the same sender. *)
+  let workload = [ spec ~src:0 ~dst:2 ~size:10 () ] in
+  Alcotest.check_raises "double offer rejected"
+    (Invalid_argument "protocol evil-stub: packet 0 offered twice")
+    (fun () -> ignore (Engine.run ~protocol:evil ~trace ~workload ()))
+
 let test_engine_max_delay_nan_when_undelivered () =
   (* No deliveries: max_delay must be nan (unknown), not a misleading
      0.0 that sorts below every real run. *)
@@ -940,6 +1022,7 @@ let () =
           Alcotest.test_case "capacity" `Quick test_buffer_capacity;
           Alcotest.test_case "duplicate" `Quick test_buffer_duplicate;
           Alcotest.test_case "entries sorted" `Quick test_buffer_entries_sorted;
+          Alcotest.test_case "dst bytes tracked" `Quick test_buffer_dst_bytes;
         ] );
       ("acks", [ Alcotest.test_case "ack store" `Quick test_ack_store ]);
       ( "send queue",
@@ -981,6 +1064,8 @@ let () =
             test_engine_packet_bigger_than_buffer;
           Alcotest.test_case "max delay nan when undelivered" `Quick
             test_engine_max_delay_nan_when_undelivered;
+          Alcotest.test_case "rejects double offer" `Quick
+            test_engine_rejects_double_offer;
           Alcotest.test_case "ack purge accounting" `Quick
             test_engine_ack_purge_accounting;
         ] );
