@@ -153,9 +153,10 @@ let () =
       | Some v -> Printf.printf "%s = %d\n" name v
       | None -> fail "missing counter \"%s\"" name)
     [ "buffer.rebuilds"; "send_queue.plans"; "send_queue.replans" ];
-  (* Solver instrumentation: the bounded-variable simplex and the
-     branch-and-bound layer each register their hot-path counters at
-     module init, so they must be present (possibly zero) in any run. *)
+  (* Solver instrumentation: the sparse revised simplex (and its LU /
+     presolve layers) and the branch-and-bound layer each register their
+     hot-path counters at module init, so they must be present (possibly
+     zero) in any run. *)
   List.iter
     (fun name ->
       match counter name with
@@ -163,7 +164,9 @@ let () =
       | None -> fail "missing counter \"%s\"" name)
     [
       "lp.pivots"; "lp.phase1_iters"; "lp.bound_flips"; "lp.iter_limits";
-      "lp.cold_solves"; "ilp.nodes"; "ilp.warm_starts"; "ilp.unconverged";
+      "lp.cold_solves"; "lp.refactorizations"; "lp.eta_updates";
+      "lp.presolve_cols_removed"; "lp.presolve_rows_removed";
+      "ilp.nodes"; "ilp.warm_starts"; "ilp.unconverged";
     ];
   (* Fault-injection counters: the bench harness forces their registration
      at startup, so they must be present (zero when no faults are run). *)

@@ -176,6 +176,53 @@ let microbenchmarks () =
            | Ilp.Solved _ | Ilp.Infeasible | Ilp.Unbounded | Ilp.No_incumbent ->
                ()))
   in
+  (* The sparse-solver cold path at primitive scale: a fig13-shaped LP —
+     per-packet causality chains, receive-once packing rows, shared
+     bandwidth rows and singleton rows for presolve to fold — solved from
+     scratch every iteration, so each run pays one presolve, one LU
+     factorization of the starting basis and a revised-simplex solve with
+     eta updates. 240 columns x 274 rows, ~700 nonzeros. *)
+  let sparse_lp_test =
+    let open Rapid_lp in
+    let np = 24 and na = 10 in
+    let build () =
+      let p = Lp_problem.create ~num_vars:(np * na) in
+      let var pi ai = (pi * na) + ai in
+      let rng = Rng.create 13 in
+      Lp_problem.set_objective p
+        (List.init (np * na) (fun i -> (i, -1.0 -. Rng.float rng *. 3.0)));
+      (* Causality chains: each arc needs its predecessor, X_a <= X_{a-1}. *)
+      for pi = 0 to np - 1 do
+        for ai = 1 to na - 1 do
+          Lp_problem.add_constraint p
+            [ (var pi ai, 1.0); (var pi (ai - 1), -1.0) ]
+            Lp_problem.Le 0.0
+        done
+      done;
+      (* Bandwidth: arc slot ai is one shared contact across packets. *)
+      for ai = 0 to na - 1 do
+        Lp_problem.add_constraint p
+          (List.init np (fun pi -> (var pi ai, 1.0)))
+          Lp_problem.Le (float_of_int (2 + (ai mod 3)))
+      done;
+      (* Receive-once: the odd arc slots of a packet land on one node. *)
+      for pi = 0 to np - 1 do
+        Lp_problem.add_constraint p
+          (List.init (na / 2) (fun k -> (var pi ((2 * k) + 1), 1.0)))
+          Lp_problem.Le 1.0
+      done;
+      (* Singleton rows: presolve folds these into column bounds. *)
+      for pi = 0 to np - 1 do
+        Lp_problem.add_constraint p [ (var pi 0, 1.0) ] Lp_problem.Le 0.9
+      done;
+      for v = 0 to (np * na) - 1 do
+        Lp_problem.set_upper p v 1.0
+      done;
+      p
+    in
+    Test.make ~name:"lp sparse presolve+LU solve (fig13-shaped)"
+      (Staged.stage (fun () -> ignore (Simplex.solve (build ()))))
+  in
   let convolve_test =
     Test.make ~name:"discrete-distribution convolution (400 cells)"
       (Staged.stage (fun () ->
@@ -323,7 +370,8 @@ let microbenchmarks () =
   let tests =
     Test.make_grouped ~name:"primitives"
       [ pqueue_test; estimate_test; believed_rate_test; closure_test;
-        simplex_test; ilp_test; convolve_test; send_queue_test; engine_test ]
+        simplex_test; sparse_lp_test; ilp_test; convolve_test;
+        send_queue_test; engine_test ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
   let instance = Toolkit.Instance.monotonic_clock in

@@ -106,12 +106,15 @@ let solve ?(max_nodes = 4000) ?max_pivots ?(int_tol = 1e-6) problem =
                 end
           in
           (* Plunge depth-first from a fractional node: tighten the branch
-             variable toward its relaxation value, queue the far sibling
-             (keyed by the parent bound, preserving best-first order), and
-             recurse on the near child until an integral point, a dead end,
-             or the budget. Every popped queue node dives too — best-first
-             alone can exhaust the node budget without ever completing an
-             incumbent, leaving nothing to prune with. *)
+             variable toward its relaxation value and recurse. Until the
+             first incumbent lands the far sibling is explored by
+             backtracking DFS right here — contended instances dead-end
+             most plunges on an infeasible near child, and a best-first
+             queue alone then re-plunges shallow nodes until the whole
+             node budget is gone without ever completing an integral
+             point. Once an incumbent exists, far siblings go to the
+             queue (keyed by the parent bound, preserving best-first
+             order) and pruning takes over. *)
           let rec dive ~bound ~bounds ~depth v x =
             if out_of_budget () then budget_hit := true
             else begin
@@ -122,9 +125,22 @@ let solve ?(max_nodes = 4000) ?max_pivots ?(int_tol = 1e-6) problem =
               let near, far =
                 if x -. fl <= 0.5 then (down, up) else (up, down)
               in
-              Pqueue.push queue bound { bounds = far; depth = depth + 1 };
-              visit ~bounds:near ~on_frac:(fun ~bound v x ->
-                  dive ~bound ~bounds:near ~depth:(depth + 1) v x)
+              if !incumbent = None then begin
+                visit ~bounds:near ~on_frac:(fun ~bound v x ->
+                    dive ~bound ~bounds:near ~depth:(depth + 1) v x);
+                if !incumbent = None then begin
+                  if out_of_budget () then budget_hit := true
+                  else
+                    visit ~bounds:far ~on_frac:(fun ~bound v x ->
+                        dive ~bound ~bounds:far ~depth:(depth + 1) v x)
+                end
+                else Pqueue.push queue bound { bounds = far; depth = depth + 1 }
+              end
+              else begin
+                Pqueue.push queue bound { bounds = far; depth = depth + 1 };
+                visit ~bounds:near ~on_frac:(fun ~bound v x ->
+                    dive ~bound ~bounds:near ~depth:(depth + 1) v x)
+              end
             end
           in
           dive ~bound:root.objective ~bounds:[] ~depth:0 v0

@@ -91,8 +91,8 @@ let build_arcs (trace : Trace.t) =
 
 type objective = Min_total_delay | Max_deliveries
 
-let evaluate ?(objective = Min_total_delay) ?(max_vars = 10_000)
-    ?(max_rows = 12_000) ?(max_cells = 20_000_000) ?(max_bb_nodes = 600)
+let evaluate ?(objective = Min_total_delay) ?(max_vars = 40_000)
+    ?(max_rows = 48_000) ?(max_nnz = 8_000_000) ?(max_bb_nodes = 600)
     ?(max_work = 2_000_000_000) ~trace ~workload () =
   let specs = Array.of_list workload in
   let np = Array.length specs in
@@ -140,14 +140,49 @@ let evaluate ?(objective = Min_total_delay) ?(max_vars = 10_000)
       Array.fold_left (fun acc u -> if u then acc + 1 else acc) 0 contact_used
     in
     let rows = num_x + !recv_rows + bw_rows in
-    (* The dense tableau holds rows x (vars + one slack per row) floats:
-       [max_cells] caps its footprint and the per-pivot cost. *)
-    let cells = rows * (num_x + rows) in
+    (* Exact model nnz, mirroring the sorted-row causality build below
+       without materializing it: every variable appears once in its
+       contact's bandwidth row and once in its target node's receive-once
+       row, and a causality row holds the arc itself plus the running
+       per-node prefix of earlier in/out terms. The sparse revised simplex
+       stores the matrix once (CSC + CSR), so [max_nnz] caps the model
+       footprint where the dense tableau's cell count used to. *)
+    let causality_nnz =
+      let total = ref 0 in
+      let pcount = Array.make num_nodes 0 in
+      Array.iter
+        (fun arcs ->
+          let arcs = Array.of_list arcs in
+          let n_arcs = Array.length arcs in
+          let touched = ref [] in
+          let d = ref 0 in
+          while !d < n_arcs do
+            let e = ref !d in
+            while !e < n_arcs && arcs.(!e).contact = arcs.(!d).contact do
+              incr e
+            done;
+            for k = !d to !e - 1 do
+              total := !total + 1 + pcount.(arcs.(k).from_)
+            done;
+            for k = !d to !e - 1 do
+              let a = arcs.(k) in
+              if pcount.(a.from_) = 0 then touched := a.from_ :: !touched;
+              pcount.(a.from_) <- pcount.(a.from_) + 1;
+              if pcount.(a.to_) = 0 then touched := a.to_ :: !touched;
+              pcount.(a.to_) <- pcount.(a.to_) + 1
+            done;
+            d := !e
+          done;
+          List.iter (fun n -> pcount.(n) <- 0) !touched)
+        usable;
+      !total
+    in
+    let nnz = (2 * num_x) + causality_nnz in
     if num_x = 0 then
       summarize_delays ~duration:trace.Trace.duration ~how:Ilp_exact
         (List.map (fun _ -> None) workload)
         workload
-    else if num_x > max_vars || rows > max_rows || cells > max_cells then
+    else if num_x > max_vars || rows > max_rows || nnz > max_nnz then
       { (contention_free ~trace ~workload) with how = Bound }
     else begin
       let problem = Lp_problem.create ~num_vars:num_x in
@@ -182,11 +217,18 @@ let evaluate ?(objective = Min_total_delay) ?(max_vars = 10_000)
       Lp_problem.set_objective problem !obj_terms;
       (* Bandwidth per contact, emitted in contact order (a Hashtbl.iter
          here made row order — and hence pivot choices — vary run to
-         run). *)
+         run). Packet sizes and contact capacities are integral bytes, so
+         each row is Chvatal-Gomory rounded by the gcd g of its sizes:
+         sum (size/g) X <= floor(bytes/g). The integral feasible set is
+         untouched (every 0/1 point satisfies one iff the other), but the
+         LP relaxation is strictly tighter whenever bytes is not a
+         multiple of g — exactly the contended instances whose weak
+         fractional bounds otherwise keep branch-and-bound from closing. *)
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
       let per_contact = Array.make num_contacts [] in
       Array.iteri
         (fun pi arcs ->
-          let size = float_of_int specs.(pi).Workload.size in
+          let size = specs.(pi).Workload.size in
           List.iteri
             (fun ai a ->
               per_contact.(a.contact) <-
@@ -195,9 +237,15 @@ let evaluate ?(objective = Min_total_delay) ?(max_vars = 10_000)
         usable;
       Array.iteri
         (fun k terms ->
-          if terms <> [] then
+          if terms <> [] then begin
+            let g = List.fold_left (fun acc (_, s) -> gcd acc s) 0 terms in
+            let g = max 1 g in
+            let terms =
+              List.map (fun (v, s) -> (v, float_of_int (s / g))) terms
+            in
             Lp_problem.add_constraint problem terms Lp_problem.Le
-              (float_of_int trace.Trace.contacts.(k).Contact.bytes))
+              (float_of_int (trace.Trace.contacts.(k).Contact.bytes / g))
+          end)
         per_contact;
       (* Per packet: receive-once and causality. *)
       let incoming = Array.make num_nodes [] in
@@ -260,12 +308,17 @@ let evaluate ?(objective = Min_total_delay) ?(max_vars = 10_000)
             Lp_problem.mark_integer problem (var d)
           done)
         usable;
-      (* A pivot touches every tableau cell, so [max_work] cell-updates
-         translate into a per-instance pivot budget: hard instances give up
-         (and fall back or report an incumbent) in bounded time instead of
-         burning minutes before failing. Easy instances solve at the root
-         in far fewer pivots than even the smallest budget. *)
-      let max_pivots = max 50 (max_work / max 1 cells) in
+      (* A revised-simplex pivot costs one FTRAN + one BTRAN + a pivot-row
+         gather + O(n + m) bookkeeping — proportional to the model's
+         sparsity, not rows x columns — so [max_work] translates into a
+         per-instance pivot budget through that estimate. Hard instances
+         still give up (and fall back or report an incumbent) in bounded
+         time, but the same default budget now buys orders of magnitude
+         more pivots than the dense tableau's cell-sweep accounting did. *)
+      let work_per_pivot =
+        (4 * (rows + num_x)) + (8 * (nnz / max 1 rows))
+      in
+      let max_pivots = max 1_000 (max_work / max 1 work_per_pivot) in
       match Ilp.solve ~max_nodes:max_bb_nodes ~max_pivots problem with
       | Ilp.Solved o ->
           let delays =

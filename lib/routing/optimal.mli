@@ -47,21 +47,23 @@ val evaluate :
   ?objective:objective ->
   ?max_vars:int ->
   ?max_rows:int ->
-  ?max_cells:int ->
+  ?max_nnz:int ->
   ?max_bb_nodes:int ->
   ?max_work:int ->
   trace:Rapid_trace.Trace.t ->
   workload:Rapid_trace.Workload.spec list ->
   unit ->
   verdict
-(** ILP with size and work guards (defaults: [Min_total_delay], 10_000
-    variables, 12_000 rows, 20M tableau cells, 600 branch-and-bound nodes,
-    2G tableau-cell updates). X <= 1 and branch constraints are column
-    bounds of the bounded-variable simplex, not rows, so the row count is
-    causality + receive-once + bandwidth only; [max_cells] caps the dense
-    tableau footprint (rows x (vars + rows) floats), and [max_work]
-    converts into a per-instance simplex pivot budget so hard instances
-    give up in bounded time (ILP hardness is contention, not size — see
-    Theorem 2). Constraint rows are emitted in sorted (contact, node) key
+(** ILP with size and work guards (defaults: [Min_total_delay], 40_000
+    variables, 48_000 rows, 8M constraint-matrix nonzeros, 600
+    branch-and-bound nodes, 2G work units). X <= 1 and branch constraints
+    are column bounds of the bounded-variable simplex, not rows, so the
+    row count is causality + receive-once + bandwidth only; [max_nnz]
+    caps the sparse model footprint (the exact nonzero count is computed
+    before building anything), and [max_work] converts into a
+    per-instance simplex pivot budget through the revised simplex's
+    per-pivot cost estimate — O(nnz/m) per triangular solve plus O(n + m)
+    bookkeeping, not rows x columns — so hard instances give up in
+    bounded time (ILP hardness is contention, not size — see Theorem 2). Constraint rows are emitted in sorted (contact, node) key
     order, so the model — and therefore the solver's pivot path — is
     byte-reproducible run to run. *)

@@ -747,6 +747,201 @@ let prop_simplex_lower_bounds_ilp =
       | _, Ilp.Infeasible -> true (* integrality can break feasibility *)
       | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Sparse rewrite oracle properties: Dense_simplex is the pre-rewrite
+   bounded-variable dense solver kept verbatim, so any disagreement with
+   the sparse revised simplex on the same program is a bug in the
+   rewrite. Iteration-capped runs on either side are inconclusive. *)
+
+let build_random_bounded rng =
+  let num_vars = 2 + Rng.int rng 6 in
+  let num_rows = 1 + Rng.int rng 5 in
+  let p = Lp_problem.create ~num_vars in
+  Lp_problem.set_objective p
+    (List.init num_vars (fun i -> (i, Rng.uniform rng (-4.0) 4.0)));
+  for _ = 1 to num_rows do
+    let coeffs =
+      List.init num_vars (fun i -> (i, Rng.uniform rng (-3.0) 3.0))
+      |> List.filter (fun _ -> Rng.float rng < 0.8)
+    in
+    let relation =
+      match Rng.int rng 4 with
+      | 0 -> Lp_problem.Ge
+      | 1 -> Lp_problem.Eq
+      | _ -> Lp_problem.Le
+    in
+    Lp_problem.add_constraint p coeffs relation (Rng.uniform rng (-2.0) 6.0)
+  done;
+  for i = 0 to num_vars - 1 do
+    if Rng.float rng < 0.3 then
+      Lp_problem.set_lower p i (Rng.uniform rng 0.0 1.0);
+    if Rng.float rng < 0.6 then begin
+      let lo, _ = (Lp_problem.bounds p).(i) in
+      Lp_problem.set_upper p i (lo +. Rng.uniform rng 0.0 3.0)
+    end
+  done;
+  p
+
+let prop_sparse_matches_dense_oracle =
+  let gen = QCheck.Gen.int_range 0 100_000 in
+  QCheck.Test.make ~name:"sparse simplex matches dense oracle" ~count:400
+    (QCheck.make gen) (fun seed ->
+      let rng = Rng.create seed in
+      let p = build_random_bounded rng in
+      match (Simplex.solve p, Dense_simplex.solve p) with
+      | Simplex.Optimal a, Dense_simplex.Optimal b ->
+          Float.abs (a.Simplex.objective -. b.Dense_simplex.objective) < 1e-5
+      | Simplex.Infeasible, Dense_simplex.Infeasible -> true
+      | Simplex.Unbounded, Dense_simplex.Unbounded -> true
+      | Simplex.Iter_limit, _ | _, Dense_simplex.Iter_limit -> true
+      | _ -> false)
+
+(* Both warm-start states — sparse (basis + LU + eta file in State) and
+   dense — must agree through the same branch-like resolve sequence. *)
+let prop_warm_parity_sparse_vs_dense =
+  let gen = QCheck.Gen.int_range 0 100_000 in
+  QCheck.Test.make ~name:"warm resolve parity, sparse vs dense state"
+    ~count:200 (QCheck.make gen) (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars = 2 + Rng.int rng 5 in
+      let rows =
+        List.init
+          (1 + Rng.int rng 3)
+          (fun _ ->
+            let coeffs =
+              List.init num_vars (fun i -> (i, Rng.uniform rng (-2.0) 3.0))
+            in
+            let relation =
+              if Rng.float rng < 0.75 then Lp_problem.Le else Lp_problem.Ge
+            in
+            (coeffs, relation, Rng.uniform rng 0.0 6.0))
+      in
+      let obj =
+        List.init num_vars (fun i -> (i, Rng.uniform rng (-4.0) 4.0))
+      in
+      let ub = Array.init num_vars (fun _ -> Rng.uniform rng 0.5 4.0) in
+      let make () =
+        let p = Lp_problem.create ~num_vars in
+        Lp_problem.set_objective p obj;
+        List.iter
+          (fun (coeffs, rel, rhs) -> Lp_problem.add_constraint p coeffs rel rhs)
+          rows;
+        Array.iteri (fun i u -> Lp_problem.set_upper p i u) ub;
+        p
+      in
+      let st = Simplex.State.create (make ()) in
+      let dt = Dense_simplex.State.create (make ()) in
+      let agree sparse dense =
+        match (sparse, dense) with
+        | Simplex.Optimal a, Dense_simplex.Optimal b ->
+            Float.abs (a.Simplex.objective -. b.Dense_simplex.objective)
+            < 1e-5
+        | Simplex.Infeasible, Dense_simplex.Infeasible -> true
+        | Simplex.Unbounded, Dense_simplex.Unbounded -> true
+        | Simplex.Iter_limit, _ | _, Dense_simplex.Iter_limit -> true
+        | _ -> false
+      in
+      let ok =
+        ref
+          (agree (Simplex.State.solve_root st)
+             (Dense_simplex.State.solve_root dt))
+      in
+      for _ = 1 to 4 do
+        let overrides =
+          List.init num_vars (fun i ->
+              let lo = Float.of_int (Rng.int rng 2) in
+              let hi = Float.min ub.(i) (lo +. Float.of_int (Rng.int rng 2)) in
+              (i, Float.min lo hi, hi))
+          |> List.filter (fun _ -> Rng.float rng < 0.4)
+        in
+        let warm, _ = Simplex.State.resolve st ~bounds:overrides in
+        let dwarm, _ = Dense_simplex.State.resolve dt ~bounds:overrides in
+        if not (agree warm dwarm) then ok := false
+      done;
+      !ok)
+
+(* Presolve/postsolve round trip: solving the reduced model (with the
+   independent dense oracle) and lifting must produce a point that is
+   feasible for every original row and box and attains the original
+   optimum. *)
+let prop_presolve_postsolve_roundtrip =
+  let gen = QCheck.Gen.int_range 0 100_000 in
+  QCheck.Test.make ~name:"presolve/postsolve round trip" ~count:300
+    (QCheck.make gen) (fun seed ->
+      let rng = Rng.create seed in
+      let p = build_random_bounded rng in
+      let obj = Lp_problem.objective p in
+      let bnds = Lp_problem.bounds p in
+      let lb = Array.map fst bnds and ub = Array.map snd bnds in
+      let rows = Lp_problem.constraints p in
+      let pre = Presolve.reduce ~obj ~lb ~ub ~rows in
+      let lift x_red =
+        match Presolve.postsolve pre ~cur_lb:lb ~cur_ub:ub ~x_red with
+        | `Unbounded -> (
+            match Simplex.solve p with Simplex.Unbounded -> true | _ -> false)
+        | `X x ->
+            let row_ok (c : Lp_problem.constr) =
+              let v =
+                List.fold_left
+                  (fun acc (i, coef) -> acc +. (coef *. x.(i)))
+                  0.0 c.Lp_problem.coeffs
+              in
+              match c.Lp_problem.relation with
+              | Lp_problem.Le -> v <= c.Lp_problem.rhs +. 1e-6
+              | Lp_problem.Ge -> v >= c.Lp_problem.rhs -. 1e-6
+              | Lp_problem.Eq -> Float.abs (v -. c.Lp_problem.rhs) <= 1e-6
+            in
+            let box_ok i xi = xi >= lb.(i) -. 1e-6 && xi <= ub.(i) +. 1e-6 in
+            let value =
+              Array.to_seqi x
+              |> Seq.fold_left (fun acc (i, xi) -> acc +. (obj.(i) *. xi)) 0.0
+            in
+            List.for_all row_ok rows
+            && Array.for_all (fun b -> b) (Array.mapi box_ok x)
+            && (match Simplex.solve p with
+               | Simplex.Optimal o ->
+                   Float.abs (o.Simplex.objective -. value) < 1e-5
+               | Simplex.Iter_limit -> true
+               | Simplex.Infeasible | Simplex.Unbounded -> false)
+      in
+      match pre.Presolve.verdict with
+      | Presolve.Infeasible -> (
+          (* Presolve may only declare infeasibility when the solver
+             agrees on the unreduced program. *)
+          match Simplex.solve p with Simplex.Infeasible -> true | _ -> false)
+      | Presolve.Feasible ->
+          if pre.Presolve.n_red = 0 then lift [||]
+          else begin
+            let red = Lp_problem.create ~num_vars:pre.Presolve.n_red in
+            Lp_problem.set_objective red
+              (Array.to_list (Array.mapi (fun i c -> (i, c)) pre.Presolve.obj));
+            List.iter
+              (fun (c : Lp_problem.constr) ->
+                Lp_problem.add_constraint red c.Lp_problem.coeffs
+                  c.Lp_problem.relation c.Lp_problem.rhs)
+              pre.Presolve.rows;
+            Array.iteri
+              (fun i lo ->
+                Lp_problem.set_lower red i lo;
+                if pre.Presolve.ub.(i) < infinity then
+                  Lp_problem.set_upper red i pre.Presolve.ub.(i))
+              pre.Presolve.lb;
+            match Dense_simplex.solve red with
+            | Dense_simplex.Optimal o -> lift o.Dense_simplex.solution
+            | Dense_simplex.Infeasible -> (
+                (* Feasible is "not detected infeasible", so the reduced
+                   model may still be infeasible — but then the original
+                   must be too. *)
+                match Simplex.solve p with
+                | Simplex.Infeasible -> true
+                | _ -> false)
+            | Dense_simplex.Unbounded -> (
+                match Simplex.solve p with
+                | Simplex.Unbounded -> true
+                | _ -> false)
+            | Dense_simplex.Iter_limit -> true
+          end)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -754,6 +949,9 @@ let qcheck_cases =
       prop_warm_resolve_matches_cold;
       prop_ilp_matches_brute_force;
       prop_simplex_lower_bounds_ilp;
+      prop_sparse_matches_dense_oracle;
+      prop_warm_parity_sparse_vs_dense;
+      prop_presolve_postsolve_roundtrip;
     ]
 
 let () =
